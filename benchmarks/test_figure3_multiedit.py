@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 3 (multi-edit sdram_controller repair)."""
+
+from repro.experiments.figure3 import compute_figure3
+
+
+def test_figure3(once):
+    data = once(compute_figure3)
+    # The paper's repair shape: an insert plus a replace, fitness 1.0.
+    assert data.edit_kinds == ["insert_after", "replace"]
+    assert data.patched_fitness == 1.0
+    assert data.faulty_fitness < 1.0
+    assert "busy <= 1'b1;" in data.repaired_block
+    assert "rd_data <= 8'h00;" in data.repaired_block

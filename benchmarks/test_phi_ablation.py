@@ -1,0 +1,15 @@
+"""Benchmark: φ weight ablation (§4.2)."""
+
+from repro.experiments.phi_ablation import run_phi_ablation
+
+
+def test_phi_ablation(once):
+    result = once(run_phi_ablation)
+    by_phi = {cell.phi: cell for cell in result.cells}
+    # φ = 1 gives no gradient from "x output" to "defined but wrong output"
+    # — the paper's "did not penalize such incorrect comparisons enough".
+    assert abs(by_phi[1.0].gradient) < 1e-9
+    # φ = 2 creates the gradient the GP climbs.
+    assert by_phi[2.0].gradient > 0.05
+    # φ = 3 depresses absolute fitness (paper: "too significant a drop").
+    assert by_phi[3.0].faulty_fitness < by_phi[2.0].faulty_fitness < by_phi[1.0].faulty_fitness

@@ -1,0 +1,23 @@
+"""Benchmark: RQ1 — CirFix vs brute-force under the same simulation budget."""
+
+from repro.baselines.brute_force import BruteForceRepair
+from repro.benchsuite import load_scenario
+from repro.core.repair import CirFixEngine
+from repro.experiments.common import SMOKE
+
+
+def test_rq1_head_to_head(once):
+    """On the incorrect-conditional flip-flop defect CirFix repairs within
+    the budget; uniform brute force (paper: "did not scale") does not."""
+    scenario = load_scenario("counter_sens")
+    config = scenario.suggested_config(SMOKE)
+
+    def head_to_head():
+        cirfix = CirFixEngine(scenario.problem(), config, seed=0).run()
+        brute = BruteForceRepair(scenario.problem(), config, seed=0).run()
+        return cirfix, brute
+
+    cirfix, brute = once(head_to_head)
+    assert cirfix.plausible
+    assert not brute.plausible
+    assert brute.fitness < 1.0

@@ -1,0 +1,16 @@
+"""Benchmark: RQ3 — fitness function quality (§5.3)."""
+
+from repro.experiments.rq3 import compute_rq3
+
+
+def test_rq3(once):
+    result = once(compute_rq3)
+    # Paper trajectory 0 -> 0.58 -> 0.77 -> 1.0: each edit must raise the
+    # fitness, ending at a plausible repair.
+    assert result.is_monotone
+    assert result.fitness_trajectory[-1] == 1.0
+    assert 0.5 < result.fitness_trajectory[0] < 0.65
+    assert 0.70 < result.fitness_trajectory[1] < 0.85
+    # Paper: the rs out_stage sensitivity defect scores 0.999 — caught by
+    # the instrumented comparison, missed by the original testbench.
+    assert 0.95 < result.rs_sens_fitness < 1.0

@@ -1,0 +1,34 @@
+"""Benchmark: RQ4 — repair under degraded oracle information.
+
+Paper protocol: reduce expected-behaviour annotations 100% → 50% → 25%;
+plausible-repair counts stay nearly flat (21 → 20 → 20) while correctness
+drops (16 → 12 → 10).  We sweep two fast scenarios and assert the rate
+shape: still repairable at 50% and 25%.
+"""
+
+from repro.experiments.common import SMOKE
+from repro.experiments.rq4 import render_rq4, run_rq4
+
+SAMPLE = ("ff_cond", "lshift_sens")
+
+
+def test_rq4_degraded_oracles(once):
+    result = once(
+        run_rq4,
+        SMOKE,
+        (0, 1),
+        SAMPLE,
+        (1.0, 0.5, 0.25),
+    )
+    full = result.by_fraction(1.0)
+    half = result.by_fraction(0.5)
+    quarter = result.by_fraction(0.25)
+    assert full.plausible == len(SAMPLE)
+    # Plausible-repair rate is robust to oracle degradation (paper: 21→20→20).
+    assert half.plausible >= len(SAMPLE) - 1
+    assert quarter.plausible >= len(SAMPLE) - 1
+    # Correctness can only be <= plausibility.
+    for cell in result.cells:
+        assert cell.correct <= cell.plausible
+    print()
+    print(render_rq4(result))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 2 (benchmark project inventory)."""
+
+from repro.experiments.table2 import compute_table2, render_table2
+
+
+def test_table2(once):
+    rows = once(compute_table2)
+    assert len(rows) == 11
+    assert {r.project for r in rows} >= {"counter", "i2c", "sdram_controller"}
+    # Small-vs-large structure preserved: course projects < OpenCores-style.
+    small = [r.design_loc for r in rows if r.project in ("flip_flop", "mux_4_1")]
+    large = [r.design_loc for r in rows if r.project in ("i2c", "sdram_controller")]
+    assert max(small) < min(large)
+    print()
+    print(render_table2())

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Walk through the CirFix fault localization (Algorithm 2) step by step.
+
+Uses the arbiter FSM with the ``fsm_next_sens`` Category-2 defect and shows
+how the output mismatch seeds the fixed-point analysis, which identifiers
+join the mismatch set via Add-Child, and which statements end up in the
+uniformly-ranked fault set.
+
+Run:  python examples/fault_localization_demo.py
+"""
+
+from repro.benchsuite import load_scenario
+from repro.benchsuite.scenario import simulate_design_text
+from repro.core.faultloc import localize_faults
+from repro.hdl import ast, generate, parse
+from repro.instrument.trace import output_mismatch
+
+
+def main() -> int:
+    scenario = load_scenario("fsm_next_sens")
+    print(f"scenario: {scenario.scenario_id} — {scenario.defect.description}\n")
+
+    # Step 1: simulate the faulty design and diff against the oracle.
+    trace = simulate_design_text(
+        scenario.faulty_design_text, scenario.instrumented_testbench()
+    )
+    mismatch = output_mismatch(scenario.oracle(), trace)
+    print(f"step 1 — output mismatch (seeds the analysis): {sorted(mismatch)}")
+
+    # Step 2: run the fixed-point analysis on the faulty AST.
+    tree = parse(scenario.faulty_design_text)
+    result = localize_faults(tree, mismatch)
+    print(f"step 2 — fixed point converged after {result.iterations} iterations")
+    print(f"         final mismatch set: {sorted(result.mismatch)}")
+    print(f"         fault set size: {len(result.nodes)} AST nodes\n")
+
+    # Step 3: show the implicated statements (assignments + conditionals).
+    print("step 3 — implicated statements:")
+    shown = 0
+    for node in tree.walk():
+        if node.node_id not in result.nodes:
+            continue
+        if isinstance(node, (ast.BlockingAssign, ast.NonBlockingAssign, ast.ContinuousAssign)):
+            print(f"  [node {node.node_id:3d}] {generate(node).strip()}")
+            shown += 1
+    statements = sum(
+        1 for n in tree.walk() if isinstance(n, ast.Stmt) and n.node_id is not None
+    )
+    print(f"\n{shown} assignments implicated; fault set covers "
+          f"{len(result.nodes)} of {sum(1 for _ in tree.walk())} nodes "
+          f"({statements} statements total) — the search space CirFix explores.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Explore the RQ4 trade-off: how much oracle information does a repair need?
+
+Takes one scenario and sweeps the expected-behaviour completeness from 100%
+down to 12.5%, reporting for each level whether the known-good repair is
+still judged plausible and whether a *wrong* candidate starts slipping
+through (the overfitting risk the paper measures in §5.4).
+
+Run:  python examples/oracle_degradation.py [scenario_id]
+"""
+
+import sys
+
+from repro.benchsuite import load_scenario
+from repro.benchsuite.scenario import simulate_design_text
+from repro.core.fitness import evaluate_fitness
+
+LEVELS = (1.0, 0.5, 0.25, 0.125)
+
+
+def main() -> int:
+    scenario_id = sys.argv[1] if len(sys.argv) > 1 else "ff_cond"
+    scenario = load_scenario(scenario_id)
+    print(f"scenario: {scenario.scenario_id} — {scenario.defect.description}")
+
+    bench = scenario.instrumented_testbench()
+    golden_trace = simulate_design_text(scenario.project.design_text, bench)
+    faulty_trace = simulate_design_text(scenario.faulty_design_text, bench)
+    full_oracle = scenario.oracle()
+    print(f"full oracle: {len(full_oracle)} rows\n")
+
+    print(f"{'level':>6s} {'rows':>5s} {'golden':>8s} {'faulty':>8s} {'faulty plausible?':>18s}")
+    for level in LEVELS:
+        oracle = full_oracle.subsample(level)
+        golden_fit = evaluate_fitness(golden_trace, oracle).fitness
+        faulty_fit = evaluate_fitness(faulty_trace, oracle).fitness
+        slipped = "YES (overfit risk)" if faulty_fit >= 1.0 else "no"
+        print(
+            f"{level * 100:5.1f}% {len(oracle):5d} {golden_fit:8.3f} "
+            f"{faulty_fit:8.3f} {slipped:>18s}"
+        )
+    print(
+        "\nThe golden design stays at 1.0 at every level; the faulty design's"
+        "\nfitness rises as annotations vanish — with sparse enough oracles a"
+        "\nwrong design can reach 1.0, which is exactly the paper's observed"
+        "\ndrop in repair correctness (16 -> 12 -> 10) as information shrinks."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Use the 4-state simulator standalone (without the repair engine).
+
+The simulator is a complete event-driven Verilog interpreter: this example
+builds a small UART-style serializer + deserializer pair, simulates a byte
+crossing the serial wire, and prints the $display log and a waveform-ish
+trace of the line.
+
+Run:  python examples/simulator_playground.py
+"""
+
+from repro.hdl import parse
+from repro.sim import Simulator
+
+SOURCE = """
+module serializer(clk, start, data, tx, busy);
+  input clk, start;
+  input [7:0] data;
+  output tx, busy;
+  reg tx, busy;
+  reg [7:0] shifter;
+  reg [3:0] count;
+
+  initial begin
+    tx = 1;
+    busy = 0;
+    count = 0;
+  end
+
+  always @(posedge clk) begin
+    if (start && !busy) begin
+      shifter <= data;
+      count <= 4'd8;
+      busy <= 1'b1;
+      tx <= 1'b0;  // start bit
+    end
+    else if (count > 0) begin
+      tx <= shifter[0];
+      shifter <= shifter >> 1;
+      count <= count - 1;
+    end
+    else if (busy) begin
+      tx <= 1'b1;  // stop bit
+      busy <= 1'b0;
+    end
+  end
+endmodule
+
+module deserializer(clk, rx, byte_out, valid);
+  input clk, rx;
+  output [7:0] byte_out;
+  output valid;
+  reg [7:0] byte_out;
+  reg valid;
+  reg [3:0] count;
+  reg receiving;
+
+  initial begin
+    valid = 0;
+    receiving = 0;
+    count = 0;
+  end
+
+  always @(posedge clk) begin
+    valid <= 1'b0;
+    if (!receiving && rx == 1'b0) begin
+      receiving <= 1'b1;
+      count <= 4'd0;
+    end
+    else if (receiving) begin
+      if (count < 4'd8) begin
+        byte_out <= {rx, byte_out[7:1]};
+        count <= count + 1;
+      end
+      else begin
+        receiving <= 1'b0;
+        valid <= 1'b1;
+      end
+    end
+  end
+endmodule
+
+module playground;
+  reg clk, start;
+  reg [7:0] data;
+  wire tx, busy;
+  wire [7:0] byte_out;
+  wire valid;
+
+  serializer ser(.clk(clk), .start(start), .data(data), .tx(tx), .busy(busy));
+  deserializer des(.clk(clk), .rx(tx), .byte_out(byte_out), .valid(valid));
+
+  always #5 clk = !clk;
+  always @(posedge clk) $cirfix_record(tx, byte_out, valid);
+
+  initial begin
+    clk = 0;
+    start = 0;
+    data = 8'hC5;
+    @(negedge clk);
+    start = 1;
+    @(negedge clk);
+    start = 0;
+    wait (valid == 1'b1)
+    @(negedge clk);
+    $display("received %h at t=%0t", byte_out, $time);
+    #20 $finish;
+  end
+endmodule
+"""
+
+
+def main() -> int:
+    sim = Simulator(parse(SOURCE))
+    result = sim.run(max_time=10_000)
+    print(f"simulation {'finished' if result.finished else 'timed out'} "
+          f"at t={result.time} ({result.steps_used} statements executed)")
+    for line in result.output:
+        print("  $display:", line)
+    print("\nserial line over time:")
+    print("  t    tx  byte_out  valid")
+    for record in result.trace:
+        tx = record.values["tx"].to_bit_string()
+        byte = record.values["byte_out"].to_hex_string()
+        valid = record.values["valid"].to_bit_string()
+        print(f"  {record.time:<4d} {tx}   {byte:>8s}  {valid}")
+    ok = any(
+        r.values["valid"].to_bit_string() == "1"
+        and r.values["byte_out"].to_hex_string() == "c5"
+        for r in result.trace
+    )
+    print(f"\nbyte survived the wire: {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

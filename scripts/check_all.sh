@@ -1,0 +1,27 @@
+#!/bin/sh
+# Full verification sweep: tests, benchmarks, examples, experiment smoke.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== unit / integration / property tests =="
+python -m pytest tests/ -q
+
+echo "== benchmark harness (one target per paper table/figure) =="
+python -m pytest benchmarks/ --benchmark-only -q
+
+echo "== examples =="
+python examples/simulator_playground.py > /dev/null
+python examples/fault_localization_demo.py > /dev/null
+python examples/oracle_degradation.py > /dev/null
+python examples/quickstart.py 0 1 2 > /dev/null
+python examples/repair_custom_design.py > /dev/null
+
+echo "== cheap experiments =="
+python -m repro.experiments table2 > /dev/null
+python -m repro.experiments figure2 > /dev/null
+python -m repro.experiments figure3 > /dev/null
+python -m repro.experiments rq3 > /dev/null
+python -m repro.experiments phi > /dev/null
+python -m repro.experiments fixloc > /dev/null
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Run the remaining committed experiments sequentially and append the
+measured numbers to EXPERIMENTS.md (after the full Table 3 run finished).
+
+Steps: RQ1 head-to-head, RQ4 oracle degradation, runtime analysis,
+seeded-defect baseline, extended-template ablation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BEGIN = "<!-- committed:begin -->"
+END = "<!-- committed:end -->"
+
+
+def main() -> None:
+    from repro.experiments.common import SMOKE
+    from repro.experiments.ext_templates import render_ext_ablation, run_ext_ablation
+    from repro.experiments.rq1 import render_rq1, run_rq1
+    from repro.experiments.rq4 import render_rq4, run_rq4
+    from repro.experiments.runtime_analysis import (
+        render_runtime_analysis,
+        run_runtime_analysis,
+    )
+    from repro.experiments.seeded_defects import render_seeded_defects, run_seeded_defects
+
+    sections = []
+
+    print("== RQ1 head-to-head ==", flush=True)
+    rq1 = run_rq1(SMOKE, seeds=(0, 1))
+    sections.append(("RQ1 head-to-head (SMOKE preset, seeds 0-1)", render_rq1(rq1)))
+
+    print("== RQ4 oracle degradation ==", flush=True)
+    rq4 = run_rq4(SMOKE, seeds=(0, 1), scenario_ids=("ff_cond", "lshift_sens", "counter_sens"))
+    sections.append(
+        ("RQ4 oracle degradation (3 fast scenarios, SMOKE preset)", render_rq4(rq4))
+    )
+
+    print("== runtime analysis ==", flush=True)
+    runtime = run_runtime_analysis(SMOKE)
+    sections.append(("Runtime analysis (SMOKE preset)", render_runtime_analysis(runtime)))
+
+    print("== seeded defects ==", flush=True)
+    seeded = run_seeded_defects(SMOKE)
+    sections.append(("Randomly seeded defects (SMOKE preset)", render_seeded_defects(seeded)))
+
+    print("== extended templates ==", flush=True)
+    ext = run_ext_ablation(
+        config=SMOKE.scaled(rt_threshold=0.6, max_fitness_evals=500, max_wall_seconds=150.0),
+        seeds=(0, 1, 2),
+    )
+    sections.append(("Extended-template ablation", render_ext_ablation(ext)))
+
+    block_lines = [BEGIN, "", "## Committed measured outputs (appendix)", ""]
+    for title, body in sections:
+        block_lines += [f"### {title}", "", "```", body, "```", ""]
+    block_lines.append(END)
+    block = "\n".join(block_lines)
+
+    path = ROOT / "EXPERIMENTS.md"
+    text = path.read_text()
+    if BEGIN in text:
+        text = re.sub(re.escape(BEGIN) + ".*?" + re.escape(END), block, text, flags=re.S)
+    else:
+        text = text.rstrip() + "\n\n" + block + "\n"
+    path.write_text(text)
+    print("EXPERIMENTS.md appendix written")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

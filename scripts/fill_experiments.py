@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md with the committed Table 3 run results.
+
+Reads .table3_results.json (produced by the full table3 run) and replaces
+the `<!-- TABLE3_RESULTS -->` marker with a per-defect markdown table plus
+headline counts.  Idempotent: re-running replaces the generated section.
+"""
+
+import json
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+MARKER = "<!-- TABLE3_RESULTS -->"
+BEGIN = "<!-- table3:begin -->"
+END = "<!-- table3:end -->"
+
+
+def render(results: list[dict]) -> str:
+    lines = [
+        BEGIN,
+        "",
+        "| Scenario | Project | Defect category | Outcome (ours) | Repair time (s) | Fitness | Simulations | Paper outcome |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for row in results:
+        time_text = f"{row['repair_seconds']:.1f}" if row["repair_seconds"] else "—"
+        lines.append(
+            f"| {row['scenario_id']} | {row['project']} | {row['category']} "
+            f"| **{row['outcome']}** | {time_text} | {row['fitness']:.3f} "
+            f"| {row['simulations']} | {row['paper']} |"
+        )
+    total = len(results)
+    plausible = sum(1 for r in results if r["outcome"] in ("correct", "plausible"))
+    correct = sum(1 for r in results if r["outcome"] == "correct")
+    paper_plausible = sum(1 for r in results if r["paper"] in ("correct", "plausible"))
+    paper_correct = sum(1 for r in results if r["paper"] == "correct")
+    agree = sum(
+        1
+        for r in results
+        if (r["outcome"] in ("correct", "plausible"))
+        == (r["paper"] in ("correct", "plausible"))
+    )
+    cat1 = [r for r in results if r["category"] == 1]
+    cat2 = [r for r in results if r["category"] == 2]
+    lines += [
+        "",
+        f"**Plausible: {plausible}/{total}** (paper: {paper_plausible}/{total}) — "
+        f"**Correct: {correct}/{total}** (paper: {paper_correct}/{total})",
+        "",
+        f"Per-defect plausibility agreement with the paper: {agree}/{total}.",
+        f"Category 1: {sum(1 for r in cat1 if r['outcome'] != 'none')}/{len(cat1)} plausible; "
+        f"Category 2: {sum(1 for r in cat2 if r['outcome'] != 'none')}/{len(cat2)} plausible "
+        "(paper: 12/19 and 9/13).",
+        "",
+        _rq2_summary(cat1, cat2),
+        "",
+        END,
+    ]
+    return "\n".join(lines)
+
+
+def _rq2_summary(cat1: list[dict], cat2: list[dict]) -> str:
+    """RQ2 aggregation (category repair-time comparison) from the same run."""
+    times1 = [r["repair_seconds"] for r in cat1 if r["repair_seconds"]]
+    times2 = [r["repair_seconds"] for r in cat2 if r["repair_seconds"]]
+    if not (times1 and times2):
+        return "RQ2: not enough repaired scenarios in one category for the U test."
+    from scipy import stats
+
+    u_stat, p_value = stats.mannwhitneyu(times1, times2, alternative="two-sided")
+    mean1 = sum(times1) / len(times1)
+    mean2 = sum(times2) / len(times2)
+    return (
+        f"RQ2 (from this run): mean repair time Category 1 = {mean1:.1f}s "
+        f"(n={len(times1)}), Category 2 = {mean2:.1f}s (n={len(times2)}); "
+        f"Mann-Whitney U = {float(u_stat):.1f}, p = {float(p_value):.3f} "
+        "(paper: p = 0.373, no significant difference)."
+    )
+
+
+def main() -> None:
+    results = json.loads((ROOT / ".table3_results.json").read_text())
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    block = render(results)
+    if BEGIN in text:
+        text = re.sub(
+            re.escape(BEGIN) + ".*?" + re.escape(END), block, text, flags=re.S
+        )
+    else:
+        text = text.replace(MARKER, block)
+    (ROOT / "EXPERIMENTS.md").write_text(text)
+    print(f"EXPERIMENTS.md updated with {len(results)} rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — a from-scratch reproduction of CirFix (ASPLOS 2022).
+
+CirFix automatically repairs defects in Verilog hardware designs with
+genetic programming, a dataflow-based fault localization, and a fitness
+function over instrumented-testbench traces.  This package re-implements
+the complete system plus every substrate the paper depends on:
+
+- :mod:`repro.hdl` — Verilog frontend (lexer, parser, numbered AST, codegen);
+- :mod:`repro.sim` — event-driven 4-state simulator (the VCS stand-in);
+- :mod:`repro.instrument` — testbench instrumentation and traces;
+- :mod:`repro.core` — the CirFix repair engine itself;
+- :mod:`repro.baselines` — the brute-force comparison search;
+- :mod:`repro.benchsuite` — 11 projects / 32 defect scenarios (Table 2/3);
+- :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro import repair_verilog
+
+    outcome = repair_verilog(faulty_design, testbench, golden_design)
+    if outcome.plausible:
+        print(outcome.repaired_source)
+"""
+
+from __future__ import annotations
+
+from .core.config import RepairConfig
+from .core.oracle import ensure_instrumented, generate_oracle
+from .core.repair import CirFixEngine, RepairOutcome, RepairProblem
+from .hdl import generate, parse
+from .sim import SimResult, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "repair_verilog",
+    "RepairConfig",
+    "RepairProblem",
+    "RepairOutcome",
+    "CirFixEngine",
+    "Simulator",
+    "SimResult",
+    "parse",
+    "generate",
+    "__version__",
+]
+
+
+def repair_verilog(
+    faulty_design: str,
+    testbench: str,
+    golden_design: str,
+    config: RepairConfig | None = None,
+    seeds: tuple[int, ...] = (0, 1, 2),
+) -> RepairOutcome:
+    """One-call repair: oracle from the golden design, then run CirFix.
+
+    Args:
+        faulty_design: Verilog source of the design to repair.
+        testbench: Verilog testbench (instrumented automatically if it has
+            no ``$cirfix_record`` hook).
+        golden_design: A previously-functioning version of the design used
+            to generate the expected-behaviour trace (paper §4.1.2).
+        config: Search budget; defaults to paper-style parameters — pass
+            :data:`repro.core.config.TEST_CONFIG` or a custom config for
+            laptop-scale runs.
+        seeds: Independent trial seeds; the first plausible repair wins.
+
+    Returns:
+        The best :class:`RepairOutcome` across trials.
+    """
+    from .core.repair import repair
+
+    golden = parse(golden_design)
+    bench = ensure_instrumented(parse(testbench), golden)
+    oracle = generate_oracle(golden, bench)
+    problem = RepairProblem(parse(faulty_design), bench, oracle)
+    return repair(problem, config, seeds)

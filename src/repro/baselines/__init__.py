@@ -1,0 +1,5 @@
+"""Baseline repair algorithms CirFix is compared against (paper §5.1)."""
+
+from .brute_force import BruteForceOutcome, BruteForceRepair
+
+__all__ = ["BruteForceRepair", "BruteForceOutcome"]

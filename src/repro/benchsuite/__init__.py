@@ -1,0 +1,94 @@
+"""Benchmark suite: 11 hardware projects, 32 defect scenarios (paper §4.1).
+
+Public API::
+
+    from repro.benchsuite import load_project, load_scenario, all_scenarios
+
+    project = load_project("counter")
+    scenario = load_scenario("counter_reset")
+    scenarios = all_scenarios()             # the full Table 3 suite
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+from .defects import DEFECTS, DEFECTS_BY_ID
+from .scenario import Defect, Project, Scenario
+
+#: Project name → one-line description (paper Table 2).
+PROJECT_DESCRIPTIONS: dict[str, str] = {
+    "decoder_3_to_8": "3-to-8 decoder",
+    "counter": "4-bit counter with overflow",
+    "flip_flop": "T-flip flop",
+    "fsm_full": "Finite state machine",
+    "lshift_reg": "8-bit left shift register",
+    "mux_4_1": "4-to-1 multiplexer",
+    "i2c": "Two-wire, bidirectional serial bus for data exchange between devices",
+    "sha3": "Cryptographic hash function",
+    "tate_pairing": "Core for the Tate bilinear pairing algorithm for elliptic curves",
+    "reed_solomon_decoder": "Core for Reed-Solomon error correction",
+    "sdram_controller": "Synchronous DRAM memory controller",
+}
+
+PROJECT_NAMES: tuple[str, ...] = tuple(PROJECT_DESCRIPTIONS)
+
+
+def _read_project_file(project: str, filename: str) -> str | None:
+    root = resources.files(__package__) / "projects" / project / filename
+    if not root.is_file():
+        return None
+    return root.read_text()
+
+
+def load_project(name: str) -> Project:
+    """Load a golden project from package data."""
+    if name not in PROJECT_DESCRIPTIONS:
+        raise KeyError(f"unknown project {name!r}; known: {sorted(PROJECT_DESCRIPTIONS)}")
+    design = _read_project_file(name, "design.v")
+    testbench = _read_project_file(name, "testbench.v")
+    if design is None or testbench is None:
+        raise FileNotFoundError(f"project files for {name!r} are missing")
+    return Project(
+        name=name,
+        description=PROJECT_DESCRIPTIONS[name],
+        design_text=design,
+        testbench_text=testbench,
+        validate_text=_read_project_file(name, "validate.v"),
+    )
+
+
+def all_projects() -> list[Project]:
+    """Load all 11 golden projects."""
+    return [load_project(name) for name in PROJECT_NAMES]
+
+
+def load_scenario(scenario_id: str) -> Scenario:
+    """Materialise one defect scenario (golden + transplanted defect)."""
+    defect = DEFECTS_BY_ID.get(scenario_id)
+    if defect is None:
+        raise KeyError(
+            f"unknown scenario {scenario_id!r}; known: {sorted(DEFECTS_BY_ID)}"
+        )
+    project = load_project(defect.project)
+    return Scenario(defect, project, defect.apply(project.design_text))
+
+
+def all_scenarios() -> list[Scenario]:
+    """All 32 defect scenarios, in Table 3 order."""
+    return [load_scenario(d.scenario_id) for d in DEFECTS]
+
+
+__all__ = [
+    "Project",
+    "Defect",
+    "Scenario",
+    "DEFECTS",
+    "DEFECTS_BY_ID",
+    "PROJECT_NAMES",
+    "PROJECT_DESCRIPTIONS",
+    "load_project",
+    "all_projects",
+    "load_scenario",
+    "all_scenarios",
+]

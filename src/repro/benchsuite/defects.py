@@ -1,0 +1,423 @@
+"""The 32 defect scenarios of the benchmark suite (paper Table 3).
+
+Each :class:`~repro.benchsuite.scenario.Defect` transplants the same *class*
+of mistake the paper's hardware experts injected, expressed as exact-string
+replacements over our re-authored golden projects.  ``paper_outcome`` and
+``paper_repair_seconds`` record the corresponding Table 3 row so the
+experiment harness can compare reproduction results against the paper.
+"""
+
+from __future__ import annotations
+
+from .scenario import Defect
+
+DEFECTS: tuple[Defect, ...] = (
+    # ------------------------------------------------------------------
+    # decoder_3_to_8
+    # ------------------------------------------------------------------
+    Defect(
+        "dec_numeric",
+        "decoder_3_to_8",
+        "Two separate numeric errors",
+        1,
+        (
+            ("3'b010 : out = 8'b00000100;", "3'b010 : out = 8'b00001000;"),
+            ("3'b011 : out = 8'b00001000;", "3'b011 : out = 8'b00000100;"),
+        ),
+        paper_outcome="correct",
+        paper_repair_seconds=13984.3,
+    ),
+    Defect(
+        "dec_assign",
+        "decoder_3_to_8",
+        "Incorrect assignment",
+        2,
+        (
+            (
+                "    else begin\n      out = 8'b00000000;\n    end",
+                "    else begin\n      out = {5'b00000, sel};\n    end",
+            ),
+        ),
+        paper_outcome="none",
+    ),
+    # ------------------------------------------------------------------
+    # counter
+    # ------------------------------------------------------------------
+    Defect(
+        "counter_sens",
+        "counter",
+        "Incorrect sensitivity list",
+        1,
+        (("always @(posedge clk)", "always @(negedge clk)"),),
+        paper_outcome="correct",
+        paper_repair_seconds=19.8,
+    ),
+    Defect(
+        "counter_reset",
+        "counter",
+        "Incorrect reset",
+        1,
+        (("      overflow_out <= #1 1'b0;\n", ""),),
+        paper_outcome="correct",
+        paper_repair_seconds=32239.2,
+    ),
+    Defect(
+        "counter_incr",
+        "counter",
+        "Incorrect incremental of counter",
+        1,
+        (("counter_out <= #1 counter_out + 1;", "counter_out <= #1 counter_out + 2;"),),
+        paper_outcome="correct",
+        paper_repair_seconds=27781.3,
+    ),
+    # ------------------------------------------------------------------
+    # flip_flop
+    # ------------------------------------------------------------------
+    Defect(
+        "ff_cond",
+        "flip_flop",
+        "Incorrect conditional",
+        1,
+        (("      if (t) begin", "      if (!t) begin"),),
+        paper_outcome="correct",
+        paper_repair_seconds=7.8,
+    ),
+    Defect(
+        "ff_branches",
+        "flip_flop",
+        "Branches of if-statement swapped",
+        1,
+        (
+            ("        q <= !q;\n      end\n      else begin\n        q <= q;",
+             "        q <= q;\n      end\n      else begin\n        q <= !q;"),
+        ),
+        paper_outcome="correct",
+        paper_repair_seconds=923.5,
+    ),
+    # ------------------------------------------------------------------
+    # fsm_full
+    # ------------------------------------------------------------------
+    Defect(
+        "fsm_case",
+        "fsm_full",
+        "Incorrect case statement",
+        1,
+        (
+            (
+                "      GNT0 : begin\n        if (req_0 == 1'b1) begin",
+                "      GNT0 : begin\n        if (req_1 == 1'b1) begin",
+            ),
+            (
+                "      GNT1 : begin\n        if (req_1 == 1'b1) begin",
+                "      GNT1 : begin\n        if (req_0 == 1'b1) begin",
+            ),
+        ),
+        paper_outcome="none",
+    ),
+    Defect(
+        "fsm_blocking",
+        "fsm_full",
+        "Incorrectly blocking assignments",
+        1,
+        (
+            ("      state <= IDLE;", "      state = IDLE;"),
+            ("      state <= next_state;", "      state = next_state;"),
+        ),
+        paper_outcome="plausible",
+        paper_repair_seconds=4282.2,
+    ),
+    Defect(
+        "fsm_next_default",
+        "fsm_full",
+        "Assignment to next state and default in case statement omitted",
+        2,
+        (
+            ("          next_state = GNT0;\n", "\n"),
+            ("      default : next_state = IDLE;\n", "\n"),
+        ),
+        paper_outcome="plausible",
+        paper_repair_seconds=1536.4,
+    ),
+    Defect(
+        "fsm_next_sens",
+        "fsm_full",
+        "Assignment to next state omitted, incorrect sensitivity list",
+        2,
+        (
+            ("always @(state or req_0 or req_1)", "always @(state or req_0)"),
+            (
+                "      GNT1 : begin\n        if (req_1 == 1'b1) begin\n"
+                "          next_state = GNT1;\n        end\n        else begin\n"
+                "          next_state = IDLE;\n        end\n      end",
+                "      GNT1 : begin\n        if (req_1 == 1'b1) begin\n"
+                "          next_state = GNT1;\n        end\n      end",
+            ),
+        ),
+        paper_outcome="correct",
+        paper_repair_seconds=37.0,
+    ),
+    # ------------------------------------------------------------------
+    # lshift_reg
+    # ------------------------------------------------------------------
+    Defect(
+        "lshift_blocking",
+        "lshift_reg",
+        "Incorrect blocking assignment",
+        1,
+        (("        op <= {op[6:0], op[7]};", "        op = {op[6:0], op[7]};"),),
+        paper_outcome="correct",
+        paper_repair_seconds=14.6,
+    ),
+    Defect(
+        "lshift_cond",
+        "lshift_reg",
+        "Incorrect conditional",
+        1,
+        (("      if (load_en) begin", "      if (!load_en) begin"),),
+        paper_outcome="correct",
+        paper_repair_seconds=33.74,
+    ),
+    Defect(
+        "lshift_sens",
+        "lshift_reg",
+        "Incorrect sensitivity list",
+        1,
+        (
+            (
+                "  always @(posedge clk)\n  begin : SHIFT",
+                "  always @(negedge clk)\n  begin : SHIFT",
+            ),
+        ),
+        paper_outcome="correct",
+        paper_repair_seconds=7.8,
+    ),
+    # ------------------------------------------------------------------
+    # mux_4_1
+    # ------------------------------------------------------------------
+    Defect(
+        "mux_width",
+        "mux_4_1",
+        "1 bit instead of 4 bit output",
+        1,
+        (
+            ("  output [3:0] out;", "  output out;"),
+            ("  reg [3:0] out;", "  reg out;"),
+        ),
+        paper_outcome="none",
+    ),
+    Defect(
+        "mux_hex",
+        "mux_4_1",
+        "Hex instead of binary constants",
+        1,
+        (
+            ("      2'b10 : out = c;", "      2'h10 : out = c;"),
+            ("      2'b11 : out = d;", "      2'h11 : out = d;"),
+        ),
+        paper_outcome="plausible",
+        paper_repair_seconds=10315.4,
+    ),
+    Defect(
+        "mux_numeric",
+        "mux_4_1",
+        "Three separate numeric errors",
+        2,
+        (
+            ("      2'b00 : out = a;", "      2'b01 : out = a;"),
+            ("      2'b01 : out = b;", "      2'b10 : out = b;"),
+            ("      2'b10 : out = c;", "      2'b00 : out = c;"),
+        ),
+        paper_outcome="plausible",
+        paper_repair_seconds=15387.9,
+    ),
+    # ------------------------------------------------------------------
+    # i2c
+    # ------------------------------------------------------------------
+    Defect(
+        "i2c_sens",
+        "i2c",
+        "Incorrect sensitivity list",
+        2,
+        (
+            (
+                "  always @(posedge clk)\n  begin : FSM",
+                "  always @(negedge clk)\n  begin : FSM",
+            ),
+        ),
+        paper_outcome="correct",
+        paper_repair_seconds=183.0,
+    ),
+    Defect(
+        "i2c_addr",
+        "i2c",
+        "Incorrect address assignment",
+        2,
+        (
+            (
+                "addr_match <= (shift[7:1] == OWN_ADDR);",
+                "addr_match <= (shift[6:0] == OWN_ADDR);",
+            ),
+        ),
+        paper_outcome="plausible",
+        paper_repair_seconds=57.9,
+    ),
+    Defect(
+        "i2c_ack",
+        "i2c",
+        "No command acknowledgement",
+        2,
+        (
+            (
+                "            if (addr_match) begin\n              sda_out <= 1'b0;\n            end\n",
+                "",
+            ),
+        ),
+        paper_outcome="correct",
+        paper_repair_seconds=1560.5,
+    ),
+    # ------------------------------------------------------------------
+    # sha3
+    # ------------------------------------------------------------------
+    Defect(
+        "sha3_loop",
+        "sha3",
+        "Off-by-one error in loop",
+        1,
+        (("for (i = 0; i < 8; i = i + 1)", "for (i = 0; i < 7; i = i + 1)"),),
+        paper_outcome="correct",
+        paper_repair_seconds=50.4,
+    ),
+    Defect(
+        "sha3_neg",
+        "sha3",
+        "Incorrect bitwise negation",
+        1,
+        (
+            (
+                "tmp = tmp ^ (rotated & (~{tmp[0], tmp[63:1]}));",
+                "tmp = tmp ^ (rotated & ({tmp[0], tmp[63:1]}));",
+            ),
+        ),
+        paper_outcome="none",
+    ),
+    Defect(
+        "sha3_wires",
+        "sha3",
+        "Incorrect assignment to wires",
+        2,
+        (
+            ("  assign hash_out = sponge;", "  assign hash_out = sponge ^ block;"),
+            ("  assign out_valid = out_valid_r;", "  assign out_valid = (state == S_ABSORB);"),
+            ("  assign ready = (state == S_ABSORB);", "  assign ready = out_valid_r;"),
+        ),
+        paper_outcome="none",
+    ),
+    Defect(
+        "sha3_overflow",
+        "sha3",
+        "Skipped buffer overflow check",
+        2,
+        (("            if (word_cnt < 2'd2) begin", "            if (word_cnt <= 2'd2) begin"),),
+        paper_outcome="correct",
+        paper_repair_seconds=50.0,
+    ),
+    # ------------------------------------------------------------------
+    # tate_pairing
+    # ------------------------------------------------------------------
+    Defect(
+        "tate_shift_logic",
+        "tate_pairing",
+        "Incorrect logic for bitshifting",
+        1,
+        (("      if (tmp[8]) begin", "      if (tmp[7]) begin"),),
+        paper_outcome="none",
+    ),
+    Defect(
+        "tate_shift_op",
+        "tate_pairing",
+        "Incorrect operator for bitshifting",
+        1,
+        (("      tmp = aa << 1;", "      tmp = aa >> 1;"),),
+        paper_outcome="none",
+    ),
+    Defect(
+        "tate_inst",
+        "tate_pairing",
+        "Incorrect instantiation of modules",
+        2,
+        (
+            (
+                "gf8_mul mul(.a(acc_squared), .b(coeff), .p(acc_next));",
+                "gf8_mul mul(.a(acc), .b(coeff), .p(acc_next));",
+            ),
+        ),
+        paper_outcome="none",
+    ),
+    # ------------------------------------------------------------------
+    # reed_solomon_decoder
+    # ------------------------------------------------------------------
+    Defect(
+        "rs_regsize",
+        "reed_solomon_decoder",
+        "Insufficient register size for decimal values",
+        1,
+        (("  reg [9:0] delay_cnt;", "  reg [7:0] delay_cnt;"),),
+        paper_outcome="none",
+    ),
+    Defect(
+        "rs_sens",
+        "reed_solomon_decoder",
+        "Incorrect sensitivity list for reset",
+        2,
+        (
+            (
+                "always @(posedge clk or posedge reset)",
+                "always @(posedge clk or negedge reset)",
+            ),
+        ),
+        paper_outcome="correct",
+        paper_repair_seconds=28547.8,
+    ),
+    # ------------------------------------------------------------------
+    # sdram_controller
+    # ------------------------------------------------------------------
+    Defect(
+        "sdram_numeric",
+        "sdram_controller",
+        "Numeric error in definitions",
+        1,
+        (("  parameter CMD_NOP = 3'b000;", "  parameter CMD_NOP = 3'b110;"),),
+        paper_outcome="none",
+    ),
+    Defect(
+        "sdram_case",
+        "sdram_controller",
+        "Incorrect case statement",
+        2,
+        (
+            (
+                "        ACTIVE : begin\n          command <= CMD_ACTIVE;\n          state <= RW_CMD;\n        end",
+                "        ACTIVE : begin\n          command <= CMD_PRECHARGE;\n          state <= IDLE;\n        end",
+            ),
+            (
+                "        PRECHARGE : begin\n          command <= CMD_PRECHARGE;\n          state <= IDLE;\n        end",
+                "        PRECHARGE : begin\n          command <= CMD_ACTIVE;\n          state <= RW_CMD;\n        end",
+            ),
+        ),
+        paper_outcome="none",
+    ),
+    Defect(
+        "sdram_reset",
+        "sdram_controller",
+        "Incorrect assignments to registers during synchronous reset",
+        2,
+        (
+            ("      busy <= 1'b1;\n      rd_data <= 8'h00;", "      rd_data <= wr_data;"),
+        ),
+        paper_outcome="correct",
+        paper_repair_seconds=16607.6,
+    ),
+)
+
+#: Quick lookup by scenario id.
+DEFECTS_BY_ID: dict[str, Defect] = {d.scenario_id: d for d in DEFECTS}

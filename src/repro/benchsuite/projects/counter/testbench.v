@@ -1,0 +1,52 @@
+// Testbench for the 4-bit counter (paper Figure 1b).
+module counter_tb;
+  reg clk;
+  reg reset;
+  reg enable;
+  wire [3:0] counter_out;
+  wire overflow_out;
+  event reset_trigger;
+  event reset_done_trigger;
+  event terminate_sim;
+
+  counter dut(.clk(clk), .reset(reset), .enable(enable),
+              .counter_out(counter_out), .overflow_out(overflow_out));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    reset = 0;
+    enable = 0;
+  end
+
+  initial begin
+    #5;
+    forever begin
+      @(reset_trigger);
+      @(negedge clk);
+      reset = 1;
+      @(negedge clk);
+      reset = 0;
+      -> reset_done_trigger;
+    end
+  end
+
+  initial begin
+    #10 -> reset_trigger;
+    @(reset_done_trigger);
+    @(negedge clk);
+    enable = 1;
+    repeat (21) begin
+      @(negedge clk);
+    end
+    enable = 0;
+    #5 -> terminate_sim;
+  end
+
+  initial begin
+    @(terminate_sim);
+    $display("counter=%b overflow=%b at %0t", counter_out, overflow_out, $time);
+    $finish;
+  end
+endmodule

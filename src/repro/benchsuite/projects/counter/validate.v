@@ -1,0 +1,46 @@
+// Held-out validation testbench for the 4-bit counter: different stimulus
+// (two reset pulses, a pause in enable, a longer count run) used only to
+// decide whether a plausible repair is *correct* rather than overfitted.
+module counter_validate_tb;
+  reg clk;
+  reg reset;
+  reg enable;
+  wire [3:0] counter_out;
+  wire overflow_out;
+
+  counter dut(.clk(clk), .reset(reset), .enable(enable),
+              .counter_out(counter_out), .overflow_out(overflow_out));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    reset = 0;
+    enable = 0;
+    @(negedge clk);
+    reset = 1;
+    @(negedge clk);
+    reset = 0;
+    enable = 1;
+    repeat (9) begin
+      @(negedge clk);
+    end
+    enable = 0;
+    repeat (3) begin
+      @(negedge clk);
+    end
+    enable = 1;
+    repeat (14) begin
+      @(negedge clk);
+    end
+    // Second reset pulse mid-run: overflow must clear again.
+    reset = 1;
+    @(negedge clk);
+    reset = 0;
+    repeat (6) begin
+      @(negedge clk);
+    end
+    enable = 0;
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,35 @@
+// Testbench for the 3-to-8 decoder: walks every select value with the
+// enable both low and high, paced by a local clock for recording.
+module decoder_3_to_8_tb;
+  reg clk;
+  reg enable;
+  reg [2:0] sel;
+  wire [7:0] out;
+  integer i;
+
+  decoder_3_to_8 dut(.enable(enable), .sel(sel), .out(out));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    enable = 0;
+    sel = 3'b000;
+    @(negedge clk);
+    for (i = 0; i < 8; i = i + 1) begin
+      sel = i;
+      @(negedge clk);
+    end
+    enable = 1;
+    for (i = 0; i < 8; i = i + 1) begin
+      sel = i;
+      @(negedge clk);
+    end
+    enable = 0;
+    sel = 3'b101;
+    @(negedge clk);
+    enable = 1;
+    @(negedge clk);
+    #5 $finish;
+  end
+endmodule

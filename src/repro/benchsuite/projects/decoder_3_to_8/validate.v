@@ -1,0 +1,31 @@
+// Held-out validation stimulus for the decoder: a pseudo-random walk over
+// (enable, sel) pairs, including enable toggles mid-sequence.
+module decoder_3_to_8_validate_tb;
+  reg clk;
+  reg enable;
+  reg [2:0] sel;
+  wire [7:0] out;
+  integer i;
+
+  decoder_3_to_8 dut(.enable(enable), .sel(sel), .out(out));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    enable = 1;
+    sel = 3'b111;
+    @(negedge clk);
+    for (i = 0; i < 16; i = i + 1) begin
+      sel = (i * 5) + 3;
+      enable = (i % 3 != 0);
+      @(negedge clk);
+    end
+    enable = 1;
+    for (i = 7; i >= 0; i = i - 1) begin
+      sel = i;
+      @(negedge clk);
+    end
+    #5 $finish;
+  end
+endmodule

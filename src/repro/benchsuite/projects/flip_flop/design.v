@@ -1,0 +1,23 @@
+// T flip-flop with an active-low synchronous reset.
+module tff(clk, rstn, t, q);
+  input clk;
+  input rstn;
+  input t;
+  output q;
+  reg q;
+
+  always @(posedge clk)
+  begin : TFF
+    if (!rstn) begin
+      q <= 1'b0;
+    end
+    else begin
+      if (t) begin
+        q <= !q;
+      end
+      else begin
+        q <= q;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,34 @@
+// Testbench for the T flip-flop: reset, then a toggle pattern on t.
+module tff_tb;
+  reg clk;
+  reg rstn;
+  reg t;
+  wire q;
+
+  tff dut(.clk(clk), .rstn(rstn), .t(t), .q(q));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    rstn = 0;
+    t = 0;
+    repeat (2) begin
+      @(negedge clk);
+    end
+    rstn = 1;
+    t = 1;
+    repeat (6) begin
+      @(negedge clk);
+    end
+    t = 0;
+    repeat (3) begin
+      @(negedge clk);
+    end
+    t = 1;
+    repeat (5) begin
+      @(negedge clk);
+    end
+    #5 $finish;
+  end
+endmodule

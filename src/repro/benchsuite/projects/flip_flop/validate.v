@@ -1,0 +1,33 @@
+// Held-out validation stimulus for the T flip-flop: mid-run reset and an
+// alternating t pattern.
+module tff_validate_tb;
+  reg clk;
+  reg rstn;
+  reg t;
+  wire q;
+  integer i;
+
+  tff dut(.clk(clk), .rstn(rstn), .t(t), .q(q));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    rstn = 0;
+    t = 1;
+    @(negedge clk);
+    rstn = 1;
+    for (i = 0; i < 12; i = i + 1) begin
+      t = (i % 2);
+      @(negedge clk);
+    end
+    rstn = 0;
+    @(negedge clk);
+    rstn = 1;
+    t = 1;
+    repeat (7) begin
+      @(negedge clk);
+    end
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,88 @@
+// Two-requester arbiter finite state machine: a combinational next-state
+// block, a sequential state register, and registered grant outputs.
+module fsm_full(clock, reset, req_0, req_1, gnt_0, gnt_1);
+  input clock;
+  input reset;
+  input req_0;
+  input req_1;
+  output gnt_0;
+  output gnt_1;
+  reg gnt_0;
+  reg gnt_1;
+
+  parameter IDLE = 3'b001;
+  parameter GNT0 = 3'b010;
+  parameter GNT1 = 3'b100;
+
+  reg [2:0] state;
+  reg [2:0] next_state;
+
+  always @(state or req_0 or req_1)
+  begin : FSM_COMBO
+    next_state = 3'b000;
+    case (state)
+      IDLE : begin
+        if (req_0 == 1'b1) begin
+          next_state = GNT0;
+        end
+        else if (req_1 == 1'b1) begin
+          next_state = GNT1;
+        end
+        else begin
+          next_state = IDLE;
+        end
+      end
+      GNT0 : begin
+        if (req_0 == 1'b1) begin
+          next_state = GNT0;
+        end
+        else begin
+          next_state = IDLE;
+        end
+      end
+      GNT1 : begin
+        if (req_1 == 1'b1) begin
+          next_state = GNT1;
+        end
+        else begin
+          next_state = IDLE;
+        end
+      end
+      default : next_state = IDLE;
+    endcase
+  end
+
+  always @(posedge clock)
+  begin : FSM_SEQ
+    if (reset == 1'b1) begin
+      state <= IDLE;
+    end
+    else begin
+      state <= next_state;
+    end
+  end
+
+  always @(posedge clock)
+  begin : FSM_OUTPUT
+    if (reset == 1'b1) begin
+      gnt_0 <= 1'b0;
+      gnt_1 <= 1'b0;
+    end
+    else begin
+      case (state)
+        GNT0 : begin
+          gnt_0 <= 1'b1;
+          gnt_1 <= 1'b0;
+        end
+        GNT1 : begin
+          gnt_0 <= 1'b0;
+          gnt_1 <= 1'b1;
+        end
+        default : begin
+          gnt_0 <= 1'b0;
+          gnt_1 <= 1'b0;
+        end
+      endcase
+    end
+  end
+endmodule

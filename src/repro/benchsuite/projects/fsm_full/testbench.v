@@ -1,0 +1,55 @@
+// Testbench for the arbiter FSM: reset, single requests, overlapping
+// requests, and request withdrawal.
+module fsm_full_tb;
+  reg clock;
+  reg reset;
+  reg req_0;
+  reg req_1;
+  wire gnt_0;
+  wire gnt_1;
+
+  fsm_full dut(.clock(clock), .reset(reset), .req_0(req_0), .req_1(req_1),
+               .gnt_0(gnt_0), .gnt_1(gnt_1));
+
+  always #5 clock = !clock;
+
+  initial begin
+    clock = 0;
+    reset = 1;
+    req_0 = 0;
+    req_1 = 0;
+    repeat (2) begin
+      @(negedge clock);
+    end
+    reset = 0;
+    @(negedge clock);
+    // Requester 0 alone.
+    req_0 = 1;
+    repeat (3) begin
+      @(negedge clock);
+    end
+    req_0 = 0;
+    repeat (2) begin
+      @(negedge clock);
+    end
+    // Requester 1 alone.
+    req_1 = 1;
+    repeat (3) begin
+      @(negedge clock);
+    end
+    // Requester 0 joins while 1 holds the grant.
+    req_0 = 1;
+    repeat (2) begin
+      @(negedge clock);
+    end
+    req_1 = 0;
+    repeat (3) begin
+      @(negedge clock);
+    end
+    req_0 = 0;
+    repeat (2) begin
+      @(negedge clock);
+    end
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,146 @@
+// Two-wire bidirectional serial bus receiver (I2C-style slave core).
+//
+// The core watches a serial clock (scl) and data line (sda_in), both
+// oversampled by the system clock.  A transaction is:
+//   START (sda falls while scl high)
+//   8 address bits (7-bit address + R/W), MSB first, sampled on scl rise
+//   ACK slot: the core drives sda_out low when the address matches
+//   8 data bits, MSB first
+//   ACK slot for the data byte
+//   STOP (sda rises while scl high)
+//
+// Outputs: ack-driven sda_out, the received byte, a one-cycle data_valid
+// strobe, and a busy flag covering the whole transaction.
+module i2c(clk, rst, scl, sda_in, sda_out, data_out, data_valid, busy);
+  input clk;
+  input rst;
+  input scl;
+  input sda_in;
+  output sda_out;
+  output [7:0] data_out;
+  output data_valid;
+  output busy;
+
+  reg sda_out;
+  reg [7:0] data_out;
+  reg data_valid;
+  reg busy;
+
+  parameter OWN_ADDR = 7'h51;
+
+  parameter S_IDLE = 3'd0;
+  parameter S_ADDR = 3'd1;
+  parameter S_ACK_ADDR = 3'd2;
+  parameter S_DATA = 3'd3;
+  parameter S_ACK_DATA = 3'd4;
+
+  reg [2:0] state;
+  reg [7:0] shift;
+  reg [3:0] bit_cnt;
+  reg addr_match;
+  reg scl_prev;
+  reg sda_prev;
+
+  wire scl_rise;
+  wire scl_fall;
+  wire start_cond;
+  wire stop_cond;
+
+  assign scl_rise = scl & !scl_prev;
+  assign scl_fall = !scl & scl_prev;
+  assign start_cond = scl & scl_prev & sda_prev & !sda_in;
+  assign stop_cond = scl & scl_prev & !sda_prev & sda_in;
+
+  always @(posedge clk)
+  begin : SAMPLE
+    if (rst == 1'b1) begin
+      scl_prev <= 1'b0;
+      sda_prev <= 1'b1;
+    end
+    else begin
+      scl_prev <= scl;
+      sda_prev <= sda_in;
+    end
+  end
+
+  always @(posedge clk)
+  begin : FSM
+    if (rst == 1'b1) begin
+      state <= S_IDLE;
+      shift <= 8'h00;
+      bit_cnt <= 4'd0;
+      addr_match <= 1'b0;
+      sda_out <= 1'b1;
+      data_out <= 8'h00;
+      data_valid <= 1'b0;
+      busy <= 1'b0;
+    end
+    else begin
+      data_valid <= 1'b0;
+      if (start_cond) begin
+        state <= S_ADDR;
+        bit_cnt <= 4'd0;
+        shift <= 8'h00;
+        busy <= 1'b1;
+        sda_out <= 1'b1;
+      end
+      else if (stop_cond) begin
+        state <= S_IDLE;
+        busy <= 1'b0;
+        sda_out <= 1'b1;
+      end
+      else begin
+        case (state)
+          S_ADDR : begin
+            if (scl_rise) begin
+              shift <= {shift[6:0], sda_in};
+              bit_cnt <= bit_cnt + 1;
+            end
+            if (scl_fall && bit_cnt == 4'd8) begin
+              addr_match <= (shift[7:1] == OWN_ADDR);
+              state <= S_ACK_ADDR;
+            end
+          end
+          S_ACK_ADDR : begin
+            if (addr_match) begin
+              sda_out <= 1'b0;
+            end
+            if (scl_fall) begin
+              sda_out <= 1'b1;
+              bit_cnt <= 4'd0;
+              shift <= 8'h00;
+              if (addr_match) begin
+                state <= S_DATA;
+              end
+              else begin
+                state <= S_IDLE;
+                busy <= 1'b0;
+              end
+            end
+          end
+          S_DATA : begin
+            if (scl_rise) begin
+              shift <= {shift[6:0], sda_in};
+              bit_cnt <= bit_cnt + 1;
+            end
+            if (scl_fall && bit_cnt == 4'd8) begin
+              data_out <= shift;
+              data_valid <= 1'b1;
+              state <= S_ACK_DATA;
+            end
+          end
+          S_ACK_DATA : begin
+            sda_out <= 1'b0;
+            if (scl_fall) begin
+              sda_out <= 1'b1;
+              bit_cnt <= 4'd0;
+              state <= S_IDLE;
+              busy <= 1'b0;
+            end
+          end
+          default : state <= S_IDLE;
+        endcase
+      end
+    end
+  end
+endmodule

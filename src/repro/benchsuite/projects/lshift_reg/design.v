@@ -1,0 +1,38 @@
+// 8-bit left-rotating shift register with parallel load, an active-low
+// synchronous reset, and a registered parity flag over the current value.
+module lshift_reg(clk, rstn, load_val, load_en, op, parity);
+  input clk;
+  input rstn;
+  input [7:0] load_val;
+  input load_en;
+  output [7:0] op;
+  output parity;
+  reg [7:0] op;
+  reg parity;
+
+  always @(posedge clk)
+  begin : SHIFT
+    if (!rstn) begin
+      op <= 8'h00;
+    end
+    else begin
+      if (load_en) begin
+        op <= load_val;
+      end
+      else begin
+        op <= {op[6:0], op[7]};
+      end
+    end
+  end
+
+  // Registered parity of the low nibble, one cycle behind.
+  always @(posedge clk)
+  begin : PARITY
+    if (!rstn) begin
+      parity <= 1'b0;
+    end
+    else begin
+      parity <= ^(op[3:0]);
+    end
+  end
+endmodule

@@ -1,0 +1,40 @@
+// Testbench for the left shift register: reset, load a seed value, then
+// rotate for a number of cycles and reload.
+module lshift_reg_tb;
+  reg clk;
+  reg rstn;
+  reg [7:0] load_val;
+  reg load_en;
+  wire [7:0] op;
+  wire parity;
+
+  lshift_reg dut(.clk(clk), .rstn(rstn), .load_val(load_val),
+                 .load_en(load_en), .op(op), .parity(parity));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    rstn = 0;
+    load_val = 8'h01;
+    load_en = 0;
+    repeat (2) begin
+      @(negedge clk);
+    end
+    rstn = 1;
+    load_en = 1;
+    @(negedge clk);
+    load_en = 0;
+    repeat (10) begin
+      @(negedge clk);
+    end
+    load_val = 8'hA5;
+    load_en = 1;
+    @(negedge clk);
+    load_en = 0;
+    repeat (6) begin
+      @(negedge clk);
+    end
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,39 @@
+// Testbench for the 4-to-1 mux: distinct data values, all select codes,
+// then changing data under a fixed select.
+module mux_4_1_tb;
+  reg clk;
+  reg [1:0] sel;
+  reg [3:0] a;
+  reg [3:0] b;
+  reg [3:0] c;
+  reg [3:0] d;
+  wire [3:0] out;
+  integer i;
+
+  mux_4_1 dut(.sel(sel), .a(a), .b(b), .c(c), .d(d), .out(out));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    a = 4'h1;
+    b = 4'h2;
+    c = 4'h4;
+    d = 4'h8;
+    sel = 2'b00;
+    @(negedge clk);
+    for (i = 0; i < 4; i = i + 1) begin
+      sel = i;
+      @(negedge clk);
+    end
+    sel = 2'b10;
+    for (i = 0; i < 4; i = i + 1) begin
+      c = i + 9;
+      @(negedge clk);
+    end
+    sel = 2'b01;
+    b = 4'hF;
+    @(negedge clk);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,70 @@
+// Output stage of a Reed-Solomon error-correction decoder.
+//
+// Corrected symbols arrive as (data, error-magnitude) pairs and are
+// buffered in a small pipeline memory.  After an erasure-latency delay of
+// 500 clock cycles (the decoder's worst-case correction latency budget),
+// buffered symbols drain to the output port with the error magnitude
+// applied (GF(2^8) addition, i.e. xor).  An asynchronous active-high
+// reset clears the stage.
+module reed_solomon_decoder(clk, reset, in_valid, in_data, err_mag,
+                            out_data, out_valid, buffer_level);
+  input clk;
+  input reset;
+  input in_valid;
+  input [7:0] in_data;
+  input [7:0] err_mag;
+  output [7:0] out_data;
+  output out_valid;
+  output [4:0] buffer_level;
+
+  reg [7:0] out_data;
+  reg out_valid;
+
+  // Pipeline memory for symbols awaiting their correction window.
+  reg [7:0] sym_mem [0:15];
+  reg [7:0] mag_mem [0:15];
+  reg [3:0] wr_ptr;
+  reg [3:0] rd_ptr;
+  reg [4:0] count;
+
+  // Correction-latency countdown: symbols may only drain once the
+  // decoder pipeline has had its full 500-cycle correction budget.
+  reg [9:0] delay_cnt;
+  reg draining;
+
+  assign buffer_level = count;
+
+  always @(posedge clk or posedge reset)
+  begin : OUT_STAGE
+    if (reset == 1'b1) begin
+      wr_ptr <= 4'd0;
+      rd_ptr <= 4'd0;
+      count <= 5'd0;
+      delay_cnt <= 10'd0;
+      draining <= 1'b0;
+      out_data <= 8'h00;
+      out_valid <= 1'b0;
+    end
+    else begin
+      out_valid <= 1'b0;
+      if (in_valid && count < 5'd16) begin
+        sym_mem[wr_ptr] <= in_data;
+        mag_mem[wr_ptr] <= err_mag;
+        wr_ptr <= wr_ptr + 1;
+        count <= count + 1;
+      end
+      if (delay_cnt == 10'd500) begin
+        draining <= 1'b1;
+      end
+      else begin
+        delay_cnt <= delay_cnt + 1;
+      end
+      if (draining && count > 5'd0 && !(in_valid && count < 5'd16)) begin
+        out_data <= sym_mem[rd_ptr] ^ mag_mem[rd_ptr];
+        out_valid <= 1'b1;
+        rd_ptr <= rd_ptr + 1;
+        count <= count - 1;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,58 @@
+// Held-out validation stimulus for the RS output stage: a fuller buffer,
+// interleaved writes during the drain window, and a different reset point.
+module reed_solomon_decoder_validate_tb;
+  reg clk;
+  reg reset;
+  reg in_valid;
+  reg [7:0] in_data;
+  reg [7:0] err_mag;
+  wire [7:0] out_data;
+  wire out_valid;
+  wire [4:0] buffer_level;
+  integer i;
+
+  reed_solomon_decoder dut(.clk(clk), .reset(reset), .in_valid(in_valid),
+                           .in_data(in_data), .err_mag(err_mag),
+                           .out_data(out_data), .out_valid(out_valid),
+                           .buffer_level(buffer_level));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    reset = 0;
+    in_valid = 0;
+    in_data = 8'h00;
+    err_mag = 8'h00;
+    #2 reset = 1;
+    #6 reset = 0;
+    @(negedge clk);
+
+    // Fill ten slots.
+    in_valid = 1;
+    for (i = 0; i < 10; i = i + 1) begin
+      in_data = (i * 29) + 7;
+      err_mag = (i * 13);
+      @(negedge clk);
+    end
+    in_valid = 0;
+
+    repeat (503) begin
+      @(negedge clk);
+    end
+
+    // Interleave two more writes while the stage is draining.
+    in_valid = 1;
+    in_data = 8'hC3;
+    err_mag = 8'h3C;
+    @(negedge clk);
+    in_data = 8'hE7;
+    err_mag = 8'h00;
+    @(negedge clk);
+    in_valid = 0;
+    repeat (14) begin
+      @(negedge clk);
+    end
+    #5 $finish;
+  end
+endmodule

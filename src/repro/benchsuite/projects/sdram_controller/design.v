@@ -1,0 +1,150 @@
+// Synchronous DRAM memory controller (simplified single-bank model).
+//
+// Brings the device out of reset with a NOP/PRECHARGE/REFRESH init
+// sequence, then serves one-shot read/write requests through a small
+// command FSM: ACTIVATE -> READ/WRITE -> PRECHARGE.  Reads honour a
+// CAS latency of two cycles via a return pipeline.  The behavioural
+// storage array lives inside the controller so the testbench can observe
+// end-to-end data movement.
+module sdram_controller(clk, rst_n, req, wr_en, addr, wr_data,
+                        rd_data, rd_valid, busy, command);
+  input clk;
+  input rst_n;
+  input req;
+  input wr_en;
+  input [7:0] addr;
+  input [7:0] wr_data;
+  output [7:0] rd_data;
+  output rd_valid;
+  output busy;
+  output [2:0] command;
+
+  reg [7:0] rd_data;
+  reg rd_valid;
+  reg busy;
+  reg [2:0] command;
+
+  // Command encodings driven on the SDRAM command bus.
+  parameter CMD_NOP = 3'b000;
+  parameter CMD_PRECHARGE = 3'b001;
+  parameter CMD_REFRESH = 3'b010;
+  parameter CMD_ACTIVE = 3'b011;
+  parameter CMD_READ = 3'b100;
+  parameter CMD_WRITE = 3'b101;
+
+  // FSM states.
+  parameter INIT_NOP1 = 4'd0;
+  parameter INIT_PRE = 4'd1;
+  parameter INIT_REF = 4'd2;
+  parameter IDLE = 4'd3;
+  parameter ACTIVE = 4'd4;
+  parameter RW_CMD = 4'd5;
+  parameter CAS_WAIT = 4'd6;
+  parameter PRECHARGE = 4'd7;
+
+  // Init timing: cycles of NOP before precharge, refresh repeats.
+  parameter INIT_WAIT = 4'd6;
+  parameter REFRESH_COUNT = 4'd2;
+
+  reg [3:0] state;
+  reg [3:0] state_cnt;
+  reg [3:0] state_cnt_next;
+  reg [7:0] haddr_r;
+  reg [7:0] rd_data_r;
+  reg wr_en_r;
+  reg [7:0] wr_data_r;
+
+  // Behavioural storage array.
+  reg [7:0] mem [0:255];
+
+  always @(posedge clk)
+  begin : CTRL
+    if (~rst_n) begin
+      state <= INIT_NOP1;
+      command <= CMD_NOP;
+      state_cnt <= 4'hf;
+      haddr_r <= 8'h00;
+      state_cnt_next <= 4'd0;
+      rd_data_r <= 8'h00;
+      busy <= 1'b1;
+      rd_data <= 8'h00;
+      rd_valid <= 1'b0;
+      wr_en_r <= 1'b0;
+      wr_data_r <= 8'h00;
+    end
+    else begin
+      rd_valid <= 1'b0;
+      case (state)
+        INIT_NOP1 : begin
+          command <= CMD_NOP;
+          busy <= 1'b1;
+          if (state_cnt == INIT_WAIT) begin
+            state <= INIT_PRE;
+          end
+          else begin
+            state_cnt <= state_cnt + 1;
+          end
+        end
+        INIT_PRE : begin
+          command <= CMD_PRECHARGE;
+          state_cnt <= 4'd0;
+          state <= INIT_REF;
+        end
+        INIT_REF : begin
+          command <= CMD_REFRESH;
+          if (state_cnt == REFRESH_COUNT) begin
+            state <= IDLE;
+          end
+          else begin
+            state_cnt <= state_cnt + 1;
+          end
+        end
+        IDLE : begin
+          command <= CMD_NOP;
+          busy <= 1'b0;
+          state_cnt_next <= 4'd0;
+          if (req) begin
+            haddr_r <= addr;
+            wr_en_r <= wr_en;
+            wr_data_r <= wr_data;
+            busy <= 1'b1;
+            state <= ACTIVE;
+          end
+        end
+        ACTIVE : begin
+          command <= CMD_ACTIVE;
+          state <= RW_CMD;
+        end
+        RW_CMD : begin
+          if (wr_en_r) begin
+            command <= CMD_WRITE;
+            mem[haddr_r] <= wr_data_r;
+            state <= PRECHARGE;
+          end
+          else begin
+            command <= CMD_READ;
+            rd_data_r <= mem[haddr_r];
+            state_cnt_next <= 4'd2;
+            state <= CAS_WAIT;
+          end
+        end
+        CAS_WAIT : begin
+          command <= CMD_NOP;
+          if (state_cnt_next == 4'd1) begin
+            rd_data <= rd_data_r;
+            rd_valid <= 1'b1;
+            state <= PRECHARGE;
+          end
+          else begin
+            state_cnt_next <= state_cnt_next - 1;
+          end
+        end
+        PRECHARGE : begin
+          command <= CMD_PRECHARGE;
+          state <= IDLE;
+        end
+        default : state <= IDLE;
+      endcase
+    end
+  end
+endmodule

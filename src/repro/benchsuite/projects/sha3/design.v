@@ -1,0 +1,109 @@
+// Cryptographic hash core (sponge construction over a 64-bit state,
+// keccak-style rounds: rotate / xor / nonlinear chi step).
+//
+// Protocol: while in_valid is high, 32-bit words are absorbed into a
+// two-word block buffer (with an overflow check on the word counter).
+// When the buffer is full the state absorbs the block and runs NROUNDS
+// permutation rounds, one per clock.  Raising `last` finalises: after the
+// final permutation the state is presented on hash_out with out_valid.
+module sha3(clk, rst, in_valid, din, last, hash_out, out_valid, ready);
+  input clk;
+  input rst;
+  input in_valid;
+  input [31:0] din;
+  input last;
+  output [63:0] hash_out;
+  output out_valid;
+  output ready;
+
+  parameter NROUNDS = 4'd8;
+
+  parameter S_ABSORB = 2'd0;
+  parameter S_PERMUTE = 2'd1;
+  parameter S_SQUEEZE = 2'd2;
+
+  reg [1:0] state;
+  reg [63:0] sponge;
+  reg [63:0] block;
+  reg [1:0] word_cnt;
+  reg [3:0] round_cnt;
+  reg finalize;
+  reg out_valid_r;
+  integer i;
+
+  reg [63:0] tmp;
+  reg [63:0] rotated;
+
+  assign hash_out = sponge;
+  assign out_valid = out_valid_r;
+  assign ready = (state == S_ABSORB);
+
+  // Round constants derived from a small LFSR sequence.
+  function [63:0] round_const;
+    input [3:0] round;
+    begin
+      round_const = {60'h000000000000001, round} ^ 64'h8000000080008008;
+    end
+  endfunction
+
+  always @(posedge clk)
+  begin : SPONGE
+    if (rst == 1'b1) begin
+      state <= S_ABSORB;
+      sponge <= 64'h0;
+      block <= 64'h0;
+      word_cnt <= 2'd0;
+      round_cnt <= 4'd0;
+      finalize <= 1'b0;
+      out_valid_r <= 1'b0;
+    end
+    else begin
+      case (state)
+        S_ABSORB : begin
+          out_valid_r <= 1'b0;
+          if (in_valid) begin
+            // Buffer overflow check: only two words fit in a block.
+            if (word_cnt < 2'd2) begin
+              block <= {block[31:0], din};
+              word_cnt <= word_cnt + 1;
+            end
+          end
+          if (word_cnt == 2'd2) begin
+            word_cnt <= 2'd0;
+            round_cnt <= 4'd0;
+            state <= S_PERMUTE;
+          end
+          if (last) begin
+            finalize <= 1'b1;
+          end
+        end
+        S_PERMUTE : begin
+          // One keccak-style round per clock: theta-like xor fold,
+          // rho-like rotation, chi-like nonlinear mix, iota constant.
+          tmp = sponge ^ block;
+          for (i = 0; i < 8; i = i + 1) begin
+            rotated = {tmp[62:0], tmp[63]};
+            tmp = tmp ^ (rotated & (~{tmp[0], tmp[63:1]}));
+          end
+          sponge <= tmp ^ round_const(round_cnt);
+          round_cnt <= round_cnt + 1;
+          if (round_cnt == NROUNDS - 1) begin
+            block <= 64'h0;
+            if (finalize) begin
+              state <= S_SQUEEZE;
+            end
+            else begin
+              state <= S_ABSORB;
+            end
+          end
+        end
+        S_SQUEEZE : begin
+          out_valid_r <= 1'b1;
+          finalize <= 1'b0;
+          state <= S_ABSORB;
+        end
+        default : state <= S_ABSORB;
+      endcase
+    end
+  end
+endmodule

@@ -1,0 +1,63 @@
+// Testbench for the hash core: absorb two blocks (the second finalising),
+// including a burst where in_valid stays high past a full buffer so the
+// overflow check matters, then capture the digest.
+module sha3_tb;
+  reg clk;
+  reg rst;
+  reg in_valid;
+  reg [31:0] din;
+  reg last;
+  wire [63:0] hash_out;
+  wire out_valid;
+  wire ready;
+
+  sha3 dut(.clk(clk), .rst(rst), .in_valid(in_valid), .din(din),
+           .last(last), .hash_out(hash_out), .out_valid(out_valid),
+           .ready(ready));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    rst = 1;
+    in_valid = 0;
+    din = 32'h0;
+    last = 0;
+    repeat (2) begin
+      @(negedge clk);
+    end
+    rst = 0;
+    @(negedge clk);
+
+    // Block 1: a 3-cycle burst — the third word must be rejected by the
+    // overflow check while the buffer is already full.
+    in_valid = 1;
+    din = 32'hDEADBEEF;
+    @(negedge clk);
+    din = 32'hCAFEF00D;
+    @(negedge clk);
+    din = 32'h12345678;
+    @(negedge clk);
+    in_valid = 0;
+    din = 32'h0;
+    // Wait out the permutation rounds.
+    repeat (10) begin
+      @(negedge clk);
+    end
+
+    // Block 2: two words with `last` asserted, then finalisation.
+    in_valid = 1;
+    din = 32'h0BADF00D;
+    last = 1;
+    @(negedge clk);
+    din = 32'hFEEDFACE;
+    @(negedge clk);
+    in_valid = 0;
+    last = 0;
+    repeat (12) begin
+      @(negedge clk);
+    end
+    $display("hash=%h valid=%b", hash_out, out_valid);
+    #5 $finish;
+  end
+endmodule

@@ -1,0 +1,69 @@
+// Held-out validation stimulus for the hash core: different messages, a
+// single-block digest, and a mid-absorb reset.
+module sha3_validate_tb;
+  reg clk;
+  reg rst;
+  reg in_valid;
+  reg [31:0] din;
+  reg last;
+  wire [63:0] hash_out;
+  wire out_valid;
+  wire ready;
+
+  sha3 dut(.clk(clk), .rst(rst), .in_valid(in_valid), .din(din),
+           .last(last), .hash_out(hash_out), .out_valid(out_valid),
+           .ready(ready));
+
+  always #5 clk = !clk;
+
+  initial begin
+    clk = 0;
+    rst = 1;
+    in_valid = 0;
+    din = 32'h0;
+    last = 0;
+    @(negedge clk);
+    rst = 0;
+    @(negedge clk);
+
+    // Single-block message, finalised immediately.
+    in_valid = 1;
+    last = 1;
+    din = 32'h00000001;
+    @(negedge clk);
+    din = 32'h80000000;
+    @(negedge clk);
+    in_valid = 0;
+    last = 0;
+    repeat (12) begin
+      @(negedge clk);
+    end
+
+    // Start absorbing, reset mid-way, then hash a fresh message with a
+    // 4-cycle overflow burst.
+    in_valid = 1;
+    din = 32'h55555555;
+    @(negedge clk);
+    in_valid = 0;
+    rst = 1;
+    @(negedge clk);
+    rst = 0;
+    @(negedge clk);
+    in_valid = 1;
+    last = 1;
+    din = 32'hA5A5A5A5;
+    @(negedge clk);
+    din = 32'h5A5A5A5A;
+    @(negedge clk);
+    din = 32'hFFFFFFFF;
+    @(negedge clk);
+    din = 32'h00FF00FF;
+    @(negedge clk);
+    in_valid = 0;
+    last = 0;
+    repeat (12) begin
+      @(negedge clk);
+    end
+    #5 $finish;
+  end
+endmodule

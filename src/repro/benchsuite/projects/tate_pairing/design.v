@@ -1,0 +1,82 @@
+// Core for a Tate-bilinear-pairing style accumulator over GF(2^8).
+//
+// The datapath is the characteristic-two field arithmetic the pairing
+// algorithm iterates: a combinational GF(2^8) multiplier (shift-and-add
+// with reduction by x^8 + x^4 + x^3 + x + 1), a squaring unit built from
+// the multiplier, and a Miller-loop-style accumulator that folds in one
+// coefficient per cycle:  acc <= acc^2 * coeff.
+module gf8_mul(a, b, p);
+  input [7:0] a;
+  input [7:0] b;
+  output [7:0] p;
+  reg [7:0] p;
+  reg [8:0] tmp;
+  reg [7:0] aa;
+  integer i;
+
+  always @(*)
+  begin : MUL
+    p = 8'h00;
+    aa = a;
+    for (i = 0; i < 8; i = i + 1) begin
+      if (b[i]) begin
+        p = p ^ aa;
+      end
+      // Multiply the running operand by x (left shift) and reduce.
+      tmp = aa << 1;
+      if (tmp[8]) begin
+        tmp = tmp ^ 9'h11B;
+      end
+      aa = tmp[7:0];
+    end
+  end
+endmodule
+
+module gf8_square(a, q);
+  input [7:0] a;
+  output [7:0] q;
+
+  gf8_mul squarer(.a(a), .b(a), .p(q));
+endmodule
+
+module tate_pairing(clk, rst, coeff, coeff_valid, acc_out, done);
+  input clk;
+  input rst;
+  input [7:0] coeff;
+  input coeff_valid;
+  output [7:0] acc_out;
+  output done;
+
+  parameter STEPS = 4'd6;
+
+  reg [7:0] acc;
+  reg [3:0] step_cnt;
+  reg done_r;
+
+  wire [7:0] acc_squared;
+  wire [7:0] acc_next;
+
+  assign acc_out = acc;
+  assign done = done_r;
+
+  gf8_square sq(.a(acc), .q(acc_squared));
+  gf8_mul mul(.a(acc_squared), .b(coeff), .p(acc_next));
+
+  always @(posedge clk)
+  begin : MILLER
+    if (rst == 1'b1) begin
+      acc <= 8'h01;
+      step_cnt <= 4'd0;
+      done_r <= 1'b0;
+    end
+    else begin
+      if (coeff_valid && !done_r) begin
+        acc <= acc_next;
+        step_cnt <= step_cnt + 1;
+        if (step_cnt == STEPS - 1) begin
+          done_r <= 1'b1;
+        end
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,127 @@
+"""Random defect seeding (the §4.1.3 alternative, implemented).
+
+The paper contrasts its expert-transplanted defects with the
+"randomly-seeded or self-seeded defects" used by earlier evaluations.
+This module implements that baseline methodology so the two can be
+compared: it injects random single edits into a golden design, keeps only
+*valid defect scenarios* (the paper's criteria: the corrupted design must
+still compile, and must change the externally visible behaviour under the
+instrumented testbench), and packages them as :class:`Scenario`-compatible
+objects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.fitness import evaluate_fitness
+from ..core.operators import mutate
+from ..core.patch import Patch
+from ..core.faultloc import all_statement_ids
+from ..core.templates import applicable_templates
+from ..core.patch import Edit
+from ..hdl import ast, generate, parse
+from .scenario import Project, Scenario, Defect, simulate_design_text
+
+
+@dataclass
+class SeededDefect:
+    """One randomly seeded defect that met the validity criteria."""
+
+    project: str
+    seed: int
+    description: str
+    faulty_text: str
+    faulty_fitness: float
+
+
+class DefectSeeder:
+    """Generates valid random defect scenarios for a golden project."""
+
+    def __init__(self, project: Project, rng_seed: int = 0):
+        self.project = project
+        self.rng = random.Random(rng_seed)
+        self._golden = parse(project.design_text)
+        from .scenario import Scenario
+
+        # Reuse the scenario machinery for the oracle and instrumented TB.
+        self._probe = Scenario(
+            Defect("probe", project.name, "golden probe", 1, (("__never__", ""),)),
+            project,
+            project.design_text,
+        )
+
+    def _oracle(self):
+        return self._probe.oracle()
+
+    def _bench(self):
+        return self._probe.instrumented_testbench()
+
+    def _random_corruption(self) -> ast.Source | None:
+        """One random edit: an inverse-template or a mutation."""
+        tree = self._golden.clone()
+        statements = all_statement_ids(tree)
+        if self.rng.random() < 0.5:
+            # Template-style corruption: apply a random template to a
+            # random applicable node (templates are involutive enough to
+            # make realistic-looking defects: negations, sens flips, ±1).
+            nodes = [n for n in tree.walk() if applicable_templates(n) and n.node_id]
+            if not nodes:
+                return None
+            node = self.rng.choice(nodes)
+            template = self.rng.choice(applicable_templates(node))
+            patch = Patch([Edit("template", node.node_id, template=template)])
+            return patch.apply(self._golden)
+        patch = mutate(Patch.empty(), tree, statements, self.rng)
+        if not patch.edits:
+            return None
+        return patch.apply(self._golden)
+
+    def generate(self, count: int, max_attempts: int = 200) -> list[SeededDefect]:
+        """Produce up to ``count`` valid seeded defects.
+
+        Validity (paper §4.1.3): compiles, and changes externally visible
+        behaviour (fitness < 1.0 against the golden oracle) — but still
+        produces *some* behaviour (fitness > 0 rules out total wrecks,
+        which no expert would transplant).
+        """
+        defects: list[SeededDefect] = []
+        attempts = 0
+        while len(defects) < count and attempts < max_attempts:
+            attempts += 1
+            corrupted = self._random_corruption()
+            if corrupted is None:
+                continue
+            try:
+                faulty_text = generate(corrupted)
+                parse(faulty_text)
+            except Exception:
+                continue
+            if faulty_text == self.project.design_text:
+                continue
+            trace = simulate_design_text(faulty_text, self._bench())
+            fitness = evaluate_fitness(trace, self._oracle()).fitness
+            if not 0.0 < fitness < 1.0:
+                continue
+            defects.append(
+                SeededDefect(
+                    project=self.project.name,
+                    seed=attempts,
+                    description=f"randomly seeded defect #{len(defects) + 1}",
+                    faulty_text=faulty_text,
+                    faulty_fitness=fitness,
+                )
+            )
+        return defects
+
+    def as_scenario(self, seeded: SeededDefect) -> Scenario:
+        """Wrap a seeded defect as a Scenario for the repair engine."""
+        defect = Defect(
+            f"{seeded.project}_seeded_{seeded.seed}",
+            seeded.project,
+            seeded.description,
+            1,
+            (("__synthetic__", ""),),  # not text-replacement based
+        )
+        return Scenario(defect, self.project, seeded.faulty_text)

@@ -1,0 +1,209 @@
+"""Command-line interface mirroring the original artifact's ``repair.py``.
+
+The CirFix artifact is driven by a configuration file (``repair.conf``)
+naming the faulty source, the testbench, the correctness information, and
+the GP parameters.  This module reproduces that workflow::
+
+    python -m repro repair --conf repair.conf
+    python -m repro repair faulty.v testbench.v --golden golden.v
+    python -m repro simulate design.v testbench.v
+    python -m repro scenarios                     # list the benchmark suite
+
+``repair.conf`` uses INI syntax:
+
+.. code-block:: ini
+
+    [project]
+    source = faulty.v
+    testbench = testbench.v
+    ; one of the two oracle sources:
+    golden = golden.v
+    ; oracle = expected.csv
+
+    [gp]
+    population_size = 300
+    max_generations = 8
+    rt_threshold = 0.2
+    mut_threshold = 0.7
+    phi = 2.0
+    seeds = 0,1,2
+    max_wall_seconds = 600
+"""
+
+from __future__ import annotations
+
+import argparse
+import configparser
+import sys
+from pathlib import Path
+
+from .benchsuite import DEFECTS
+from .core.config import RepairConfig
+from .core.oracle import ensure_instrumented, generate_oracle
+from .core.repair import RepairProblem, repair
+from .hdl import parse
+from .instrument.trace import SimulationTrace
+from .sim.simulator import Simulator
+
+_GP_FLOAT_FIELDS = ("rt_threshold", "mut_threshold", "delete_threshold",
+                    "insert_threshold", "elitism_fraction", "phi", "max_wall_seconds")
+_GP_INT_FIELDS = ("population_size", "max_generations", "tournament_size",
+                  "max_fitness_evals", "max_sim_time", "max_sim_steps", "minimize_budget")
+
+
+def _config_from_section(section: configparser.SectionProxy) -> tuple[RepairConfig, tuple[int, ...]]:
+    overrides: dict[str, object] = {}
+    for field in _GP_FLOAT_FIELDS:
+        if field in section:
+            overrides[field] = section.getfloat(field)
+    for field in _GP_INT_FIELDS:
+        if field in section:
+            overrides[field] = section.getint(field)
+    seeds = tuple(
+        int(s) for s in section.get("seeds", "0,1,2").split(",") if s.strip()
+    )
+    return RepairConfig().scaled(**overrides), seeds
+
+
+def _build_problem(
+    source_path: Path,
+    testbench_path: Path,
+    golden_path: Path | None,
+    oracle_path: Path | None,
+) -> RepairProblem:
+    faulty = parse(source_path.read_text())
+    testbench = parse(testbench_path.read_text())
+    if golden_path is not None:
+        golden = parse(golden_path.read_text())
+        bench = ensure_instrumented(testbench, golden)
+        oracle = generate_oracle(golden, bench)
+    elif oracle_path is not None:
+        bench = ensure_instrumented(testbench, faulty)
+        oracle = SimulationTrace.from_csv(oracle_path.read_text())
+    else:
+        raise SystemExit("error: provide either a golden design or an oracle CSV")
+    return RepairProblem(faulty, bench, oracle, name=source_path.stem)
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    """``repair`` subcommand: run CirFix on a defective design."""
+    config = RepairConfig()
+    seeds: tuple[int, ...] = tuple(args.seeds)
+    if args.conf:
+        ini = configparser.ConfigParser(inline_comment_prefixes=(";", "#"))
+        ini.read(args.conf)
+        project = ini["project"]
+        source = Path(project["source"])
+        testbench = Path(project["testbench"])
+        golden = Path(project["golden"]) if "golden" in project else None
+        oracle = Path(project["oracle"]) if "oracle" in project else None
+        if ini.has_section("gp"):
+            config, seeds = _config_from_section(ini["gp"])
+    else:
+        if not args.source or not args.testbench:
+            raise SystemExit("error: provide SOURCE TESTBENCH or --conf FILE")
+        source = Path(args.source)
+        testbench = Path(args.testbench)
+        golden = Path(args.golden) if args.golden else None
+        oracle = Path(args.oracle) if args.oracle else None
+    if args.budget is not None:
+        config = config.scaled(max_wall_seconds=float(args.budget))
+    if args.population is not None:
+        config = config.scaled(population_size=args.population)
+
+    if args.log:
+        import logging
+
+        logging.basicConfig(level=logging.INFO, format="%(message)s")
+
+    problem = _build_problem(source, testbench, golden, oracle)
+    outcome = repair(problem, config, seeds)
+    print(outcome.describe())
+    if outcome.plausible and outcome.repaired_source is not None:
+        print("repair patchlist:", outcome.patch.describe())
+        out_path = Path(args.output) if args.output else source.with_suffix(".repaired.v")
+        out_path.write_text(outcome.repaired_source)
+        print(f"repaired design written to {out_path}")
+        from .core.serialize import outcome_to_json
+
+        report_path = out_path.with_suffix(".report.json")
+        report_path.write_text(outcome_to_json(outcome, source.stem))
+        print(f"repair report written to {report_path}")
+        return 0
+    print("no plausible repair found within the resource bounds")
+    return 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """``simulate`` subcommand: run a design under a testbench."""
+    design = parse(Path(args.source).read_text())
+    testbench = parse(Path(args.testbench).read_text())
+    if args.record:
+        testbench = ensure_instrumented(testbench, design)
+    from .core.oracle import combine_sources
+
+    sim = Simulator(combine_sources(design, testbench))
+    result = sim.run(args.max_time)
+    for line in result.output:
+        print(line)
+    if args.record and result.trace:
+        print(SimulationTrace.from_records(result.trace).to_csv(), end="")
+    print(
+        f"-- {'finished' if result.finished else 'stopped'} at t={result.time}"
+        f" ({result.steps_used} statements)",
+        file=sys.stderr,
+    )
+    return 0 if result.finished else 2
+
+
+def cmd_scenarios(_args: argparse.Namespace) -> int:
+    """``scenarios`` subcommand: list the benchmark defect scenarios."""
+    for defect in DEFECTS:
+        print(
+            f"{defect.scenario_id:20s} cat{defect.category}  "
+            f"{defect.project:22s} {defect.description}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description="CirFix reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_repair = sub.add_parser("repair", help="repair a defective design")
+    p_repair.add_argument("source", nargs="?", help="faulty design .v")
+    p_repair.add_argument("testbench", nargs="?", help="testbench .v")
+    p_repair.add_argument("--golden", help="previously-functioning design .v")
+    p_repair.add_argument("--oracle", help="expected-behaviour CSV (Figure 2 shape)")
+    p_repair.add_argument("--conf", help="repair.conf configuration file")
+    p_repair.add_argument("--output", help="where to write the repaired design")
+    p_repair.add_argument("--budget", type=float, help="wall-clock seconds per trial")
+    p_repair.add_argument("--population", type=int, help="GP population size")
+    p_repair.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
+    p_repair.add_argument(
+        "--log", action="store_true", help="print per-generation progress logs"
+    )
+    p_repair.set_defaults(func=cmd_repair)
+
+    p_sim = sub.add_parser("simulate", help="run a design under a testbench")
+    p_sim.add_argument("source")
+    p_sim.add_argument("testbench")
+    p_sim.add_argument("--record", action="store_true", help="instrument and dump the trace CSV")
+    p_sim.add_argument("--max-time", type=int, default=1_000_000)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_list = sub.add_parser("scenarios", help="list the 32 benchmark defect scenarios")
+    p_list.set_defaults(func=cmd_scenarios)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

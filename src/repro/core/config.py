@@ -1,0 +1,66 @@
+"""CirFix configuration (paper §4.2 experimental parameters).
+
+The defaults mirror the paper: population 5000, 8 generations, repair
+template threshold 0.2, mutation threshold 0.7, delete/insert/replace
+thresholds 0.3/0.3/0.4, tournament size 5, elitism 5%, φ = 2, 12-hour
+wall-clock bound.  Tests and benchmarks use scaled-down budgets via
+:meth:`RepairConfig.scaled`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """All knobs of the CirFix search (Algorithm 1 inputs)."""
+
+    #: GP population size (paper: 5000).
+    population_size: int = 5000
+    #: Maximum generations of evolution (paper: 8).
+    max_generations: int = 8
+    #: Probability of applying a repair template instead of an operator.
+    rt_threshold: float = 0.2
+    #: Probability of mutation (vs crossover) among operator applications.
+    mut_threshold: float = 0.7
+    #: Mutation sub-operator thresholds (delete, insert; replace is the rest).
+    delete_threshold: float = 0.3
+    insert_threshold: float = 0.3
+    #: Tournament size for parent selection (paper: t = 5).
+    tournament_size: int = 5
+    #: Fraction of top candidates propagated unchanged (paper: e = 5%).
+    elitism_fraction: float = 0.05
+    #: Penalty weight for x/z bit comparisons (paper: φ = 2).
+    phi: float = 2.0
+    #: Wall-clock bound in seconds (paper: 12 hours).
+    max_wall_seconds: float = 12 * 3600.0
+    #: Hard bound on fitness evaluations (simulations); None = unbounded.
+    max_fitness_evals: int | None = None
+    #: Simulation bounds passed to the simulator for each candidate.
+    max_sim_time: int = 1_000_000
+    max_sim_steps: int = 2_000_000
+    #: Budget for the minimization step's plausibility checks.
+    minimize_budget: int = 256
+    #: Enable the extension template set (repro.core.templates_ext) —
+    #: the paper's "adding more repair templates" future-work direction.
+    #: Off by default so the reproduction matches the paper's template set.
+    extended_templates: bool = False
+
+    def scaled(self, **overrides: object) -> "RepairConfig":
+        """A copy with some fields replaced (for laptop-scale runs)."""
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+
+#: A small configuration suitable for unit tests and CI: the GP dynamics
+#: are identical, only budgets shrink.
+TEST_CONFIG = RepairConfig(
+    population_size=24,
+    max_generations=6,
+    max_wall_seconds=120.0,
+    max_fitness_evals=600,
+    max_sim_time=200_000,
+    max_sim_steps=400_000,
+    minimize_budget=64,
+)

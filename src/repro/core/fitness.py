@@ -1,0 +1,107 @@
+"""The CirFix fitness function (paper §3.2).
+
+Given a simulation result ``S`` and expected output ``O`` (both
+``Time -> Var -> {0,1,x,z}`` traces), the fitness sums a per-bit score over
+every timestamp the oracle annotates:
+
+====================  =======
+bit pair (O, S)        score
+====================  =======
+(0,0) or (1,1)          +1
+(x,x) or (z,z)          +φ
+(1,0) or (0,1)          -1
+any other x/z pair      -φ
+====================  =======
+
+``total`` accumulates the corresponding positive weights, and the
+normalised fitness is ``max(0, sum) / total`` — 1.0 means a plausible
+(testbench-adequate) repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..instrument.trace import SimulationTrace
+from ..sim.logic import Value
+
+#: Paper default x/z penalty weight (§4.2: φ = 2).
+DEFAULT_PHI = 2.0
+
+
+@dataclass(frozen=True)
+class FitnessBreakdown:
+    """Fitness with its components, for analysis and tests."""
+
+    fitness: float
+    raw_sum: float
+    total: float
+    matches: int
+    mismatches: int
+    xz_positions: int
+
+    @property
+    def is_plausible(self) -> bool:
+        """True for a testbench-adequate candidate (fitness == 1.0)."""
+        return self.fitness >= 1.0
+
+
+def _bit_score(expected: str, actual: str, phi: float) -> tuple[float, float]:
+    """Return (sum contribution, total contribution) for one bit pair."""
+    if expected in "01" and actual in "01":
+        return (1.0, 1.0) if expected == actual else (-1.0, 1.0)
+    if expected == actual:  # (x,x) or (z,z)
+        return phi, phi
+    return -phi, phi
+
+
+def evaluate_fitness(
+    simulated: SimulationTrace,
+    expected: SimulationTrace,
+    phi: float = DEFAULT_PHI,
+) -> FitnessBreakdown:
+    """Score ``simulated`` against the oracle ``expected``.
+
+    Timestamps are matched exactly: the oracle defines which (time, var)
+    pairs count (§3.2 footnote — the developer may provide expected values
+    only at certain intervals).  A (time, var) pair the candidate failed to
+    produce at all is scored as an all-x observation.
+    """
+    simulated_by_time: dict[int, dict[str, Value]] = {
+        time: values for time, values in simulated.rows
+    }
+    raw_sum = 0.0
+    total = 0.0
+    matches = mismatches = xz_positions = 0
+    for time, expected_values in expected.rows:
+        actual_values = simulated_by_time.get(time)
+        for var, exp in expected_values.items():
+            if actual_values is not None and var in actual_values:
+                act = actual_values[var].resized(exp.width)
+            else:
+                act = Value.unknown(exp.width)
+            for bit in range(exp.width):
+                expected_bit = exp.bit(bit)
+                actual_bit = act.bit(bit)
+                score, weight = _bit_score(expected_bit, actual_bit, phi)
+                raw_sum += score
+                total += weight
+                if expected_bit in "xz" or actual_bit in "xz":
+                    xz_positions += 1
+                if score > 0:
+                    matches += 1
+                else:
+                    mismatches += 1
+    if total <= 0:
+        return FitnessBreakdown(0.0, raw_sum, total, matches, mismatches, xz_positions)
+    fitness = max(0.0, raw_sum) / total
+    return FitnessBreakdown(fitness, raw_sum, total, matches, mismatches, xz_positions)
+
+
+def fitness_score(
+    simulated: SimulationTrace,
+    expected: SimulationTrace,
+    phi: float = DEFAULT_PHI,
+) -> float:
+    """Convenience wrapper returning only the normalised fitness."""
+    return evaluate_fitness(simulated, expected, phi).fitness

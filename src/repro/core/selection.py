@@ -1,0 +1,40 @@
+"""Parent selection: tournament selection with elitism (paper §3.5)."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def tournament_select(
+    population: Sequence[T],
+    fitness_of: Callable[[T], float],
+    rng: random.Random,
+    tournament_size: int = 5,
+) -> T:
+    """Pick ``tournament_size`` random members and return the fittest.
+
+    The paper uses t = 5 "to increase the selection pressure on candidate
+    variants".
+    """
+    if not population:
+        raise ValueError("cannot select from an empty population")
+    pool_size = min(tournament_size, len(population))
+    pool = [rng.choice(population) for _ in range(pool_size)]
+    return max(pool, key=fitness_of)
+
+
+def elite(
+    population: Sequence[T],
+    fitness_of: Callable[[T], float],
+    fraction: float = 0.05,
+) -> list[T]:
+    """The top ``fraction`` of the population, fittest first (elitism: the
+    paper propagates the top e = 5% unchanged into the next generation)."""
+    if not population:
+        return []
+    count = max(1, int(len(population) * fraction))
+    ranked = sorted(population, key=fitness_of, reverse=True)
+    return list(ranked[:count])

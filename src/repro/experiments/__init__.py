@@ -1,0 +1,14 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+Run from the command line::
+
+    python -m repro.experiments table2
+    python -m repro.experiments table3 --preset smoke
+    python -m repro.experiments all
+
+Each experiment also has a pytest-benchmark target under ``benchmarks/``.
+"""
+
+from .common import FULL, PRESETS, QUICK, SMOKE, ScenarioResult, run_scenario
+
+__all__ = ["run_scenario", "ScenarioResult", "PRESETS", "SMOKE", "QUICK", "FULL"]

@@ -1,0 +1,67 @@
+"""CLI entry point: ``python -m repro.experiments <experiment> [--preset p]``."""
+
+from __future__ import annotations
+
+import argparse
+
+from . import (
+    ext_templates,
+    figure2,
+    figure3,
+    fixloc_ablation,
+    param_sensitivity,
+    phi_ablation,
+    rq1,
+    rq2,
+    rq3,
+    rq4,
+    runtime_analysis,
+    seeded_defects,
+    table2,
+    table3,
+)
+
+EXPERIMENTS = {
+    "table2": lambda preset: table2.main(),
+    "table3": lambda preset: table3.main(preset),
+    "figure2": lambda preset: figure2.main(),
+    "figure3": lambda preset: figure3.main(),
+    "rq1": lambda preset: rq1.main(preset),
+    "rq2": lambda preset: rq2.main(preset),
+    "rq3": lambda preset: rq3.main(),
+    "rq4": lambda preset: rq4.main(preset),
+    "fixloc": lambda preset: fixloc_ablation.main(),
+    "phi": lambda preset: phi_ablation.main(),
+    "ext-templates": lambda preset: ext_templates.main(preset),
+    "param-sensitivity": lambda preset: param_sensitivity.main(preset),
+    "runtime": lambda preset: runtime_analysis.main(preset),
+    "seeded": lambda preset: seeded_defects.main(preset),
+}
+
+
+def main() -> None:
+    """CLI entry point for the experiment harness."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the CirFix paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=["smoke", "quick", "full"],
+        default="quick",
+        help="search budget preset (default: quick)",
+    )
+    args = parser.parse_args()
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        EXPERIMENTS[name](args.preset)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Shared infrastructure for the experiment harness.
+
+Budgets: the paper ran population 5000 × 8 generations × 12 h per trial on
+a commercial simulator.  The same algorithm runs here at laptop scale; the
+three presets trade coverage for wall-clock time.  ``EXPERIMENTS.md``
+records which preset produced the committed numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..benchsuite import Scenario
+from ..core.config import RepairConfig
+from ..core.repair import CirFixEngine, RepairOutcome
+
+#: CI-sized preset: seconds per scenario.  A large generation-0 seed pool
+#: matters more than generation count (the paper's population of 5000 means
+#: most of its fast repairs surfaced in the first generations).
+SMOKE = RepairConfig(
+    population_size=120,
+    max_generations=4,
+    max_wall_seconds=90.0,
+    max_fitness_evals=600,
+    minimize_budget=64,
+)
+
+#: Default preset for the committed experiment numbers.
+QUICK = RepairConfig(
+    population_size=300,
+    max_generations=8,
+    max_wall_seconds=420.0,
+    max_fitness_evals=4000,
+    minimize_budget=128,
+)
+
+#: Overnight-style preset approximating the paper's budgets.
+FULL = RepairConfig(
+    population_size=1500,
+    max_generations=8,
+    max_wall_seconds=3600.0,
+    max_fitness_evals=60000,
+    minimize_budget=256,
+)
+
+PRESETS: dict[str, RepairConfig] = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of repairing one scenario (one Table 3 row)."""
+
+    scenario_id: str
+    project: str
+    description: str
+    category: int
+    plausible: bool
+    correct: bool
+    repair_seconds: float | None
+    fitness: float
+    simulations: int
+    generations: int
+    edits: int
+    paper_outcome: str
+    seed: int
+    best_fitness_history: list[float] = field(default_factory=list)
+    repaired_source: str | None = None
+
+    @property
+    def outcome(self) -> str:
+        if self.correct:
+            return "correct"
+        if self.plausible:
+            return "plausible"
+        return "none"
+
+
+def run_scenario(
+    scenario: Scenario,
+    config: RepairConfig,
+    seeds: tuple[int, ...] = (0, 1),
+) -> ScenarioResult:
+    """Run CirFix trials on one scenario (paper: 5 independent trials,
+    stopping at the first plausible repair)."""
+    scaled = scenario.suggested_config(config)
+    start = time.monotonic()
+    best: RepairOutcome | None = None
+    winner: RepairOutcome | None = None
+    total_sims = 0
+    for seed in seeds:
+        outcome = CirFixEngine(scenario.problem(), scaled, seed).run()
+        total_sims += outcome.simulations
+        if best is None or outcome.fitness > best.fitness:
+            best = outcome
+        if outcome.plausible:
+            winner = outcome
+            break
+    assert best is not None
+    chosen = winner if winner is not None else best
+    correct = False
+    if winner is not None and winner.repaired_source is not None:
+        correct = scenario.is_correct_repair(winner.repaired_source)
+    defect = scenario.defect
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        project=defect.project,
+        description=defect.description,
+        category=defect.category,
+        plausible=winner is not None,
+        correct=correct,
+        repair_seconds=(time.monotonic() - start) if winner is not None else None,
+        fitness=chosen.fitness,
+        simulations=total_sims,
+        generations=chosen.generations,
+        edits=len(chosen.patch),
+        paper_outcome=defect.paper_outcome,
+        seed=chosen.seed,
+        best_fitness_history=chosen.best_fitness_history,
+        repaired_source=chosen.repaired_source,
+    )
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a fixed-width text table (the harness's output format)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

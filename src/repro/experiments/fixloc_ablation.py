@@ -1,0 +1,112 @@
+"""Fix-localization ablation (paper §3.6).
+
+The paper reports fix localization reduces the fraction of mutants that
+fail to compile from ~35% to ~10%.  This experiment generates mutants two
+ways — naively (replace any node with any node, insert anything anywhere)
+and with the CirFix fix-localization rules — and measures the compile
+failure rate of each (compile = codegen → parse → elaborate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..benchsuite import load_scenario
+from ..core import fixloc
+from ..core.faultloc import all_statement_ids
+from ..core.operators import mutate
+from ..core.patch import Edit, Patch
+from ..core.repair import CirFixEngine
+from ..hdl import ast
+from .common import QUICK, format_table
+
+
+@dataclass
+class AblationCell:
+    strategy: str
+    mutants: int
+    compile_failures: int
+
+    @property
+    def failure_rate(self) -> float:
+        return self.compile_failures / self.mutants if self.mutants else 0.0
+
+
+@dataclass
+class FixlocAblationResult:
+    naive: AblationCell
+    fixloc: AblationCell
+
+
+def _naive_mutant(tree: ast.Source, rng: random.Random) -> Patch:
+    """Unrestricted mutation: any node replaced by / inserted after any
+    other, no type compatibility, no lvalue checks."""
+    nodes = [n for n in tree.walk() if n.node_id is not None]
+    kind = rng.choice(("replace", "insert_after", "delete"))
+    target = rng.choice(nodes)
+    assert target.node_id is not None
+    if kind == "delete":
+        return Patch([Edit("delete", target.node_id)])
+    source = rng.choice(nodes)
+    return Patch([Edit(kind, target.node_id, source.clone())])
+
+
+def run_ablation(
+    scenario_id: str = "counter_reset", mutants_per_strategy: int = 150, seed: int = 0
+) -> FixlocAblationResult:
+    """Measure compile-failure rates for naive vs fix-localized mutants."""
+    scenario = load_scenario(scenario_id)
+    engine = CirFixEngine(scenario.problem(), scenario.suggested_config(QUICK), seed)
+    base = scenario.problem().design
+    fault_ids = all_statement_ids(base)
+    rng = random.Random(seed)
+
+    def compile_fails(patch: Patch) -> bool:
+        evaluation = engine.evaluate(patch)
+        return not evaluation.compiled
+
+    naive_failures = 0
+    for _ in range(mutants_per_strategy):
+        if compile_fails(_naive_mutant(base, rng)):
+            naive_failures += 1
+
+    guided_failures = 0
+    produced = 0
+    while produced < mutants_per_strategy:
+        patch = mutate(Patch.empty(), base, fault_ids, rng)
+        if not patch.edits:
+            continue
+        produced += 1
+        if compile_fails(patch):
+            guided_failures += 1
+
+    return FixlocAblationResult(
+        naive=AblationCell("naive (unrestricted)", mutants_per_strategy, naive_failures),
+        fixloc=AblationCell("fix localization", mutants_per_strategy, guided_failures),
+    )
+
+
+def render_ablation(result: FixlocAblationResult) -> str:
+    """Render the ablation cells as a text table."""
+    rows = [
+        [
+            cell.strategy,
+            str(cell.mutants),
+            str(cell.compile_failures),
+            f"{cell.failure_rate * 100:.1f}%",
+        ]
+        for cell in (result.naive, result.fixloc)
+    ]
+    table = format_table(["Strategy", "Mutants", "Compile failures", "Rate"], rows)
+    return table + "\n(paper: ~35% naive vs ~10% with fix localization)"
+
+
+def main() -> None:
+    """Print the fix-localization ablation."""
+    print("Fix localization ablation (Section 3.6)")
+    print(render_ablation(run_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""φ-weight ablation (paper §4.2).
+
+The paper chose φ = 2 after observing φ = 1 "did not penalize [x/z]
+comparisons enough" and φ = 3 "caused too significant a drop in fitness".
+This experiment measures, for a defect whose signature is x-valued output
+(the motivating counter defect), how φ shapes (a) the faulty design's
+fitness and (b) the fitness gap a partial repair gains — the gradient the
+GP climbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..benchsuite import load_scenario
+from ..core.fitness import evaluate_fitness
+from ..benchsuite.scenario import simulate_design_text
+from .common import format_table
+
+PHI_VALUES: tuple[float, ...] = (1.0, 2.0, 3.0)
+
+
+@dataclass
+class PhiCell:
+    phi: float
+    faulty_fitness: float
+    partial_fitness: float
+
+    @property
+    def gradient(self) -> float:
+        """Fitness gained by the partial (defined-but-wrong) repair."""
+        return self.partial_fitness - self.faulty_fitness
+
+
+@dataclass
+class PhiAblationResult:
+    cells: list[PhiCell]
+
+
+def run_phi_ablation(scenario_id: str = "counter_reset") -> PhiAblationResult:
+    """Score the faulty and partially-repaired designs at each phi."""
+    scenario = load_scenario(scenario_id)
+    oracle = scenario.oracle()
+    bench = scenario.instrumented_testbench()
+    faulty_trace = simulate_design_text(scenario.faulty_design_text, bench)
+    # Partial repair: overflow_out driven (defined) but to the wrong value —
+    # the intermediate point of the paper's multi-edit trajectory.
+    partial_text = scenario.faulty_design_text.replace(
+        "counter_out <= #1 4'b0000;",
+        "counter_out <= #1 4'b0000;\n      overflow_out <= #1 1'b1;",
+    )
+    partial_trace = simulate_design_text(partial_text, bench)
+    cells = []
+    for phi in PHI_VALUES:
+        cells.append(
+            PhiCell(
+                phi=phi,
+                faulty_fitness=evaluate_fitness(faulty_trace, oracle, phi).fitness,
+                partial_fitness=evaluate_fitness(partial_trace, oracle, phi).fitness,
+            )
+        )
+    return PhiAblationResult(cells)
+
+
+def render_phi_ablation(result: PhiAblationResult) -> str:
+    """Render the phi cells as a text table."""
+    rows = [
+        [
+            f"{cell.phi:.0f}",
+            f"{cell.faulty_fitness:.3f}",
+            f"{cell.partial_fitness:.3f}",
+            f"{cell.gradient:+.3f}",
+        ]
+        for cell in result.cells
+    ]
+    table = format_table(
+        ["phi", "faulty fitness", "partial-repair fitness", "gradient"], rows
+    )
+    return table + (
+        "\n(paper: phi=1 under-penalises x/z, phi=3 over-penalises; phi=2 chosen)"
+    )
+
+
+def main() -> None:
+    """Print the phi ablation."""
+    print("phi weight ablation (Section 4.2)")
+    print(render_phi_ablation(run_phi_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

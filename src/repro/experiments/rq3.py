@@ -1,0 +1,96 @@
+"""RQ3: quality of the fitness function (paper §5.3).
+
+Two reproductions:
+
+1. **Incremental fitness for a multi-edit repair.**  The paper reports a
+   counter defect whose repair raised the best fitness 0 → 0.58 → 0.77 →
+   1.0 as edits accumulated.  We construct the edit chain for the
+   counter_reset defect and show each prefix's fitness is monotonically
+   increasing (strong fitness-distance correlation).
+
+2. **Catching errors the original testbench misses.**  The paper's
+   out_stage (reed_solomon_decoder) sensitivity-list defect passes the
+   original testbench but gets a non-perfect 0.999 fitness from the
+   instrumented comparison.  We reproduce that near-1.0 signature on the
+   rs_sens scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..benchsuite import load_scenario
+from ..core.patch import Edit, Patch
+from ..core.repair import CirFixEngine
+from ..hdl import ast
+from .common import QUICK
+
+
+@dataclass
+class Rq3Result:
+    #: Fitness after each successive edit of the multi-edit repair chain
+    #: (index 0 = unpatched).
+    fitness_trajectory: list[float]
+    #: rs_sens faulty fitness (paper: 0.999).
+    rs_sens_fitness: float
+
+    @property
+    def is_monotone(self) -> bool:
+        return all(
+            later >= earlier
+            for earlier, later in zip(self.fitness_trajectory, self.fitness_trajectory[1:])
+        )
+
+
+def _counter_edit_chain() -> tuple[CirFixEngine, list[Patch]]:
+    """Build the prefix chain of the known counter_reset repair."""
+    scenario = load_scenario("counter_reset")
+    engine = CirFixEngine(scenario.problem(), scenario.suggested_config(QUICK), seed=0)
+    base = scenario.problem().design
+    nba_nodes = [n for n in base.walk() if isinstance(n, ast.NonBlockingAssign)]
+    # Faulty design has: counter reset assign, counter increment, overflow set.
+    anchor = nba_nodes[0]
+    donor = nba_nodes[2]
+    assert anchor.node_id is not None
+    patch1 = Patch([Edit("insert_after", anchor.node_id, donor.clone())])
+    tree1 = patch1.apply(base)
+    inserted_numbers = [
+        n
+        for n in tree1.walk()
+        if isinstance(n, ast.Number) and n.text == "1'b1" and (n.node_id or 0) > 1000
+    ]
+    patch2 = patch1.extended(
+        Edit("template", inserted_numbers[0].node_id, template="decrement_by_one")
+    )
+    return engine, [Patch.empty(), patch1, patch2]
+
+
+def compute_rq3() -> Rq3Result:
+    """Build the multi-edit fitness trajectory and the rs_sens signature."""
+    engine, chain = _counter_edit_chain()
+    trajectory = [engine.evaluate(p).fitness for p in chain]
+    rs = load_scenario("rs_sens")
+    return Rq3Result(fitness_trajectory=trajectory, rs_sens_fitness=rs.faulty_fitness())
+
+
+def render_rq3(result: Rq3Result) -> str:
+    """Render the RQ3 findings."""
+    steps = " -> ".join(f"{f:.3f}" for f in result.fitness_trajectory)
+    lines = [
+        f"multi-edit fitness trajectory: {steps}",
+        f"  (paper: 0 -> 0.58 -> 0.77 -> 1.0; monotone: {result.is_monotone})",
+        f"rs_sens faulty fitness: {result.rs_sens_fitness:.4f} (paper: 0.999)",
+        "  the original testbench reports no failure for this defect; only the",
+        "  instrumented bit-level comparison exposes it.",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print RQ3."""
+    print("RQ3: quality of the fitness function")
+    print(render_rq3(compute_rq3()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

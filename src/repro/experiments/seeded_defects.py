@@ -1,0 +1,98 @@
+"""Repair rate on randomly seeded defects (§4.1.3 methodology comparison).
+
+The paper argues expert-transplanted defects avoid the bias of the
+"randomly-seeded or self-seeded defects" used by earlier evaluations.
+This experiment measures CirFix on the random-seeding baseline: generate
+valid random defects for the small projects and report the repair rate —
+typically *higher* than on the expert suite, quantifying why random
+seeding can overstate a repair tool's ability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..benchsuite import load_project
+from ..benchsuite.seeding import DefectSeeder
+from ..core.config import RepairConfig
+from ..core.repair import CirFixEngine
+from .common import SMOKE, format_table
+
+SEED_PROJECTS: tuple[str, ...] = ("flip_flop", "lshift_reg", "counter")
+
+
+@dataclass
+class SeededRepairRow:
+    project: str
+    defects: int
+    repaired: int
+    mean_faulty_fitness: float
+
+    @property
+    def repair_rate(self) -> float:
+        return self.repaired / self.defects if self.defects else 0.0
+
+
+def run_seeded_defects(
+    config: RepairConfig | None = None,
+    projects: tuple[str, ...] = SEED_PROJECTS,
+    defects_per_project: int = 3,
+    seeds: tuple[int, ...] = (0, 1),
+) -> list[SeededRepairRow]:
+    """Generate random defects per project and measure the repair rate."""
+    config = config or SMOKE
+    rows = []
+    for name in projects:
+        project = load_project(name)
+        seeder = DefectSeeder(project, rng_seed=0)
+        seeded = seeder.generate(defects_per_project)
+        repaired = 0
+        for defect in seeded:
+            scenario = seeder.as_scenario(defect)
+            scaled = scenario.suggested_config(config)
+            for seed in seeds:
+                outcome = CirFixEngine(scenario.problem(), scaled, seed).run()
+                if outcome.plausible:
+                    repaired += 1
+                    break
+        mean_fitness = (
+            sum(d.faulty_fitness for d in seeded) / len(seeded) if seeded else 0.0
+        )
+        rows.append(SeededRepairRow(name, len(seeded), repaired, mean_fitness))
+    return rows
+
+
+def render_seeded_defects(rows: list[SeededRepairRow]) -> str:
+    """Render the seeded-defect rows as a text table."""
+    body = [
+        [
+            r.project,
+            str(r.defects),
+            str(r.repaired),
+            f"{r.repair_rate * 100:.0f}%",
+            f"{r.mean_faulty_fitness:.3f}",
+        ]
+        for r in rows
+    ]
+    table = format_table(
+        ["Project", "Seeded defects", "Repaired", "Rate", "Mean faulty fitness"], body
+    )
+    total = sum(r.defects for r in rows)
+    repaired = sum(r.repaired for r in rows)
+    return table + (
+        f"\noverall: {repaired}/{total} — random single-edit defects repair more"
+        " easily than the expert-transplanted Table 3 suite (the bias §4.1.3"
+        " warns about)"
+    )
+
+
+def main(preset: str = "smoke") -> None:
+    """Print the seeded-defect study."""
+    from .common import PRESETS
+
+    print("Randomly seeded defects (Section 4.1.3 methodology baseline)")
+    print(render_seeded_defects(run_seeded_defects(PRESETS[preset])))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

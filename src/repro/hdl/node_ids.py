@@ -1,0 +1,40 @@
+"""Node numbering for parsed ASTs.
+
+CirFix's patch representation addresses AST nodes by unique id (the paper
+modified PyVerilog to number nodes).  We assign ids in preorder so that the
+id ordering matches source order, which the crossover operator relies on for
+a stable notion of "left of / right of" a crossover point.
+"""
+
+from __future__ import annotations
+
+from .ast import Node
+
+
+def number_nodes(root: Node, start: int = 1) -> int:
+    """Assign sequential preorder ids to every node under ``root``.
+
+    Args:
+        root: Tree to number (ids overwritten).
+        start: First id to assign.
+
+    Returns:
+        The next unused id (useful for numbering freshly created nodes that
+        get spliced into an existing tree).
+    """
+    next_id = start
+    for node in root.walk():
+        node.node_id = next_id
+        next_id += 1
+    return next_id
+
+
+def max_node_id(root: Node) -> int:
+    """Return the largest node id present in the tree (0 if none assigned)."""
+    return max((n.node_id or 0) for n in root.walk())
+
+
+def clear_ids(root: Node) -> None:
+    """Remove all node ids (used before re-numbering a mutated tree)."""
+    for node in root.walk():
+        node.node_id = None

@@ -1,0 +1,103 @@
+"""Minimal Verilog preprocessor.
+
+Supports the directives the benchmark sources use:
+
+- `` `define NAME value`` (object-like macros only) and `` `NAME`` expansion;
+- `` `undef NAME``;
+- `` `timescale``, `` `default_nettype``, `` `celldefine`` etc. are dropped;
+- `` `ifdef`` / `` `ifndef`` / `` `else`` / `` `endif`` conditional blocks.
+
+``include`` is intentionally unsupported — benchmark projects are
+self-contained single files (the loader concatenates multi-file projects).
+"""
+
+from __future__ import annotations
+
+import re
+
+_DEFINE_RE = re.compile(r"^\s*`define\s+(\w+)\s*(.*)$")
+_UNDEF_RE = re.compile(r"^\s*`undef\s+(\w+)\s*$")
+_IFDEF_RE = re.compile(r"^\s*`(ifdef|ifndef)\s+(\w+)\s*$")
+_USE_RE = re.compile(r"`(\w+)")
+
+#: Directives silently dropped (they do not affect simulation semantics in
+#: our unit-delay world).
+_IGNORED = ("timescale", "default_nettype", "celldefine", "endcelldefine", "resetall", "include")
+
+
+def preprocess(source: str, defines: dict[str, str] | None = None) -> str:
+    """Expand preprocessor directives in ``source``.
+
+    Args:
+        source: Raw Verilog text.
+        defines: Optional initial macro table (name → replacement text).
+
+    Returns:
+        Text with all directives resolved, suitable for the lexer.  Line
+        structure is preserved (dropped lines become empty lines) so parser
+        error positions stay meaningful.
+    """
+    macros = dict(defines or {})
+    out_lines: list[str] = []
+    # Stack of booleans: is the current conditional region active?
+    active_stack: list[bool] = []
+
+    def is_active() -> bool:
+        return all(active_stack)
+
+    for line in source.splitlines():
+        stripped = line.strip()
+        match = _IFDEF_RE.match(line)
+        if match:
+            want_defined = match.group(1) == "ifdef"
+            active_stack.append((match.group(2) in macros) == want_defined)
+            out_lines.append("")
+            continue
+        if stripped.startswith("`else"):
+            if active_stack:
+                active_stack[-1] = not active_stack[-1]
+            out_lines.append("")
+            continue
+        if stripped.startswith("`endif"):
+            if active_stack:
+                active_stack.pop()
+            out_lines.append("")
+            continue
+        if not is_active():
+            out_lines.append("")
+            continue
+        match = _DEFINE_RE.match(line)
+        if match:
+            macros[match.group(1)] = match.group(2).strip()
+            out_lines.append("")
+            continue
+        match = _UNDEF_RE.match(line)
+        if match:
+            macros.pop(match.group(1), None)
+            out_lines.append("")
+            continue
+        if stripped.startswith("`"):
+            directive_words = stripped[1:].split(None, 1)
+            directive = directive_words[0].split("(")[0] if directive_words else ""
+            if directive in _IGNORED:
+                out_lines.append("")
+                continue
+        out_lines.append(_expand_macros(line, macros))
+    return "\n".join(out_lines)
+
+
+def _expand_macros(line: str, macros: dict[str, str], depth: int = 0) -> str:
+    """Replace `` `NAME`` uses with their definitions (recursively, bounded)."""
+    if depth > 16 or "`" not in line:
+        return line
+
+    def repl(match: re.Match[str]) -> str:
+        name = match.group(1)
+        if name in macros:
+            return macros[name]
+        return match.group(0)
+
+    expanded = _USE_RE.sub(repl, line)
+    if expanded == line:
+        return expanded
+    return _expand_macros(expanded, macros, depth + 1)

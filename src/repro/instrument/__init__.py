@@ -1,0 +1,29 @@
+"""Testbench instrumentation and simulation traces.
+
+Implements the paper's §3.2 insight: a standard hardware testbench can be
+instrumented automatically to record output wire/register values at every
+rising clock edge, yielding the ``Time -> Var -> {0,1,x,z}`` observable the
+fitness function and fault localization consume.
+"""
+
+from .analyze import AnalysisError, DutInfo, analyze_dut, find_dut
+from .diff import CellDiff, TraceDiff, diff_traces, render_diff
+from .instrumenter import RECORD_TASK, build_record_block, instrument_testbench, is_instrumented
+from .trace import SimulationTrace, output_mismatch
+
+__all__ = [
+    "SimulationTrace",
+    "diff_traces",
+    "render_diff",
+    "TraceDiff",
+    "CellDiff",
+    "output_mismatch",
+    "analyze_dut",
+    "find_dut",
+    "DutInfo",
+    "AnalysisError",
+    "instrument_testbench",
+    "build_record_block",
+    "is_instrumented",
+    "RECORD_TASK",
+]

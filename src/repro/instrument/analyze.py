@@ -1,0 +1,155 @@
+"""Static analysis of testbenches: find the DUT and what to record.
+
+The paper observes (§3.2) that "every hardware testbench must instantiate a
+device-under-test (DUT) and connect wires to the module being instantiated
+... a static analysis of the instantiation of the DUT can provide the
+information needed to instrument a testbench automatically".  This module is
+that analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl import ast
+
+
+class AnalysisError(Exception):
+    """Raised when the testbench cannot be analysed automatically."""
+
+
+#: Common clock-port spellings, checked in order.
+_CLOCK_NAMES = ("clk", "clock", "i_clk", "clk_i", "sysclk", "wb_clk_i", "mclk")
+
+
+@dataclass
+class DutInfo:
+    """What the instrumenter needs to know about the DUT hookup.
+
+    Attributes:
+        instance_name: Name of the DUT instantiation in the testbench.
+        module_name: Name of the instantiated design module.
+        output_connections: Testbench-side expressions (as rendered names)
+            connected to DUT output ports, in port order.
+        clock_signal: Testbench-side clock signal name (None if no clock
+            port could be identified).
+    """
+
+    instance_name: str
+    module_name: str
+    output_connections: list[str]
+    clock_signal: str | None
+
+
+def _find_pacing_clock(testbench: ast.ModuleDef) -> str | None:
+    """Find a testbench oscillator of the form ``always #N sig = !sig;``."""
+    for item in testbench.items:
+        if not isinstance(item, ast.Always) or item.senslist is not None:
+            continue
+        body = item.body
+        if isinstance(body, ast.DelayStmt):
+            body = body.body
+        if not isinstance(body, ast.BlockingAssign):
+            continue
+        lhs, rhs = body.lhs, body.rhs
+        if not isinstance(lhs, ast.Identifier):
+            continue
+        if (
+            isinstance(rhs, ast.UnaryOp)
+            and rhs.op in ("!", "~")
+            and isinstance(rhs.operand, ast.Identifier)
+            and rhs.operand.name == lhs.name
+        ):
+            return lhs.name
+    return None
+
+
+def _port_direction_map(module: ast.ModuleDef) -> dict[str, str]:
+    directions: dict[str, str] = {}
+    for item in module.items:
+        if isinstance(item, ast.Decl) and item.kind in ("input", "output", "inout"):
+            directions[item.name] = item.kind
+    return directions
+
+
+def find_dut(
+    testbench: ast.ModuleDef, design_modules: dict[str, ast.ModuleDef]
+) -> ast.Instance:
+    """Locate the DUT instantiation inside a testbench module.
+
+    The DUT is the (unique) instantiation of a module defined in the design
+    source.  With several candidates, the one with the most output ports is
+    chosen (sub-component instantiations have fewer).
+    """
+    candidates = [
+        item
+        for item in testbench.items
+        if isinstance(item, ast.Instance) and item.module_name in design_modules
+    ]
+    if not candidates:
+        raise AnalysisError(
+            f"testbench {testbench.name!r} instantiates no design module"
+        )
+    if len(candidates) == 1:
+        return candidates[0]
+
+    def output_count(instance: ast.Instance) -> int:
+        module = design_modules[instance.module_name]
+        return sum(1 for d in _port_direction_map(module).values() if d == "output")
+
+    return max(candidates, key=output_count)
+
+
+def analyze_dut(
+    testbench: ast.ModuleDef,
+    design_modules: dict[str, ast.ModuleDef],
+    clock_override: str | None = None,
+) -> DutInfo:
+    """Analyse the DUT hookup of a testbench.
+
+    Args:
+        testbench: The testbench module AST.
+        design_modules: Name → module map of the design under test.
+        clock_override: Explicit testbench clock signal name (the paper's
+            "information already available in the testbench").
+
+    Returns:
+        A :class:`DutInfo` describing what to record and when.
+    """
+    instance = find_dut(testbench, design_modules)
+    module = design_modules[instance.module_name]
+    directions = _port_direction_map(module)
+
+    # Pair each connection with its port name.
+    pairs: list[tuple[str, ast.Expr | None]] = []
+    if any(arg.name is not None for arg in instance.ports):
+        pairs = [(arg.name or "", arg.expr) for arg in instance.ports]
+    else:
+        pairs = list(zip(module.port_names, (arg.expr for arg in instance.ports)))
+
+    outputs: list[str] = []
+    clock: str | None = clock_override
+    for port_name, expr in pairs:
+        if expr is None:
+            continue
+        direction = directions.get(port_name)
+        if direction == "output" and isinstance(expr, ast.Identifier):
+            outputs.append(expr.name)
+        if (
+            clock is None
+            and direction == "input"
+            and port_name.lower() in _CLOCK_NAMES
+            and isinstance(expr, ast.Identifier)
+        ):
+            clock = expr.name
+    if clock is None:
+        # Purely combinational DUTs (decoders, muxes) have no clock port;
+        # the testbench still paces its stimuli with a free-running clock
+        # (``always #N clk = !clk;``), which we detect and record against.
+        clock = _find_pacing_clock(testbench)
+    return DutInfo(
+        instance_name=instance.name,
+        module_name=instance.module_name,
+        output_connections=outputs,
+        clock_signal=clock,
+    )

@@ -1,0 +1,96 @@
+"""Testbench instrumentation.
+
+Inserts the recording hook the CirFix fitness function needs: an extra
+``always @(posedge clk) $cirfix_record(out1, out2, ...);`` block in the
+testbench, sampling every DUT output at each rising clock edge (values are
+captured in the postponed region, i.e. after the slot settles).
+
+The paper reports each manual instrumentation took "under 10 lines of
+Verilog"; ours is exactly one always block, generated automatically from
+the static analysis in :mod:`repro.instrument.analyze`.
+"""
+
+from __future__ import annotations
+
+from ..hdl import ast, number_nodes
+from .analyze import AnalysisError, DutInfo, analyze_dut
+
+RECORD_TASK = "$cirfix_record"
+
+
+def build_record_block(clock: str, signals: list[str]) -> ast.Always:
+    """Create ``always @(posedge clock) $cirfix_record(signals...);``."""
+    senslist = ast.SensList([ast.SensItem("posedge", ast.Identifier(clock))])
+    call = ast.SysTaskCall(RECORD_TASK, [ast.Identifier(name) for name in signals])
+    return ast.Always(senslist, call)
+
+
+def instrument_testbench(
+    source: ast.Source,
+    design_modules: dict[str, ast.ModuleDef],
+    testbench_name: str | None = None,
+    clock_override: str | None = None,
+    extra_signals: list[str] | None = None,
+) -> tuple[ast.Source, DutInfo]:
+    """Return a copy of ``source`` with the recording block inserted.
+
+    Args:
+        source: Parsed source containing the testbench module (and possibly
+            others).
+        design_modules: Name → module map for the design under test.
+        testbench_name: Module to instrument; default: the first module in
+            ``source`` that instantiates a design module.
+        clock_override: Explicit clock signal name.
+        extra_signals: Additional testbench signals to record alongside the
+            DUT outputs (e.g. internal probes).
+
+    Returns:
+        (instrumented source clone, DUT analysis info).
+
+    Raises:
+        AnalysisError: If no DUT instantiation or clock can be identified.
+    """
+    clone = source.clone()
+    testbench = _pick_testbench(clone, design_modules, testbench_name)
+    info = analyze_dut(testbench, design_modules, clock_override)
+    if info.clock_signal is None:
+        raise AnalysisError(
+            f"could not identify a clock signal in {testbench.name!r}; "
+            "pass clock_override"
+        )
+    signals = list(info.output_connections) + list(extra_signals or [])
+    if not signals:
+        raise AnalysisError(f"no recordable DUT outputs found in {testbench.name!r}")
+    testbench.items.append(build_record_block(info.clock_signal, signals))
+    number_nodes(clone)
+    return clone, info
+
+
+def is_instrumented(testbench: ast.ModuleDef) -> bool:
+    """True when the testbench already contains a ``$cirfix_record`` call."""
+    return any(
+        isinstance(node, ast.SysTaskCall) and node.name == RECORD_TASK
+        for node in testbench.walk()
+    )
+
+
+def _pick_testbench(
+    source: ast.Source,
+    design_modules: dict[str, ast.ModuleDef],
+    testbench_name: str | None,
+) -> ast.ModuleDef:
+    if testbench_name is not None:
+        module = source.module(testbench_name)
+        if module is None:
+            raise AnalysisError(f"module {testbench_name!r} not found")
+        return module
+    for module in source.modules:
+        if module.name in design_modules:
+            continue
+        instantiates_design = any(
+            isinstance(item, ast.Instance) and item.module_name in design_modules
+            for item in module.items
+        )
+        if instantiates_design:
+            return module
+    raise AnalysisError("no testbench module found (none instantiates the design)")

@@ -1,0 +1,28 @@
+"""Event-driven 4-state Verilog simulator.
+
+Replaces the commercial simulator (Synopsys VCS) used by the original CirFix
+artifact.  The public surface is :class:`Simulator` plus the value type
+:class:`~repro.sim.logic.Value`.
+"""
+
+from .elaborate import ElaborationError
+from .eval import EvalError, eval_expr
+from .logic import Value, truthiness
+from .processes import FinishRequest, SimulationBudget
+from .scheduler import Scheduler
+from .simulator import SimResult, SimulationError, Simulator, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "SimResult",
+    "TraceRecord",
+    "Value",
+    "truthiness",
+    "eval_expr",
+    "Scheduler",
+    "ElaborationError",
+    "EvalError",
+    "SimulationError",
+    "SimulationBudget",
+    "FinishRequest",
+]

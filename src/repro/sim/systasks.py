@@ -1,0 +1,160 @@
+"""System task and function implementations.
+
+Covers the tasks the benchmark testbenches use: ``$display``/``$write``/
+``$strobe``, ``$monitor``, ``$finish``/``$stop``, ``$time``/``$stime``/
+``$realtime``, ``$random``, ``$signed``/``$unsigned``, and the CirFix
+instrumentation hook ``$cirfix_record`` (see
+:mod:`repro.instrument.instrumenter`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..hdl import ast
+from .eval import EvalError, eval_expr
+from .logic import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .processes import Env
+    from .simulator import Simulator
+
+
+def format_display(fmt: str, args: list[Value], time: int) -> str:
+    """Expand a $display-style format string.
+
+    Supports %d/%0d, %b/%0b, %h/%0h/%x, %o, %c, %s, %t/%0t, %m and %%,
+    plus the escapes \\n, \\t and \\\\.
+    """
+    out: list[str] = []
+    arg_iter = iter(args)
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch == "\\" and i + 1 < len(fmt):
+            nxt = fmt[i + 1]
+            out.append({"n": "\n", "t": "\t", "\\": "\\", '"': '"'}.get(nxt, nxt))
+            i += 2
+            continue
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        i += 1
+        zero_pad = False
+        width_digits = ""
+        while i < len(fmt) and fmt[i].isdigit():
+            if fmt[i] == "0" and not width_digits:
+                zero_pad = True
+            width_digits += fmt[i]
+            i += 1
+        if i >= len(fmt):
+            out.append("%")
+            break
+        spec = fmt[i].lower()
+        i += 1
+        if spec == "%":
+            out.append("%")
+            continue
+        if spec == "m":
+            out.append("top")
+            continue
+        try:
+            value = next(arg_iter)
+        except StopIteration:
+            out.append("<missing>")
+            continue
+        out.append(_format_value(spec, value, time, zero_pad, width_digits))
+    return "".join(out)
+
+
+def _format_value(spec: str, value: Value, time: int, zero_pad: bool, width_digits: str) -> str:
+    if spec == "d":
+        text = value.to_decimal_string()
+        if width_digits and width_digits != "0":
+            text = text.rjust(int(width_digits))
+        elif not zero_pad and not width_digits:
+            # Default %d pads to the decimal width of the max value.
+            max_digits = len(str((1 << value.width) - 1))
+            text = text.rjust(max_digits)
+        return text
+    if spec == "b":
+        text = value.to_bit_string()
+        if zero_pad or width_digits == "0":
+            text = text.lstrip("0") or "0"
+        return text
+    if spec in ("h", "x"):
+        return value.to_hex_string()
+    if spec == "o":
+        if value.bval:
+            return "x"
+        return format(value.aval, "o")
+    if spec == "c":
+        if value.bval:
+            return "?"
+        return chr(value.aval & 0xFF)
+    if spec == "s":
+        if value.bval:
+            return "?"
+        data = value.aval.to_bytes((value.width + 7) // 8, "big")
+        return data.lstrip(b"\x00").decode("ascii", errors="replace")
+    if spec == "t":
+        return str(time)
+    return f"%{spec}"
+
+
+def display_text(args: list[ast.Expr], env: "Env", time: int) -> str:
+    """Render a $display/$write argument list to text."""
+    if args and isinstance(args[0], ast.StringConst):
+        fmt = args[0].text
+        values = [eval_expr(a, env) for a in args[1:]]
+        return format_display(fmt, values, time)
+    parts = []
+    for arg in args:
+        value = eval_expr(arg, env)
+        parts.append(value.to_decimal_string())
+    return " ".join(parts)
+
+
+class Monitor:
+    """State for one active ``$monitor``."""
+
+    __slots__ = ("args", "env", "last")
+
+    def __init__(self, args: list[ast.Expr], env: "Env"):
+        self.args = args
+        self.env = env
+        self.last: str | None = None
+
+    def sample(self, sim: "Simulator") -> None:
+        """Re-evaluate the argument list; print when the rendering changed."""
+        try:
+            text = display_text(self.args, self.env, sim.scheduler.time)
+        except EvalError:
+            return
+        if text != self.last:
+            self.last = text
+            sim.emit_output(text)
+
+
+def system_function(sim: "Simulator", name: str, args: list[Value]) -> Value:
+    """Evaluate a system function call."""
+    if name in ("$time", "$stime", "$realtime"):
+        return Value.from_int(sim.scheduler.time, 64)
+    if name == "$random":
+        return Value.from_int(sim.next_random(), 32, signed=True)
+    if name == "$urandom":
+        return Value.from_int(sim.next_random(), 32)
+    if name == "$signed" and args:
+        value = args[0]
+        return Value(value.width, value.aval, value.bval, True)
+    if name == "$unsigned" and args:
+        value = args[0]
+        return Value(value.width, value.aval, value.bval, False)
+    if name == "$clog2" and args:
+        n = args[0].to_int()
+        bits = 0
+        while (1 << bits) < n:
+            bits += 1
+        return Value.from_int(bits, 32)
+    raise EvalError(f"unknown system function {name}")

@@ -1,0 +1,78 @@
+"""Defect scenario health: all 32 transplants apply, parse, and visibly
+change behaviour under the instrumented testbench (the paper's requirement
+that defects "change the externally visible behavior of the circuit")."""
+
+import pytest
+
+from repro.benchsuite import DEFECTS, all_scenarios, load_scenario
+from repro.hdl import parse
+
+SCENARIO_IDS = [d.scenario_id for d in DEFECTS]
+
+
+@pytest.fixture(scope="module", params=SCENARIO_IDS)
+def scenario(request):
+    return load_scenario(request.param)
+
+
+class TestSuiteShape:
+    def test_thirty_two_defects(self):
+        assert len(DEFECTS) == 32
+
+    def test_category_split_matches_paper(self):
+        # Paper: 19 Category 1 and 13 Category 2 defects.
+        cat1 = sum(1 for d in DEFECTS if d.category == 1)
+        cat2 = sum(1 for d in DEFECTS if d.category == 2)
+        assert (cat1, cat2) == (19, 13)
+
+    def test_eleven_projects_covered(self):
+        assert len({d.project for d in DEFECTS}) == 11
+
+    def test_paper_outcomes_recorded(self):
+        correct = sum(1 for d in DEFECTS if d.paper_outcome == "correct")
+        plausible = sum(1 for d in DEFECTS if d.paper_outcome in ("correct", "plausible"))
+        assert correct == 16
+        assert plausible == 21
+
+    def test_repair_times_only_for_repaired(self):
+        for defect in DEFECTS:
+            if defect.paper_outcome == "none":
+                assert defect.paper_repair_seconds is None
+            else:
+                assert defect.paper_repair_seconds is not None
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            load_scenario("bogus")
+
+
+class TestEachDefect:
+    def test_faulty_design_differs_from_golden(self, scenario):
+        assert scenario.faulty_design_text != scenario.project.design_text
+
+    def test_faulty_design_parses(self, scenario):
+        parse(scenario.faulty_design_text)
+
+    def test_defect_is_observable(self, scenario):
+        """The transplanted defect must degrade fitness below 1.0."""
+        fitness = scenario.faulty_fitness()
+        assert 0.0 <= fitness < 1.0
+
+    def test_golden_design_scores_one(self, scenario):
+        from repro.benchsuite.scenario import simulate_design_text
+        from repro.core.fitness import evaluate_fitness
+
+        trace = simulate_design_text(
+            scenario.project.design_text, scenario.instrumented_testbench()
+        )
+        assert evaluate_fitness(trace, scenario.oracle()).fitness == 1.0
+
+    def test_golden_design_is_correct_repair(self, scenario):
+        """The validation-bench correctness check must accept the golden
+        design itself (sanity of the correctness oracle)."""
+        assert scenario.is_correct_repair(scenario.project.design_text)
+
+    def test_faulty_design_not_correct(self, scenario):
+        """Defects observable on the main bench are almost always visible on
+        the validation bench too; all 32 of ours are."""
+        assert not scenario.is_correct_repair(scenario.faulty_design_text)

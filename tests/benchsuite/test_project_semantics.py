@@ -1,0 +1,172 @@
+"""Semantic checks on the golden projects: each design must actually do
+its job under the main testbench (stronger than trace-exists checks, and
+documents the intended behaviour of every re-authored core)."""
+
+import pytest
+
+from repro.benchsuite import load_project
+from repro.core.oracle import combine_sources, ensure_instrumented
+from repro.hdl import parse
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def results():
+    cache = {}
+
+    def run(name):
+        if name not in cache:
+            project = load_project(name)
+            golden = parse(project.design_text)
+            bench = ensure_instrumented(parse(project.testbench_text), golden)
+            sim = Simulator(combine_sources(golden, bench))
+            cache[name] = sim.run(1_000_000)
+        return cache[name]
+
+    return run
+
+
+class TestCounter:
+    def test_counts_and_overflows(self, results):
+        trace = results("counter").trace
+        counts = [r.values["counter_out"] for r in trace if r.values["counter_out"].is_fully_defined]
+        assert any(v.to_int() == 15 for v in counts)  # reaches max
+        overflow = [r.values["overflow_out"].to_bit_string() for r in trace]
+        assert "1" in overflow  # overflow fires
+        # After wrap-around the counter is small again with overflow latched
+        # (paper's walkthrough ends at counter 5, overflow 1; exact value
+        # depends on the reset handshake timing).
+        assert trace[-1].values["counter_out"].to_int() <= 5
+        assert trace[-1].values["overflow_out"].to_int() == 1
+
+
+class TestDecoder:
+    def test_one_hot_when_enabled(self, results):
+        for record in results("decoder_3_to_8").trace:
+            value = record.values["out"]
+            if value.is_fully_defined and value.to_int() != 0:
+                assert bin(value.to_int()).count("1") == 1  # one-hot
+
+
+class TestMux:
+    def test_output_tracks_selected_input(self, results):
+        trace = results("mux_4_1").trace
+        defined = [r.values["out"].to_int() for r in trace if r.values["out"].is_fully_defined]
+        assert {1, 2, 4, 8} <= set(defined)  # a/b/c/d each selected once
+
+
+class TestFsm:
+    def test_grants_mutually_exclusive(self, results):
+        for record in results("fsm_full").trace:
+            g0 = record.values["gnt_0"]
+            g1 = record.values["gnt_1"]
+            if g0.is_fully_defined and g1.is_fully_defined:
+                assert not (g0.to_int() and g1.to_int())
+
+    def test_both_requesters_served(self, results):
+        trace = results("fsm_full").trace
+        assert any(r.values["gnt_0"].to_int() == 1 for r in trace if r.values["gnt_0"].is_fully_defined)
+        assert any(r.values["gnt_1"].to_int() == 1 for r in trace if r.values["gnt_1"].is_fully_defined)
+
+
+class TestLshift:
+    def test_rotation_preserves_popcount(self, results):
+        trace = results("lshift_reg").trace
+        seen_a5 = False
+        for record in trace:
+            value = record.values["op"]
+            if value.is_fully_defined and value.to_int():
+                if value.to_int() in (0xA5, 0x5A + 0x100):  # loaded value appears
+                    seen_a5 = True
+        assert seen_a5 or any(
+            r.values["op"].is_fully_defined and bin(r.values["op"].to_int()).count("1") == 4
+            for r in trace
+        )
+
+
+class TestI2c:
+    def test_data_byte_received(self, results):
+        trace = results("i2c").trace
+        valid_rows = [r for r in trace if r.values["data_valid"].to_bit_string() == "1"]
+        assert valid_rows, "no data_valid strobe"
+        assert valid_rows[0].values["data_out"].aval == 0x3C
+
+    def test_address_acknowledged(self, results):
+        trace = results("i2c").trace
+        # sda_out must be driven low (ACK) at least once during the
+        # own-address transaction.
+        assert any(r.values["sda_out"].to_bit_string() == "0" for r in trace)
+
+    def test_foreign_address_not_acked_at_end(self, results):
+        trace = results("i2c").trace
+        # The second transaction targets a foreign address: after its ACK
+        # slot the line must be released (no 0 during the final rows).
+        tail = trace[-6:]
+        assert all(r.values["sda_out"].to_bit_string() == "1" for r in tail)
+
+
+class TestSha3:
+    def test_digest_produced(self, results):
+        trace = results("sha3").trace
+        valid = [r for r in trace if r.values["out_valid"].to_bit_string() == "1"]
+        assert valid
+        digest = valid[0].values["hash_out"]
+        assert digest.is_fully_defined
+        assert digest.aval != 0
+
+    def test_ready_during_absorb(self, results):
+        trace = results("sha3").trace
+        assert any(r.values["ready"].to_bit_string() == "1" for r in trace)
+        assert any(r.values["ready"].to_bit_string() == "0" for r in trace)
+
+
+class TestTatePairing:
+    def test_accumulator_progresses_and_finishes(self, results):
+        trace = results("tate_pairing").trace
+        assert trace[-1].values["done"].to_int() == 1
+        values = {
+            r.values["acc_out"].aval
+            for r in trace
+            if r.values["acc_out"].is_fully_defined
+        }
+        assert len(values) >= 4  # the Miller loop folds several times
+
+
+class TestReedSolomon:
+    def test_corrected_symbols_drain_in_order(self, results):
+        trace = results("reed_solomon_decoder").trace
+        outs = [
+            r.values["out_data"].aval
+            for r in trace
+            if r.values["out_valid"].to_bit_string() == "1"
+        ]
+        # Six symbols loaded: 0x20..0x25 with xor 0x0F on odd indexes.
+        expected = [0x20, 0x21 ^ 0x0F, 0x22, 0x23 ^ 0x0F, 0x24, 0x25 ^ 0x0F]
+        assert outs[: len(expected)] == expected
+
+    def test_drain_waits_500_cycles(self, results):
+        trace = results("reed_solomon_decoder").trace
+        first_valid = next(
+            r.time for r in trace if r.values["out_valid"].to_bit_string() == "1"
+        )
+        assert first_valid > 500 * 10  # 500 cycles at period 10
+
+
+class TestSdram:
+    def test_read_back_written_data(self, results):
+        trace = results("sdram_controller").trace
+        reads = [
+            r.values["rd_data"].aval
+            for r in trace
+            if r.values["rd_valid"].to_bit_string() == "1"
+        ]
+        assert reads[:3] == [0xDE, 0x5C, 0xAD]  # testbench read order
+        assert reads[-1] == 0xB2  # post-warm-reset readback
+
+    def test_init_sequence_commands(self, results):
+        trace = results("sdram_controller").trace
+        commands = [r.values["command"].to_bit_string() for r in trace]
+        assert "001" in commands  # PRECHARGE
+        assert "010" in commands  # REFRESH
+        assert "100" in commands  # READ
+        assert "101" in commands  # WRITE

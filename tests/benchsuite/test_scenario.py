@@ -1,0 +1,58 @@
+"""Scenario machinery tests (defect transplantation, config scaling,
+correctness checking)."""
+
+import pytest
+
+from repro.benchsuite import load_scenario
+from repro.benchsuite.scenario import Defect
+from repro.core.config import RepairConfig
+
+
+class TestDefectApply:
+    def test_replacement_applied_once(self):
+        defect = Defect("t", "p", "d", 1, (("aaa", "bbb"),))
+        assert defect.apply("aaa aaa") == "bbb aaa"
+
+    def test_missing_pattern_raises(self):
+        defect = Defect("t", "p", "d", 1, (("zzz", "y"),))
+        with pytest.raises(ValueError):
+            defect.apply("aaa")
+
+    def test_noop_defect_rejected(self):
+        defect = Defect("t", "p", "d", 1, (("a", "a"),))
+        with pytest.raises(ValueError):
+            defect.apply("aaa")
+
+
+class TestScenario:
+    def test_problem_is_cached(self):
+        scenario = load_scenario("ff_cond")
+        assert scenario.problem() is scenario.problem()
+
+    def test_oracle_shared_across_scenarios_of_project(self):
+        first = load_scenario("counter_sens")
+        second = load_scenario("counter_reset")
+        assert first.oracle().times() == second.oracle().times()
+
+    def test_suggested_config_scales_bounds(self):
+        scenario = load_scenario("rs_sens")
+        base = RepairConfig()
+        scaled = scenario.suggested_config(base)
+        end_time = scenario.oracle().times()[-1]
+        assert scaled.max_sim_time >= end_time
+        assert scaled.max_sim_steps >= 20_000
+        # Other fields untouched.
+        assert scaled.population_size == base.population_size
+
+    def test_is_correct_repair_accepts_golden(self):
+        scenario = load_scenario("ff_cond")
+        assert scenario.is_correct_repair(scenario.project.design_text)
+
+    def test_is_correct_repair_rejects_garbage(self):
+        scenario = load_scenario("ff_cond")
+        assert not scenario.is_correct_repair("module tff; endmodule")
+
+    def test_faulty_fitness_uses_phi(self):
+        scenario = load_scenario("counter_reset")
+        # The counter defect's signature is x output, so phi matters.
+        assert scenario.faulty_fitness(phi=1.0) != scenario.faulty_fitness(phi=3.0)

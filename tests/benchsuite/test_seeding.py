@@ -1,0 +1,44 @@
+"""Random defect seeding tests."""
+
+import pytest
+
+from repro.benchsuite import load_project
+from repro.benchsuite.seeding import DefectSeeder
+from repro.hdl import parse
+
+
+@pytest.fixture(scope="module")
+def seeder():
+    return DefectSeeder(load_project("flip_flop"), rng_seed=1)
+
+
+class TestSeeding:
+    def test_generates_requested_count(self, seeder):
+        defects = seeder.generate(3)
+        assert len(defects) == 3
+
+    def test_defects_compile(self, seeder):
+        for defect in seeder.generate(3):
+            parse(defect.faulty_text)
+
+    def test_defects_are_observable(self, seeder):
+        for defect in seeder.generate(3):
+            assert 0.0 < defect.faulty_fitness < 1.0
+
+    def test_defects_differ_from_golden(self, seeder):
+        golden = load_project("flip_flop").design_text
+        for defect in seeder.generate(3):
+            assert defect.faulty_text != golden
+
+    def test_deterministic_per_seed(self):
+        project = load_project("flip_flop")
+        first = DefectSeeder(project, rng_seed=5).generate(2)
+        second = DefectSeeder(project, rng_seed=5).generate(2)
+        assert [d.faulty_text for d in first] == [d.faulty_text for d in second]
+
+    def test_as_scenario_roundtrip(self, seeder):
+        defect = seeder.generate(1)[0]
+        scenario = seeder.as_scenario(defect)
+        assert scenario.faulty_design_text == defect.faulty_text
+        fitness = scenario.faulty_fitness()
+        assert abs(fitness - defect.faulty_fitness) < 1e-9

@@ -1,0 +1,13 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# One profile for the whole suite: generous deadlines (simulations inside
+# property tests are slow on shared CI boxes), deterministic derandomize
+# left off so new counterexamples can still surface locally.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

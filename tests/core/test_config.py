@@ -1,0 +1,47 @@
+"""RepairConfig tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import TEST_CONFIG, RepairConfig
+
+
+class TestDefaults:
+    def test_paper_parameters(self):
+        config = RepairConfig()
+        assert config.population_size == 5000
+        assert config.max_generations == 8
+        assert config.rt_threshold == 0.2
+        assert config.mut_threshold == 0.7
+        assert config.delete_threshold == 0.3
+        assert config.insert_threshold == 0.3
+        assert config.tournament_size == 5
+        assert config.elitism_fraction == 0.05
+        assert config.phi == 2.0
+        assert config.max_wall_seconds == 12 * 3600.0
+
+    def test_extensions_off_by_default(self):
+        assert RepairConfig().extended_templates is False
+
+    def test_frozen(self):
+        config = RepairConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.phi = 3.0  # type: ignore[misc]
+
+
+class TestScaled:
+    def test_scaled_overrides_only_named(self):
+        config = RepairConfig().scaled(population_size=10, phi=1.0)
+        assert config.population_size == 10
+        assert config.phi == 1.0
+        assert config.max_generations == 8
+
+    def test_scaled_returns_new_object(self):
+        base = RepairConfig()
+        assert base.scaled(phi=3.0) is not base
+        assert base.phi == 2.0
+
+    def test_test_config_is_small(self):
+        assert TEST_CONFIG.population_size < 100
+        assert TEST_CONFIG.max_wall_seconds < 600

@@ -1,0 +1,146 @@
+"""GP operator tests: mutation sub-operators, templates, crossover."""
+
+import random
+
+from repro.core.faultloc import all_statement_ids
+from repro.core.operators import apply_fix_pattern, crossover, mutate
+from repro.core.patch import Edit, Patch
+from repro.hdl import ast, generate, parse
+
+SRC = """
+module m;
+  reg [3:0] a;
+  reg [3:0] b;
+  always @(posedge clk) begin
+    if (a == 4'd3) begin
+      b <= 4'd1;
+    end
+    a <= a + 1;
+  end
+  initial begin
+    a = 0;
+    b = 0;
+  end
+endmodule
+"""
+
+
+def setup():
+    tree = parse(SRC)
+    return tree, all_statement_ids(tree)
+
+
+class TestMutate:
+    def test_delete_branch(self):
+        tree, faults = setup()
+        rng = random.Random(0)
+        child = mutate(Patch.empty(), tree, faults, rng, delete_threshold=1.0)
+        assert len(child) == 1
+        assert child.edits[0].kind == "delete"
+
+    def test_insert_branch(self):
+        tree, faults = setup()
+        rng = random.Random(0)
+        child = mutate(
+            Patch.empty(), tree, faults, rng, delete_threshold=0.0, insert_threshold=1.0
+        )
+        assert child.edits[0].kind == "insert_after"
+
+    def test_replace_branch(self):
+        tree, faults = setup()
+        rng = random.Random(0)
+        child = mutate(
+            Patch.empty(), tree, faults, rng, delete_threshold=0.0, insert_threshold=0.0
+        )
+        assert child.edits and child.edits[0].kind == "replace"
+
+    def test_mutation_result_parses(self):
+        tree, faults = setup()
+        rng = random.Random(7)
+        for _ in range(30):
+            child = mutate(Patch.empty(), tree, faults, rng)
+            generate(child.apply(tree))  # must render
+
+    def test_no_targets_returns_parent(self):
+        tree, _ = setup()
+        rng = random.Random(0)
+        parent = Patch.empty()
+        child = mutate(parent, tree, set(), rng, delete_threshold=1.0)
+        assert child is parent
+
+    def test_delete_targets_only_fault_space(self):
+        tree, _ = setup()
+        if_node = next(n for n in tree.walk() if isinstance(n, ast.If))
+        faults = {if_node.node_id}
+        rng = random.Random(0)
+        for _ in range(10):
+            child = mutate(Patch.empty(), tree, faults, rng, delete_threshold=1.0)
+            assert child.edits[0].target_id == if_node.node_id
+
+
+class TestFixPattern:
+    def test_applies_a_template_edit(self):
+        tree, faults = setup()
+        rng = random.Random(1)
+        child = apply_fix_pattern(Patch.empty(), tree, faults, rng)
+        assert len(child) == 1
+        assert child.edits[0].kind == "template"
+
+    def test_sensitivity_targets_offered_for_faulty_always(self):
+        tree, _ = setup()
+        nba = next(n for n in tree.walk() if isinstance(n, ast.NonBlockingAssign))
+        rng = random.Random(3)
+        seen_kinds = set()
+        for _ in range(60):
+            child = apply_fix_pattern(Patch.empty(), tree, {nba.node_id}, rng)
+            if child.edits:
+                seen_kinds.add(child.edits[0].template)
+        assert any(t and t.startswith("sens_") for t in seen_kinds)
+
+    def test_no_candidates_returns_parent(self):
+        tree, _ = setup()
+        rng = random.Random(0)
+        parent = Patch.empty()
+        # Fault set with only a Block node: no applicable templates and no
+        # always block containing it... use an empty fault set on a
+        # template-free module.
+        bare = parse("module m; wire w; assign w = 1'b0; endmodule")
+        child = apply_fix_pattern(parent, bare, set(), rng)
+        assert child is parent
+
+
+class TestCrossover:
+    def test_offspring_carry_both_parents(self):
+        rng = random.Random(0)
+        p1 = Patch([Edit("delete", 1), Edit("delete", 2)])
+        p2 = Patch([Edit("delete", 10), Edit("delete", 20)])
+        seen = set()
+        for _ in range(40):
+            c1, c2 = crossover(p1, p2, rng)
+            seen.add(tuple(e.target_id for e in c1.edits))
+            seen.add(tuple(e.target_id for e in c2.edits))
+        # Some offspring must mix genetic material from both parents.
+        assert any(
+            any(t < 10 for t in combo) and any(t >= 10 for t in combo)
+            for combo in seen
+            if combo
+        )
+
+    def test_total_edit_count_conserved(self):
+        rng = random.Random(5)
+        p1 = Patch([Edit("delete", i) for i in range(3)])
+        p2 = Patch([Edit("delete", i + 100) for i in range(4)])
+        c1, c2 = crossover(p1, p2, rng)
+        assert len(c1) + len(c2) == len(p1) + len(p2)
+
+    def test_empty_parents(self):
+        rng = random.Random(0)
+        c1, c2 = crossover(Patch.empty(), Patch.empty(), rng)
+        assert len(c1) == 0 and len(c2) == 0
+
+    def test_deterministic_under_seed(self):
+        p1 = Patch([Edit("delete", i) for i in range(5)])
+        p2 = Patch([Edit("delete", i + 50) for i in range(5)])
+        a = crossover(p1, p2, random.Random(42))
+        b = crossover(p1, p2, random.Random(42))
+        assert [e.target_id for e in a[0].edits] == [e.target_id for e in b[0].edits]

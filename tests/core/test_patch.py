@@ -1,0 +1,146 @@
+"""Patch representation tests: application, staleness, fresh-id stability."""
+
+from repro.core.patch import Edit, Patch
+from repro.hdl import ast, generate, parse
+
+SRC = """
+module m;
+  reg [3:0] a;
+  reg [3:0] b;
+  always @(posedge clk) begin
+    a <= 4'd1;
+    b <= 4'd2;
+  end
+endmodule
+"""
+
+
+def base():
+    return parse(SRC)
+
+
+def nba(tree, index):
+    return [n for n in tree.walk() if isinstance(n, ast.NonBlockingAssign)][index]
+
+
+class TestApply:
+    def test_empty_patch_is_identity(self):
+        tree = base()
+        assert generate(Patch.empty().apply(tree)) == generate(tree)
+
+    def test_apply_does_not_mutate_base(self):
+        tree = base()
+        target = nba(tree, 0)
+        Patch([Edit("delete", target.node_id)]).apply(tree)
+        assert tree.find(target.node_id) is not None
+
+    def test_delete_statement_becomes_null(self):
+        tree = base()
+        target = nba(tree, 0)
+        patched = Patch([Edit("delete", target.node_id)]).apply(tree)
+        assert "a <= 4'd1;" not in generate(patched)
+
+    def test_replace(self):
+        tree = base()
+        target = nba(tree, 0)
+        donor = nba(tree, 1)
+        patched = Patch([Edit("replace", target.node_id, donor.clone())]).apply(tree)
+        assert generate(patched).count("b <= 4'd2;") == 2
+
+    def test_insert_after(self):
+        tree = base()
+        anchor = nba(tree, 1)
+        donor = nba(tree, 0)
+        patched = Patch([Edit("insert_after", anchor.node_id, donor.clone())]).apply(tree)
+        text = generate(patched)
+        assert text.count("a <= 4'd1;") == 2
+        assert text.index("b <= 4'd2;") < text.rindex("a <= 4'd1;")
+
+    def test_template_edit(self):
+        tree = base()
+        number = next(
+            n for n in tree.walk() if isinstance(n, ast.Number) and n.text == "4'd1"
+        )
+        patched = Patch(
+            [Edit("template", number.node_id, template="increment_by_one")]
+        ).apply(tree)
+        assert "4'd2" in generate(patched)
+
+    def test_stale_edit_skipped(self):
+        tree = base()
+        target = nba(tree, 0)
+        patch = Patch(
+            [
+                Edit("delete", target.node_id),
+                Edit("replace", target.node_id, nba(tree, 1).clone()),  # stale
+            ]
+        )
+        patched = patch.apply(tree)
+        assert "a <= 4'd1;" not in generate(patched)
+
+    def test_unknown_target_skipped(self):
+        tree = base()
+        patched = Patch([Edit("delete", 10**9)]).apply(tree)
+        assert generate(patched) == generate(tree)
+
+
+class TestIdStability:
+    def test_existing_ids_preserved(self):
+        tree = base()
+        target = nba(tree, 0)
+        donor = nba(tree, 1)
+        patched = Patch([Edit("insert_after", target.node_id, donor.clone())]).apply(tree)
+        assert patched.find(target.node_id) is not None
+        assert patched.find(donor.node_id) is not None
+
+    def test_inserted_nodes_get_fresh_ids(self):
+        tree = base()
+        max_id = max(n.node_id for n in tree.walk())
+        target = nba(tree, 0)
+        patched = Patch(
+            [Edit("insert_after", target.node_id, nba(tree, 1).clone())]
+        ).apply(tree)
+        fresh = [n.node_id for n in patched.walk() if n.node_id > max_id]
+        assert fresh  # the inserted copy
+        assert len(set(fresh)) == len(fresh)  # no collisions
+
+    def test_two_applications_identical(self):
+        tree = base()
+        target = nba(tree, 0)
+        patch = Patch([Edit("insert_after", target.node_id, nba(tree, 1).clone())])
+        first = patch.apply(tree)
+        second = patch.apply(tree)
+        assert generate(first) == generate(second)
+        assert [n.node_id for n in first.walk()] == [n.node_id for n in second.walk()]
+
+    def test_edit_can_target_earlier_insertion(self):
+        tree = base()
+        target = nba(tree, 0)
+        patch1 = Patch([Edit("insert_after", target.node_id, nba(tree, 1).clone())])
+        tree1 = patch1.apply(tree)
+        inserted = [
+            n
+            for n in tree1.walk()
+            if isinstance(n, ast.Number) and n.node_id > 10_000 and n.text == "4'd2"
+        ][0]
+        patch2 = patch1.extended(
+            Edit("template", inserted.node_id, template="increment_by_one")
+        )
+        assert "4'd3" in generate(patch2.apply(tree))
+
+
+class TestValueSemantics:
+    def test_extended_returns_new_patch(self):
+        p1 = Patch.empty()
+        p2 = p1.extended(Edit("delete", 1))
+        assert len(p1) == 0
+        assert len(p2) == 1
+
+    def test_subset(self):
+        patch = Patch([Edit("delete", 1), Edit("delete", 2), Edit("delete", 3)])
+        assert [e.target_id for e in patch.subset([0, 2]).edits] == [1, 3]
+
+    def test_describe(self):
+        assert Patch.empty().describe() == "<original>"
+        patch = Patch([Edit("template", 5, template="negate_conditional")])
+        assert "negate_conditional" in patch.describe()

@@ -1,0 +1,109 @@
+"""Patch edge cases: deletes of non-statements, malformed edits, deep
+edit chains."""
+
+import pytest
+
+from repro.core.patch import Edit, Patch
+from repro.hdl import ast, generate, parse
+
+SRC = """
+module m;
+  reg [3:0] a;
+  wire w;
+  assign w = a[0];
+  always @(posedge clk) begin
+    if (a == 4'd2) begin
+      a <= a + 1;
+    end
+  end
+endmodule
+"""
+
+
+def base():
+    return parse(SRC)
+
+
+class TestDeleteVariants:
+    def test_delete_expression_in_scalar_field_nulls_it(self):
+        tree = base()
+        if_node = next(n for n in tree.walk() if isinstance(n, ast.If))
+        patched = Patch([Edit("delete", if_node.cond.node_id)]).apply(tree)
+        # The condition slot is now empty; codegen must fail cleanly (the
+        # engine scores such mutants as non-compiling).
+        from repro.hdl.codegen import CodegenError
+
+        with pytest.raises(CodegenError):
+            generate(patched)
+
+    def test_delete_module_item(self):
+        tree = base()
+        cont = next(n for n in tree.walk() if isinstance(n, ast.ContinuousAssign))
+        patched = Patch([Edit("delete", cont.node_id)]).apply(tree)
+        text = generate(patched)
+        assert "assign" not in text
+
+    def test_delete_whole_always(self):
+        tree = base()
+        always = next(n for n in tree.walk() if isinstance(n, ast.Always))
+        patched = Patch([Edit("delete", always.node_id)]).apply(tree)
+        assert "always" not in generate(patched)
+
+
+class TestMalformedEdits:
+    def test_replace_without_payload_is_noop(self):
+        tree = base()
+        target = next(n for n in tree.walk() if isinstance(n, ast.If))
+        patched = Patch([Edit("replace", target.node_id, None)]).apply(tree)
+        assert generate(patched) == generate(tree)
+
+    def test_insert_without_payload_is_noop(self):
+        tree = base()
+        target = next(n for n in tree.walk() if isinstance(n, ast.NonBlockingAssign))
+        patched = Patch([Edit("insert_after", target.node_id, None)]).apply(tree)
+        assert generate(patched) == generate(tree)
+
+    def test_template_without_name_is_noop(self):
+        tree = base()
+        target = next(n for n in tree.walk() if isinstance(n, ast.If))
+        patched = Patch([Edit("template", target.node_id, template=None)]).apply(tree)
+        assert generate(patched) == generate(tree)
+
+    def test_unknown_template_name_is_noop(self):
+        tree = base()
+        target = next(n for n in tree.walk() if isinstance(n, ast.If))
+        patched = Patch(
+            [Edit("template", target.node_id, template="no_such_template")]
+        ).apply(tree)
+        assert generate(patched) == generate(tree)
+
+    def test_unknown_edit_kind_raises(self):
+        tree = base()
+        target = next(n for n in tree.walk() if isinstance(n, ast.If))
+        with pytest.raises(ValueError):
+            Patch([Edit("transmogrify", target.node_id)]).apply(tree)
+
+
+class TestDeepChains:
+    def test_ten_edit_chain_applies(self):
+        tree = base()
+        nba = next(n for n in tree.walk() if isinstance(n, ast.NonBlockingAssign))
+        patch = Patch.empty()
+        anchor_id = nba.node_id
+        for _ in range(10):
+            patch = patch.extended(Edit("insert_after", anchor_id, nba.clone()))
+        patched = patch.apply(tree)
+        assert generate(patched).count("a <= (a + 1);") == 11
+
+    def test_chain_with_interleaved_deletes(self):
+        tree = base()
+        nba = next(n for n in tree.walk() if isinstance(n, ast.NonBlockingAssign))
+        patch = Patch(
+            [
+                Edit("insert_after", nba.node_id, nba.clone()),
+                Edit("delete", nba.node_id),
+            ]
+        )
+        patched = patch.apply(tree)
+        # Original deleted, inserted copy survives.
+        assert generate(patched).count("a <= (a + 1);") == 1

@@ -1,0 +1,128 @@
+"""Repair engine tests: evaluation pipeline, fault localization per parent,
+caching, and two fast end-to-end repairs."""
+
+import pytest
+
+from repro.core import TEST_CONFIG, CirFixEngine, RepairProblem
+from repro.core.patch import Edit, Patch
+from repro.core.repair import repair
+from repro.core.oracle import ensure_instrumented, generate_oracle
+from repro.hdl import ast, parse
+
+GOLDEN_FF = """
+module tff(clk, rstn, t, q);
+  input clk, rstn, t;
+  output q;
+  reg q;
+  always @(posedge clk) begin
+    if (!rstn) q <= 1'b0;
+    else begin
+      if (t) q <= !q;
+      else q <= q;
+    end
+  end
+endmodule
+"""
+
+FAULTY_FF = GOLDEN_FF.replace("if (t) q <= !q;", "if (!t) q <= !q;")
+
+TESTBENCH = """
+module tb;
+  reg clk, rstn, t;
+  wire q;
+  tff dut(.clk(clk), .rstn(rstn), .t(t), .q(q));
+  always #5 clk = !clk;
+  initial begin
+    clk = 0; rstn = 0; t = 0;
+    @(negedge clk);
+    rstn = 1; t = 1;
+    repeat (4) begin @(negedge clk); end
+    t = 0;
+    repeat (3) begin @(negedge clk); end
+    #5 $finish;
+  end
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def problem():
+    golden = parse(GOLDEN_FF)
+    bench = ensure_instrumented(parse(TESTBENCH), golden)
+    oracle = generate_oracle(golden, bench)
+    return RepairProblem(parse(FAULTY_FF), bench, oracle, "ff_cond")
+
+
+class TestEvaluation:
+    def test_faulty_design_scores_below_one(self, problem):
+        engine = CirFixEngine(problem, TEST_CONFIG)
+        evaluation = engine.evaluate(Patch.empty())
+        assert evaluation.compiled
+        assert 0.0 <= evaluation.fitness < 1.0
+
+    def test_golden_equivalent_patch_scores_one(self, problem):
+        engine = CirFixEngine(problem, TEST_CONFIG)
+        if_node = next(
+            n
+            for n in problem.design.walk()
+            if isinstance(n, ast.If)
+            and isinstance(n.cond, ast.UnaryOp)
+            and isinstance(n.cond.operand, ast.Identifier)
+            and n.cond.operand.name == "t"
+        )
+        patch = Patch([Edit("template", if_node.node_id, template="negate_conditional")])
+        assert engine.evaluate(patch).fitness == 1.0
+
+    def test_evaluation_cached_by_source(self, problem):
+        engine = CirFixEngine(problem, TEST_CONFIG)
+        engine.evaluate(Patch.empty())
+        sims_before = engine.simulations
+        engine.evaluate(Patch.empty())
+        assert engine.simulations == sims_before
+
+    def test_broken_mutant_scores_zero_and_counts_compile_failure(self, problem):
+        engine = CirFixEngine(problem, TEST_CONFIG)
+        # Replace the whole if-statement's condition with a statement —
+        # renders as nonsense that fails to parse.
+        if_node = next(n for n in problem.design.walk() if isinstance(n, ast.If))
+        bad = Patch([Edit("replace", if_node.cond.node_id, if_node.clone())])
+        evaluation = engine.evaluate(bad)
+        assert evaluation.fitness == 0.0
+
+    def test_fault_localization_targets_q(self, problem):
+        engine = CirFixEngine(problem, TEST_CONFIG)
+        variant = engine.variant_tree(Patch.empty())
+        fault_ids = engine.fault_localization(Patch.empty(), variant)
+        implicated = {
+            n.node_id
+            for n in variant.walk()
+            if isinstance(n, ast.NonBlockingAssign)
+        }
+        assert implicated & fault_ids
+
+
+class TestEndToEnd:
+    def test_repairs_negated_conditional(self, problem):
+        outcome = repair(problem, TEST_CONFIG, seeds=(0, 1, 2))
+        assert outcome.plausible
+        assert outcome.fitness == 1.0
+        assert outcome.repaired_source is not None
+
+    def test_minimized_repair_is_small(self, problem):
+        outcome = repair(problem, TEST_CONFIG, seeds=(0, 1, 2))
+        assert outcome.plausible
+        assert len(outcome.patch) <= 2
+
+    def test_outcome_metadata(self, problem):
+        engine = CirFixEngine(problem, TEST_CONFIG, seed=0)
+        outcome = engine.run()
+        assert outcome.simulations > 0
+        assert outcome.fitness_evals >= outcome.simulations
+        assert outcome.best_fitness_history
+        assert outcome.best_fitness_history == sorted(outcome.best_fitness_history)
+
+    def test_determinism_per_seed(self, problem):
+        out1 = CirFixEngine(problem, TEST_CONFIG, seed=5).run()
+        out2 = CirFixEngine(problem, TEST_CONFIG, seed=5).run()
+        assert out1.plausible == out2.plausible
+        assert out1.patch.describe() == out2.patch.describe()

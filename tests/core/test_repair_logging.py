@@ -1,0 +1,59 @@
+"""Engine progress logging tests (the artifact's repair_logs feature)."""
+
+import logging
+
+from repro.core import TEST_CONFIG, CirFixEngine, RepairProblem
+from repro.core.oracle import ensure_instrumented, generate_oracle
+from repro.hdl import parse
+
+GOLDEN = """
+module notch(clk, d, q);
+  input clk, d;
+  output q;
+  reg q;
+  always @(posedge clk) q <= !d;
+endmodule
+"""
+
+FAULTY = GOLDEN.replace("q <= !d;", "q <= d;")
+
+TESTBENCH = """
+module tb;
+  reg clk, d;
+  wire q;
+  notch dut(.clk(clk), .d(d), .q(q));
+  always #5 clk = !clk;
+  initial begin
+    clk = 0; d = 0;
+    repeat (3) begin @(negedge clk); d = !d; end
+    repeat (2) begin @(negedge clk); end
+    $finish;
+  end
+endmodule
+"""
+
+
+def make_problem():
+    golden = parse(GOLDEN)
+    bench = ensure_instrumented(parse(TESTBENCH), golden)
+    return RepairProblem(parse(FAULTY), bench, generate_oracle(golden, bench), "notch")
+
+
+class TestLogging:
+    def test_progress_logged_at_info(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.repair"):
+            CirFixEngine(make_problem(), TEST_CONFIG, seed=0).run()
+        text = caplog.text
+        assert "start: fitness=" in text
+        assert "[notch seed=0]" in text
+
+    def test_minimization_logged_on_success(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.repair"):
+            outcome = CirFixEngine(make_problem(), TEST_CONFIG, seed=0).run()
+        if outcome.plausible:
+            assert "minimized to" in caplog.text
+
+    def test_silent_by_default(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.repair"):
+            CirFixEngine(make_problem(), TEST_CONFIG, seed=1).run()
+        assert "start: fitness" not in caplog.text

@@ -1,0 +1,119 @@
+"""Selection (tournament + elitism) and delta-debugging minimization tests."""
+
+import random
+
+import pytest
+
+from repro.core.minimize import minimize_patch
+from repro.core.patch import Edit, Patch
+from repro.core.selection import elite, tournament_select
+
+
+class TestTournament:
+    def test_returns_fittest_of_pool(self):
+        # Pool sampling is with replacement; with a 2-member population and
+        # a large tournament the best member is picked almost surely.
+        rng = random.Random(0)
+        winner = tournament_select([0, 1], lambda x: x, rng, tournament_size=2)
+        assert winner in (0, 1)
+        winners = [
+            tournament_select([0, 1], lambda x: x, random.Random(i), 2)
+            for i in range(100)
+        ]
+        assert winners.count(1) > 60  # ~75% expected
+
+    def test_tournament_size_one_is_random_choice(self):
+        rng = random.Random(0)
+        population = [1, 2, 3]
+        picks = {tournament_select(population, lambda x: x, rng, 1) for _ in range(50)}
+        assert len(picks) > 1
+
+    def test_selection_pressure_grows_with_size(self):
+        population = list(range(50))
+        small = [
+            tournament_select(population, lambda x: x, random.Random(i), 2)
+            for i in range(200)
+        ]
+        large = [
+            tournament_select(population, lambda x: x, random.Random(i), 10)
+            for i in range(200)
+        ]
+        assert sum(large) / len(large) > sum(small) / len(small)
+
+    def test_empty_population_raises(self):
+        with pytest.raises(ValueError):
+            tournament_select([], lambda x: x, random.Random(0))
+
+
+class TestElite:
+    def test_top_fraction_fittest_first(self):
+        population = [5, 1, 9, 3, 7, 2, 8, 4, 6, 0] * 2
+        top = elite(population, lambda x: x, fraction=0.10)
+        assert top == [9, 9]
+
+    def test_at_least_one_survivor(self):
+        assert elite([3, 1], lambda x: x, fraction=0.01) == [3]
+
+    def test_empty_population(self):
+        assert elite([], lambda x: x) == []
+
+
+class TestMinimize:
+    def _patch(self, n):
+        return Patch([Edit("delete", i) for i in range(n)])
+
+    def test_single_necessary_edit_kept(self):
+        patch = self._patch(6)
+
+        def plausible(p):
+            return any(e.target_id == 3 for e in p.edits)
+
+        result = minimize_patch(patch, plausible)
+        assert [e.target_id for e in result.edits] == [3]
+
+    def test_pair_of_necessary_edits(self):
+        patch = self._patch(8)
+
+        def plausible(p):
+            ids = {e.target_id for e in p.edits}
+            return {2, 5} <= ids
+
+        result = minimize_patch(patch, plausible)
+        assert {e.target_id for e in result.edits} == {2, 5}
+
+    def test_all_edits_necessary(self):
+        patch = self._patch(4)
+
+        def plausible(p):
+            return len(p.edits) == 4
+
+        result = minimize_patch(patch, plausible)
+        assert len(result.edits) == 4
+
+    def test_empty_patch_returned_unchanged(self):
+        patch = Patch.empty()
+        assert minimize_patch(patch, lambda p: True) is patch
+
+    def test_one_minimality(self):
+        patch = self._patch(10)
+        required = {1, 4, 8}
+
+        def plausible(p):
+            return required <= {e.target_id for e in p.edits}
+
+        result = minimize_patch(patch, plausible)
+        # Dropping any single remaining edit must break plausibility.
+        for drop in range(len(result.edits)):
+            keep = [i for i in range(len(result.edits)) if i != drop]
+            assert not plausible(result.subset(keep))
+
+    def test_budget_respected(self):
+        patch = self._patch(12)
+        calls = []
+
+        def plausible(p):
+            calls.append(1)
+            return True
+
+        minimize_patch(patch, plausible, max_tests=10)
+        assert len(calls) <= 11

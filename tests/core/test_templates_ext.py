@@ -1,0 +1,124 @@
+"""Extended (future-work) template tests."""
+
+from repro.core.patch import Edit, Patch
+from repro.core.templates_ext import (
+    EXTENDED_TEMPLATES,
+    applicable_extended,
+    apply_extended,
+    extra_candidates,
+)
+from repro.hdl import ast, generate, parse
+
+SRC = """
+module m;
+  reg [7:0] counter;
+  reg flag;
+  always @(posedge clk) begin
+    if (counter == 8'd200) begin
+      flag <= 1'b1;
+    end
+    else begin
+      flag <= 1'b0;
+    end
+    counter <= counter + 1;
+  end
+endmodule
+"""
+
+
+def tree():
+    return parse(SRC)
+
+
+def find(t, node_type, predicate=lambda n: True):
+    return next(n for n in t.walk() if isinstance(n, node_type) and predicate(n))
+
+
+class TestApplicability:
+    def test_four_extension_templates(self):
+        assert len(EXTENDED_TEMPLATES) == 4
+
+    def test_swap_needs_else(self):
+        t = tree()
+        if_node = find(t, ast.If)
+        assert "swap_if_branches" in applicable_extended(if_node)
+        t2 = parse("module m; reg r; always @(*) if (r) r = 0; endmodule")
+        lone_if = find(t2, ast.If)
+        assert "swap_if_branches" not in applicable_extended(lone_if)
+
+    def test_widen_needs_vector_decl(self):
+        t = tree()
+        vector = find(t, ast.Decl, lambda d: d.name == "counter")
+        scalar = find(t, ast.Decl, lambda d: d.name == "flag")
+        assert "widen_register" in applicable_extended(vector)
+        assert "widen_register" not in applicable_extended(scalar)
+
+    def test_negate_equality_on_comparison(self):
+        t = tree()
+        cmp_node = find(t, ast.BinaryOp, lambda n: n.op == "==")
+        assert "negate_equality" in applicable_extended(cmp_node)
+
+
+class TestApplication:
+    def test_swap_if_branches(self):
+        t = tree()
+        if_node = find(t, ast.If)
+        assert apply_extended("swap_if_branches", t, if_node.node_id, 90_000)
+        text = generate(t)
+        assert text.index("flag <= 1'b0;") < text.index("flag <= 1'b1;")
+
+    def test_widen_register_doubles_width(self):
+        t = tree()
+        decl = find(t, ast.Decl, lambda d: d.name == "counter")
+        assert apply_extended("widen_register", t, decl.node_id, 90_000)
+        assert "reg [15:0] counter;" in generate(t)
+
+    def test_zero_assignment_duplicates_with_zero(self):
+        t = tree()
+        nba = find(t, ast.NonBlockingAssign, lambda n: isinstance(n.rhs, ast.BinaryOp))
+        assert apply_extended("zero_assignment", t, nba.node_id, 90_000)
+        assert "counter <= 0;" in generate(t)
+
+    def test_negate_equality_flips(self):
+        t = tree()
+        cmp_node = find(t, ast.BinaryOp, lambda n: n.op == "==")
+        assert apply_extended("negate_equality", t, cmp_node.node_id, 90_000)
+        assert "!=" in generate(t)
+
+    def test_dispatch_through_core_apply_template(self):
+        from repro.core.templates import apply_template
+
+        t = tree()
+        if_node = find(t, ast.If)
+        assert apply_template("swap_if_branches", t, if_node.node_id, 90_000)
+
+    def test_patch_edit_integration(self):
+        t = tree()
+        decl = find(t, ast.Decl, lambda d: d.name == "counter")
+        patch = Patch([Edit("template", decl.node_id, template="widen_register")])
+        assert "[15:0]" in generate(patch.apply(t))
+
+    def test_results_reparse(self):
+        for name in EXTENDED_TEMPLATES:
+            t = tree()
+            for node in list(t.walk()):
+                if name in applicable_extended(node) and node.node_id:
+                    assert apply_extended(name, t, node.node_id, 90_000)
+                    parse(generate(t))
+                    break
+
+
+class TestExtraCandidates:
+    def test_decl_of_implicated_identifier_targeted(self):
+        t = tree()
+        # Implicate the counter increment assignment.
+        nba = find(t, ast.NonBlockingAssign, lambda n: isinstance(n.rhs, ast.BinaryOp))
+        fault_ids = {n.node_id for n in nba.walk()}
+        candidates = extra_candidates(t, fault_ids)
+        decl = find(t, ast.Decl, lambda d: d.name == "counter")
+        assert (decl.node_id, "widen_register") in candidates
+
+    def test_unrelated_decls_not_targeted(self):
+        t = tree()
+        candidates = extra_candidates(t, set())
+        assert candidates == []

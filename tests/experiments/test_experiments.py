@@ -1,0 +1,123 @@
+"""Experiment-harness tests (the cheap, deterministic parts)."""
+
+import pytest
+
+from repro.experiments.common import PRESETS, format_table
+from repro.experiments.figure2 import compute_figure2, render_figure2
+from repro.experiments.figure3 import compute_figure3
+from repro.experiments.phi_ablation import run_phi_ablation
+from repro.experiments.rq2 import analyze_rq2, render_rq2
+from repro.experiments.rq3 import compute_rq3
+from repro.experiments.table2 import PAPER_LOC, compute_table2
+
+
+class TestTable2:
+    def test_eleven_rows(self):
+        rows = compute_table2()
+        assert len(rows) == 11
+
+    def test_paper_loc_reference_complete(self):
+        assert sum(v[0] for v in PAPER_LOC.values()) == 9770
+        assert sum(v[1] for v in PAPER_LOC.values()) == 2923
+
+    def test_loc_positive(self):
+        for row in compute_table2():
+            assert row.design_loc > 0
+            assert row.testbench_loc > 0
+
+
+class TestFigure2:
+    def test_signature_matches_paper(self):
+        data = compute_figure2()
+        assert data.mismatched_vars == {"overflow_out"}
+        assert abs(data.faulty_fitness - 0.58) < 0.05
+
+    def test_render_marks_mismatches(self):
+        data = compute_figure2()
+        text = render_figure2(data)
+        assert "<-- mismatch" in text
+        assert "0.58" in text
+
+
+class TestFigure3:
+    def test_insert_plus_replace_reaches_one(self):
+        data = compute_figure3()
+        assert data.edit_kinds == ["insert_after", "replace"]
+        assert data.patched_fitness == 1.0
+
+
+class TestRq2Analysis:
+    def _result(self, scenario_id, category, plausible, seconds):
+        from repro.experiments.common import ScenarioResult
+
+        return ScenarioResult(
+            scenario_id=scenario_id,
+            project="p",
+            description="d",
+            category=category,
+            plausible=plausible,
+            correct=plausible,
+            repair_seconds=seconds,
+            fitness=1.0 if plausible else 0.5,
+            simulations=10,
+            generations=1,
+            edits=1,
+            paper_outcome="correct",
+            seed=0,
+        )
+
+    def test_category_summaries(self):
+        results = [
+            self._result("a", 1, True, 1.0),
+            self._result("b", 1, False, None),
+            self._result("c", 2, True, 2.0),
+        ]
+        analysis = analyze_rq2(results)
+        assert analysis.cat1.total == 2
+        assert analysis.cat1.plausible == 1
+        assert analysis.cat2.plausible_rate == 1.0
+
+    def test_mannwhitney_computed_when_both_have_times(self):
+        results = [
+            self._result("a", 1, True, 1.0),
+            self._result("b", 1, True, 3.0),
+            self._result("c", 2, True, 2.0),
+            self._result("d", 2, True, 4.0),
+        ]
+        analysis = analyze_rq2(results)
+        assert analysis.p_value is not None
+        assert 0.0 <= analysis.p_value <= 1.0
+        assert "Mann-Whitney" in render_rq2(analysis)
+
+    def test_no_times_no_test(self):
+        results = [self._result("a", 1, False, None), self._result("b", 2, False, None)]
+        analysis = analyze_rq2(results)
+        assert analysis.p_value is None
+
+
+class TestRq3:
+    def test_trajectory_matches_paper_shape(self):
+        result = compute_rq3()
+        assert result.is_monotone
+        assert result.fitness_trajectory[-1] == 1.0
+        assert 0.9 < result.rs_sens_fitness < 1.0
+
+
+class TestPhiAblation:
+    def test_phi_one_flat_gradient(self):
+        result = run_phi_ablation()
+        cells = {c.phi: c for c in result.cells}
+        assert cells[1.0].gradient == pytest.approx(0.0, abs=1e-9)
+        assert cells[2.0].gradient > 0
+
+
+class TestInfra:
+    def test_presets_exist(self):
+        assert set(PRESETS) == {"smoke", "quick", "full"}
+        assert PRESETS["full"].population_size > PRESETS["smoke"].population_size
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l.rstrip()) for l in lines[:1])) == 1

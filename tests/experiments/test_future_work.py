@@ -1,0 +1,52 @@
+"""Tests for the implemented future-work experiments (structure-level; the
+full searches run in benchmarks/)."""
+
+from repro.core.config import RepairConfig
+from repro.experiments.ext_templates import ExtAblationRow, render_ext_ablation
+from repro.experiments.param_sensitivity import (
+    SWEEPS,
+    SweepCell,
+    render_param_sensitivity,
+    run_param_sensitivity,
+)
+
+
+class TestExtAblationRendering:
+    def test_render_includes_verdicts(self):
+        rows = [
+            ExtAblationRow("rs_regsize", False, 0.986, True, 1.0, "template[widen_register]@42"),
+        ]
+        text = render_ext_ablation(rows)
+        assert "rs_regsize" in text
+        assert "widen_register" in text
+        assert "yes" in text and "no" in text
+
+
+class TestParamSensitivity:
+    def test_sweeps_cover_three_knobs(self):
+        assert set(SWEEPS) == {"population_size", "rt_threshold", "mut_threshold"}
+
+    def test_small_sweep_runs(self):
+        base = RepairConfig(
+            population_size=40,
+            max_generations=2,
+            max_wall_seconds=30.0,
+            max_fitness_evals=150,
+        )
+        cells = run_param_sensitivity(
+            base,
+            scenario_ids=("ff_cond",),
+            seeds=(0,),
+            sweeps={"rt_threshold": (0.2,)},
+        )
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.total == 1
+        assert 0 <= cell.repaired <= 1
+        assert cell.mean_simulations > 0
+
+    def test_render(self):
+        cells = [SweepCell("rt_threshold", 0.2, 2, 3, 140.0)]
+        text = render_param_sensitivity(cells)
+        assert "rt_threshold" in text
+        assert "67%" in text

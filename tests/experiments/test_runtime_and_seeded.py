@@ -1,0 +1,43 @@
+"""Structure tests for the runtime-analysis and seeded-defect experiments."""
+
+from repro.core.config import RepairConfig
+from repro.experiments.runtime_analysis import (
+    RuntimeRow,
+    render_runtime_analysis,
+    run_runtime_analysis,
+)
+from repro.experiments.seeded_defects import SeededRepairRow, render_seeded_defects
+
+
+class TestRuntimeAnalysis:
+    def test_single_trial_breakdown(self):
+        config = RepairConfig(
+            population_size=30,
+            max_generations=2,
+            max_wall_seconds=30.0,
+            max_fitness_evals=120,
+        )
+        rows = run_runtime_analysis(config, scenario_ids=("ff_cond",), seed=0)
+        row = rows[0]
+        assert row.total_seconds > 0
+        assert 0 < row.evaluation_seconds <= row.total_seconds
+        # The paper's claim: simulation dominates trial time.
+        assert row.evaluation_share > 0.5
+        assert row.simulations > 0
+
+    def test_render(self):
+        rows = [RuntimeRow("x", 10.0, 9.5, 500, True)]
+        text = render_runtime_analysis(rows)
+        assert "95.0%" in text
+        assert "paper: >90%" in text
+
+
+class TestSeededRendering:
+    def test_render_totals(self):
+        rows = [
+            SeededRepairRow("flip_flop", 3, 3, 0.4),
+            SeededRepairRow("counter", 3, 2, 0.5),
+        ]
+        text = render_seeded_defects(rows)
+        assert "5/6" in text
+        assert "flip_flop" in text

@@ -1,0 +1,119 @@
+"""AST structural-operation tests (walk / find / replace / insert / clone)."""
+
+from repro.hdl import ast, parse
+from repro.hdl.node_ids import clear_ids, max_node_id, number_nodes
+
+SRC = """
+module m;
+  reg [3:0] q;
+  always @(posedge clk) begin
+    if (en) q <= q + 1;
+  end
+endmodule
+"""
+
+
+def tree():
+    return parse(SRC)
+
+
+class TestNumbering:
+    def test_preorder_ids_sequential(self):
+        t = tree()
+        ids = [n.node_id for n in t.walk()]
+        assert ids == list(range(1, len(ids) + 1))
+
+    def test_max_node_id(self):
+        t = tree()
+        assert max_node_id(t) == sum(1 for _ in t.walk())
+
+    def test_clear_ids(self):
+        t = tree()
+        clear_ids(t)
+        assert all(n.node_id is None for n in t.walk())
+
+    def test_number_from_offset(self):
+        t = tree()
+        next_id = number_nodes(t, start=100)
+        assert min(n.node_id for n in t.walk()) == 100
+        assert next_id == 100 + sum(1 for _ in t.walk())
+
+
+class TestFindReplace:
+    def test_find_returns_node(self):
+        t = tree()
+        target = next(n for n in t.walk() if isinstance(n, ast.NonBlockingAssign))
+        assert t.find(target.node_id) is target
+
+    def test_find_missing_returns_none(self):
+        assert tree().find(10**9) is None
+
+    def test_replace_scalar_field(self):
+        t = tree()
+        if_stmt = next(n for n in t.walk() if isinstance(n, ast.If))
+        new_cond = ast.Identifier("other")
+        new_cond.node_id = 9999
+        assert t.replace(if_stmt.cond.node_id, new_cond)
+        assert if_stmt.cond is new_cond
+
+    def test_replace_list_member(self):
+        t = tree()
+        nba = next(n for n in t.walk() if isinstance(n, ast.NonBlockingAssign))
+        replacement = ast.NullStmt()
+        assert t.replace(nba.node_id, replacement)
+        assert t.find(nba.node_id) is None
+
+    def test_replace_with_none_deletes_from_list(self):
+        t = tree()
+        if_stmt = next(n for n in t.walk() if isinstance(n, ast.If))
+        block = next(
+            n for n in t.walk() if isinstance(n, ast.Block) and if_stmt in n.stmts
+        )
+        before = len(block.stmts)
+        assert t.replace(if_stmt.node_id, None)
+        assert len(block.stmts) == before - 1
+
+    def test_replace_missing_returns_false(self):
+        assert tree().replace(10**9, ast.NullStmt()) is False
+
+
+class TestInsert:
+    def test_insert_after_in_block(self):
+        t = tree()
+        if_stmt = next(n for n in t.walk() if isinstance(n, ast.If))
+        new_stmt = ast.NullStmt()
+        new_stmt.node_id = 7777
+        assert t.insert_after(if_stmt.node_id, new_stmt)
+        block = next(n for n in t.walk() if isinstance(n, ast.Block))
+        assert block.stmts[-1] is new_stmt
+
+    def test_insert_after_scalar_position_fails(self):
+        t = tree()
+        if_stmt = next(n for n in t.walk() if isinstance(n, ast.If))
+        # The condition is a scalar field, not a list member.
+        assert t.insert_after(if_stmt.cond.node_id, ast.NullStmt()) is False
+
+
+class TestCloneAndParents:
+    def test_clone_preserves_ids_and_is_deep(self):
+        t = tree()
+        c = t.clone()
+        assert [n.node_id for n in t.walk()] == [n.node_id for n in c.walk()]
+        nba = next(n for n in c.walk() if isinstance(n, ast.NonBlockingAssign))
+        c.replace(nba.node_id, ast.NullStmt())
+        # The original is untouched.
+        assert any(isinstance(n, ast.NonBlockingAssign) for n in t.walk())
+
+    def test_parent_map(self):
+        t = tree()
+        parents = t.parent_map()
+        if_stmt = next(n for n in t.walk() if isinstance(n, ast.If))
+        assert isinstance(parents[if_stmt.node_id], ast.Block)
+
+    def test_module_lookup_helpers(self):
+        t = tree()
+        mod = t.module("m")
+        assert mod is not None
+        assert mod.find_decl("q") is not None
+        assert mod.find_decl("nope") is None
+        assert t.module("zzz") is None

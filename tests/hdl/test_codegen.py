@@ -1,0 +1,85 @@
+"""Code generation and round-trip tests."""
+
+import pytest
+
+from repro.hdl import ast, generate, parse
+from repro.benchsuite import all_projects
+
+
+def roundtrip(source):
+    """parse → generate → parse → generate must be a fixed point."""
+    first = generate(parse(source))
+    second = generate(parse(first))
+    assert first == second
+    return first
+
+
+class TestRoundTrip:
+    def test_simple_module(self):
+        text = roundtrip("module m(a); input a; endmodule")
+        assert "module m(a);" in text
+
+    def test_always_block(self):
+        text = roundtrip(
+            "module m; reg q; always @(posedge clk) begin q <= #1 !q; end endmodule"
+        )
+        assert "always @(posedge clk)" in text
+        assert "q <= #1" in text
+
+    def test_case_statement(self):
+        text = roundtrip(
+            "module m; reg [1:0] s; reg o; always @(*) case (s) 2'b00 : o = 0;"
+            " default : o = 1; endcase endmodule"
+        )
+        assert "endcase" in text
+
+    def test_for_loop(self):
+        roundtrip(
+            "module m; integer i; reg [7:0] a; initial for (i = 0; i < 8; i = i + 1) a = i; endmodule"
+        )
+
+    def test_functions_and_tasks(self):
+        roundtrip(
+            "module m; function [3:0] f; input [3:0] x; f = x ^ 1; endfunction "
+            "task t; input v; #1; endtask endmodule"
+        )
+
+    def test_events_and_triggers(self):
+        text = roundtrip(
+            "module m; event e; initial begin -> e; @(e); end endmodule"
+        )
+        assert "-> e;" in text
+
+    def test_instance_with_params(self):
+        text = roundtrip("module m; sub #(.W(4)) u(.a(1'b0)); endmodule")
+        assert "#(.W(4))" in text
+
+    def test_number_spelling_preserved(self):
+        text = roundtrip("module m; wire [7:0] w; assign w = 8'hA5; endmodule")
+        assert "8'hA5" in text
+
+    @pytest.mark.parametrize("project", all_projects(), ids=lambda p: p.name)
+    def test_all_benchmark_designs_roundtrip(self, project):
+        roundtrip(project.design_text)
+        roundtrip(project.testbench_text)
+        if project.validate_text:
+            roundtrip(project.validate_text)
+
+
+class TestFragmentRendering:
+    def test_expression(self):
+        expr = parse("module m; wire w; assign w = a + b * c; endmodule")
+        item = expr.modules[0].items[-1]
+        assert generate(item.rhs) == "(a + (b * c))"
+
+    def test_statement(self):
+        tree = parse("module m; reg a; initial a = 1; endmodule")
+        item = tree.modules[0].items[-1]
+        assert generate(item.body).strip() == "a = 1;"
+
+    def test_missing_expression_raises(self):
+        from repro.hdl.codegen import CodegenError
+
+        broken = ast.BlockingAssign(ast.Identifier("a"), None)  # type: ignore[arg-type]
+        with pytest.raises(CodegenError):
+            generate(broken)

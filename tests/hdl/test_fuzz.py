@@ -1,0 +1,120 @@
+"""Fuzz/property tests for the frontend.
+
+1. The parser is a total function over arbitrary input: it either returns
+   a tree or raises ParseError/LexError — never crashes, never hangs.
+2. Codegen round-trip over randomly *constructed* ASTs: generate → parse →
+   generate is a fixed point (catches precedence/parenthesisation bugs the
+   hand-written tests would miss).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import ast, generate, parse
+from repro.hdl.lexer import LexError
+from repro.hdl.parser import ParseError
+
+
+class TestParserTotality:
+    @given(st.text(max_size=200))
+    @settings(max_examples=300, deadline=None)
+    def test_random_text_never_crashes(self, text):
+        try:
+            parse(text)
+        except (ParseError, LexError, RecursionError):
+            pass
+
+    @given(st.text(alphabet="moduleendwirereg assign[]():;=<>+-{}0123456789'bhd\n ", max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_verilogish_soup_never_crashes(self, text):
+        try:
+            parse(text)
+        except (ParseError, LexError, RecursionError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Random-AST round trip
+# ----------------------------------------------------------------------
+
+_identifiers = st.sampled_from(["a", "b", "c", "data", "sel"])
+
+
+def _number(value):
+    return ast.Number(str(value), None, value, 0, signed=True)
+
+
+_numbers = st.integers(min_value=0, max_value=255).map(_number)
+_leaves = st.one_of(_identifiers.map(ast.Identifier), _numbers)
+
+_BIN_OPS = ["+", "-", "*", "&", "|", "^", "<<", ">>", "==", "!=", "<", ">", "&&", "||"]
+_UN_OPS = ["!", "~", "-", "&", "|", "^"]
+
+
+def _expressions(depth=3):
+    return st.recursive(
+        _leaves,
+        lambda children: st.one_of(
+            st.tuples(st.sampled_from(_BIN_OPS), children, children).map(
+                lambda t: ast.BinaryOp(t[0], t[1], t[2])
+            ),
+            st.tuples(st.sampled_from(_UN_OPS), children).map(
+                lambda t: ast.UnaryOp(t[0], t[1])
+            ),
+            st.tuples(children, children, children).map(
+                lambda t: ast.Ternary(t[0], t[1], t[2])
+            ),
+            st.lists(children, min_size=1, max_size=3).map(ast.Concat),
+        ),
+        max_leaves=10,
+    )
+
+
+def _assign(expr):
+    return ast.BlockingAssign(ast.Identifier("out"), expr)
+
+
+def _statements():
+    return st.one_of(
+        _expressions().map(_assign),
+        st.tuples(_expressions(), _expressions()).map(
+            lambda t: ast.If(t[0], _assign(t[1]), None)
+        ),
+        st.tuples(_expressions(), _expressions()).map(
+            lambda t: ast.While(t[0], _assign(t[1]))
+        ),
+    )
+
+
+class TestRandomAstRoundTrip:
+    @given(_expressions())
+    @settings(max_examples=300, deadline=None)
+    def test_expression_roundtrip(self, expr):
+        module = ast.ModuleDef(
+            "m",
+            [],
+            [
+                ast.Decl("reg", "out", _number(31), _number(0)),
+                ast.Initial(_assign(expr)),
+            ],
+        )
+        source = ast.Source([module])
+        first = generate(source)
+        second = generate(parse(first))
+        assert first == second
+
+    @given(st.lists(_statements(), min_size=1, max_size=4))
+    @settings(max_examples=200, deadline=None)
+    def test_statement_roundtrip(self, stmts):
+        module = ast.ModuleDef(
+            "m",
+            [],
+            [
+                ast.Decl("reg", "out", _number(31), _number(0)),
+                ast.Initial(ast.Block(list(stmts))),
+            ],
+        )
+        source = ast.Source([module])
+        first = generate(source)
+        second = generate(parse(first))
+        assert first == second

@@ -1,0 +1,106 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.hdl.lexer import LexError, tokenize
+from repro.hdl.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_keyword_recognised(self):
+        assert kinds("module") == [TokenKind.KEYWORD]
+
+    def test_identifier_recognised(self):
+        assert kinds("counter_out") == [TokenKind.IDENT]
+
+    def test_identifier_with_dollar_in_middle(self):
+        assert texts("a$b") == ["a$b"]
+
+    def test_system_identifier(self):
+        toks = tokenize("$display")
+        assert toks[0].kind is TokenKind.SYSTEM_IDENT
+        assert toks[0].text == "$display"
+
+    def test_escaped_identifier(self):
+        toks = tokenize("\\weird+name more")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].text == "weird+name"
+
+    def test_string_literal(self):
+        toks = tokenize('"hello %d"')
+        assert toks[0].kind is TokenKind.STRING
+        assert toks[0].text == "hello %d"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("\x01")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "literal",
+        ["42", "4'b1010", "8'hFF", "12'o777", "16'd1000", "'hDEAD", "4'b10x0", "8'bz", "3.14"],
+    )
+    def test_number_forms_lex_as_single_token(self, literal):
+        toks = tokenize(literal)
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[0].text == literal
+        assert toks[1].kind is TokenKind.EOF
+
+    def test_underscores_allowed(self):
+        assert texts("32'hDEAD_BEEF") == ["32'hDEAD_BEEF"]
+
+    def test_signed_base_prefix(self):
+        assert texts("8'sb1010") == ["8'sb1010"]
+
+    def test_missing_base_raises(self):
+        with pytest.raises(LexError):
+            tokenize("4'q1010")
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op", ["<=", ">=", "==", "!=", "===", "!==", "&&", "||", "<<", ">>", "<<<", ">>>", "->", "**", "~&", "~|", "~^"]
+    )
+    def test_multichar_operator_is_one_token(self, op):
+        assert texts(f"a {op} b") == ["a", op, "b"]
+
+    def test_adjacent_operators_greedy(self):
+        # "a<=b" must lex <= not < then =.
+        assert texts("a<=b") == ["a", "<=", "b"]
+
+    def test_punctuation(self):
+        assert texts("#5;") == ["#", "5", ";"]
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_directive_line_skipped(self):
+        assert texts("`timescale 1ns/1ps\nwire") == ["wire"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)

@@ -1,0 +1,57 @@
+"""Preprocessor tests."""
+
+from repro.hdl.preprocess import preprocess
+
+
+class TestDefine:
+    def test_object_macro_expands(self):
+        out = preprocess("`define WIDTH 8\nwire [`WIDTH-1:0] w;")
+        assert "wire [8-1:0] w;" in out
+
+    def test_nested_macro(self):
+        out = preprocess("`define A 1\n`define B `A + 1\nassign x = `B;")
+        assert "assign x = 1 + 1;" in out
+
+    def test_undef(self):
+        out = preprocess("`define X 1\n`undef X\nassign y = `X;")
+        assert "`X" in out
+
+    def test_unknown_macro_left_alone(self):
+        out = preprocess("assign y = `NOPE;")
+        assert "`NOPE" in out
+
+    def test_initial_defines_argument(self):
+        out = preprocess("assign y = `W;", defines={"W": "4"})
+        assert "assign y = 4;" in out
+
+    def test_recursion_bounded(self):
+        # Self-referential macro must not hang.
+        preprocess("`define LOOP `LOOP\nassign x = `LOOP;")
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("`define F 1\n`ifdef F\nwire a;\n`endif")
+        assert "wire a;" in out
+
+    def test_ifdef_skipped(self):
+        out = preprocess("`ifdef F\nwire a;\n`endif")
+        assert "wire a;" not in out
+
+    def test_ifndef_else(self):
+        out = preprocess("`ifndef F\nwire a;\n`else\nwire b;\n`endif")
+        assert "wire a;" in out
+        assert "wire b;" not in out
+
+    def test_line_count_preserved(self):
+        source = "`timescale 1ns/1ps\nwire a;\n`define X 1\nwire b;"
+        out = preprocess(source)
+        assert len(out.splitlines()) == len(source.splitlines())
+
+
+class TestIgnoredDirectives:
+    def test_timescale_dropped(self):
+        assert "timescale" not in preprocess("`timescale 1ns/1ps")
+
+    def test_default_nettype_dropped(self):
+        assert "nettype" not in preprocess("`default_nettype none")

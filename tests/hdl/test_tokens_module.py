@@ -1,0 +1,37 @@
+"""Token-table sanity checks."""
+
+from repro.hdl.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+class TestTokenTables:
+    def test_multi_char_operators_longest_first_per_prefix(self):
+        # Greedy matching requires that no operator is a prefix of a later,
+        # longer operator in the table.
+        for i, op in enumerate(MULTI_CHAR_OPERATORS):
+            for later in MULTI_CHAR_OPERATORS[i + 1 :]:
+                assert not later.startswith(op) or len(later) <= len(op), (op, later)
+
+    def test_all_multichar_built_from_single_char_set(self):
+        allowed = set(SINGLE_CHAR_OPERATORS + "-<>")
+        for op in MULTI_CHAR_OPERATORS:
+            assert set(op) <= allowed, op
+
+    def test_essential_keywords_present(self):
+        assert {"module", "endmodule", "always", "initial", "begin", "end",
+                "posedge", "negedge", "case", "endcase"} <= KEYWORDS
+
+    def test_punctuation_unique(self):
+        assert len(set(PUNCTUATION)) == len(PUNCTUATION)
+
+    def test_token_is_frozen(self):
+        token = Token(TokenKind.IDENT, "x", 1, 1)
+        import pytest
+        with pytest.raises(AttributeError):
+            token.text = "y"

@@ -1,0 +1,43 @@
+"""Instrumentation analysis across the whole benchmark suite: every
+project's testbench must be automatically analysable (paper §3.2: "this
+instrumentation is easily automatable")."""
+
+import pytest
+
+from repro.benchsuite import PROJECT_NAMES, load_project
+from repro.hdl import parse
+from repro.instrument import analyze_dut
+
+
+@pytest.mark.parametrize("name", PROJECT_NAMES)
+class TestAllProjectsAnalysable:
+    def _info(self, name, bench_attr):
+        project = load_project(name)
+        design = parse(project.design_text)
+        modules = {m.name: m for m in design.modules}
+        bench_text = getattr(project, bench_attr)
+        testbench = next(
+            m
+            for m in parse(bench_text).modules
+            if any(True for _ in m.walk())
+        )
+        return analyze_dut(testbench, modules)
+
+    def test_main_bench_dut_found(self, name):
+        info = self._info(name, "testbench_text")
+        assert info.instance_name == "dut"
+        assert info.output_connections, "no recordable outputs"
+        assert info.clock_signal is not None
+
+    def test_validation_bench_dut_found(self, name):
+        info = self._info(name, "validate_text")
+        assert info.output_connections
+        assert info.clock_signal is not None
+
+    def test_outputs_are_testbench_wires(self, name):
+        project = load_project(name)
+        info = self._info(name, "testbench_text")
+        bench = parse(project.testbench_text).modules[0]
+        declared = {d.name for d in bench.decls()}
+        for output in info.output_connections:
+            assert output in declared

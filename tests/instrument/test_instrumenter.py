@@ -1,0 +1,123 @@
+"""Testbench analysis and instrumentation tests."""
+
+import pytest
+
+from repro.hdl import ast, generate, parse
+from repro.instrument import (
+    AnalysisError,
+    analyze_dut,
+    build_record_block,
+    instrument_testbench,
+    is_instrumented,
+)
+
+DESIGN = """
+module dff(clk, d, q, qbar);
+  input clk, d;
+  output q, qbar;
+  reg q;
+  assign qbar = !q;
+  always @(posedge clk) q <= d;
+endmodule
+"""
+
+TESTBENCH = """
+module dff_tb;
+  reg clk, d;
+  wire q, qbar;
+  dff dut(.clk(clk), .d(d), .q(q), .qbar(qbar));
+  always #5 clk = !clk;
+  initial begin clk = 0; d = 0; #40 $finish; end
+endmodule
+"""
+
+
+def design_modules():
+    tree = parse(DESIGN)
+    return {m.name: m for m in tree.modules}
+
+
+class TestAnalyze:
+    def test_finds_outputs_and_clock(self):
+        tb = parse(TESTBENCH).modules[0]
+        info = analyze_dut(tb, design_modules())
+        assert info.module_name == "dff"
+        assert info.output_connections == ["q", "qbar"]
+        assert info.clock_signal == "clk"
+
+    def test_clock_override_wins(self):
+        tb = parse(TESTBENCH).modules[0]
+        info = analyze_dut(tb, design_modules(), clock_override="myclk")
+        assert info.clock_signal == "myclk"
+
+    def test_no_dut_raises(self):
+        tb = parse("module empty_tb; endmodule").modules[0]
+        with pytest.raises(AnalysisError):
+            analyze_dut(tb, design_modules())
+
+    def test_pacing_clock_fallback(self):
+        source = """
+        module comb(a, y);
+          input a; output y;
+          assign y = !a;
+        endmodule
+        module comb_tb;
+          reg a, tick;
+          wire y;
+          comb dut(.a(a), .y(y));
+          always #5 tick = !tick;
+          initial begin tick = 0; a = 0; #50 $finish; end
+        endmodule
+        """
+        tree = parse(source)
+        modules = {"comb": tree.modules[0]}
+        info = analyze_dut(tree.modules[1], modules)
+        assert info.clock_signal == "tick"
+
+    def test_positional_connections_analysed(self):
+        source = """
+        module dff_tb2;
+          reg clk, d;
+          wire q, qbar;
+          dff dut(clk, d, q, qbar);
+          always #5 clk = !clk;
+        endmodule
+        """
+        tb = parse(source).modules[0]
+        info = analyze_dut(tb, design_modules())
+        assert info.output_connections == ["q", "qbar"]
+
+
+class TestInstrument:
+    def test_inserts_record_block(self):
+        instrumented, info = instrument_testbench(parse(TESTBENCH), design_modules())
+        tb = instrumented.modules[0]
+        assert is_instrumented(tb)
+        text = generate(instrumented)
+        assert "$cirfix_record(q, qbar);" in text
+
+    def test_original_left_untouched(self):
+        original = parse(TESTBENCH)
+        instrument_testbench(original, design_modules())
+        assert not is_instrumented(original.modules[0])
+
+    def test_extra_signals_recorded(self):
+        instrumented, _ = instrument_testbench(
+            parse(TESTBENCH), design_modules(), extra_signals=["d"]
+        )
+        assert "$cirfix_record(q, qbar, d);" in generate(instrumented)
+
+    def test_record_block_shape(self):
+        block = build_record_block("clk", ["a", "b"])
+        assert isinstance(block, ast.Always)
+        assert block.senslist.items[0].edge == "posedge"
+        assert isinstance(block.body, ast.SysTaskCall)
+
+    def test_instrumented_testbench_parses(self):
+        instrumented, _ = instrument_testbench(parse(TESTBENCH), design_modules())
+        reparsed = parse(generate(instrumented))
+        assert is_instrumented(reparsed.modules[0])
+
+    def test_missing_testbench_name_raises(self):
+        with pytest.raises(AnalysisError):
+            instrument_testbench(parse(TESTBENCH), design_modules(), testbench_name="nope")

@@ -1,0 +1,180 @@
+"""Case statement semantics: exact matching, casez/casex wildcards."""
+
+from repro.hdl import parse
+from repro.sim import Simulator
+
+
+def run(source):
+    sim = Simulator(parse(source))
+    result = sim.run(10_000)
+    assert result.finished, result.errors
+    return result.output
+
+
+class TestPlainCase:
+    def test_exact_match_dispatch(self):
+        out = run(
+            """
+            module t;
+              reg [1:0] s;
+              integer i;
+              initial begin
+                for (i = 0; i < 4; i = i + 1) begin
+                  s = i;
+                  case (s)
+                    2'b00 : $display("zero");
+                    2'b01 : $display("one");
+                    2'b10 : $display("two");
+                    default : $display("other");
+                  endcase
+                end
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert out == ["zero", "one", "two", "other"]
+
+    def test_x_subject_matches_only_exact_x(self):
+        out = run(
+            """
+            module t;
+              reg [1:0] s;
+              initial begin
+                case (s)
+                  2'b00 : $display("zero");
+                  2'bxx : $display("all-x");
+                  default : $display("default");
+                endcase
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert out == ["all-x"]
+
+    def test_first_matching_arm_wins(self):
+        out = run(
+            """
+            module t;
+              initial begin
+                case (1'b1)
+                  1'b1 : $display("first");
+                  1'b1 : $display("second");
+                endcase
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert out == ["first"]
+
+    def test_no_match_no_default_skips(self):
+        out = run(
+            """
+            module t;
+              initial begin
+                case (2'b11)
+                  2'b00 : $display("zero");
+                endcase
+                $display("after");
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert out == ["after"]
+
+    def test_multi_label_arm(self):
+        out = run(
+            """
+            module t;
+              reg [2:0] s;
+              initial begin
+                s = 3'd5;
+                case (s)
+                  3'd1, 3'd3, 3'd5, 3'd7 : $display("odd");
+                  default : $display("even");
+                endcase
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert out == ["odd"]
+
+
+class TestCasez:
+    def test_z_in_label_is_wildcard(self):
+        out = run(
+            """
+            module t;
+              reg [3:0] s;
+              initial begin
+                s = 4'b1010;
+                casez (s)
+                  4'b1??? : $display("msb-set");
+                  default : $display("msb-clear");
+                endcase
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert out == ["msb-set"]
+
+    def test_x_in_subject_not_wildcard_for_casez(self):
+        out = run(
+            """
+            module t;
+              reg [1:0] s;
+              initial begin
+                s = 2'b1x;
+                casez (s)
+                  2'b11 : $display("match");
+                  default : $display("no-match");
+                endcase
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert out == ["no-match"]
+
+
+class TestCasex:
+    def test_x_and_z_both_wildcards(self):
+        out = run(
+            """
+            module t;
+              reg [1:0] s;
+              initial begin
+                s = 2'b1x;
+                casex (s)
+                  2'b10 : $display("match-10");
+                  default : $display("no");
+                endcase
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert out == ["match-10"]
+
+    def test_label_x_wildcard(self):
+        out = run(
+            """
+            module t;
+              reg [3:0] s;
+              initial begin
+                s = 4'b0110;
+                casex (s)
+                  4'bx11x : $display("middle-set");
+                  default : $display("no");
+                endcase
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert out == ["middle-set"]

@@ -1,0 +1,155 @@
+"""Elaboration tests: declarations, parameters, widths, port wiring."""
+
+import pytest
+
+from repro.hdl import parse
+from repro.sim import ElaborationError, Simulator
+from repro.sim.logic import Value
+
+
+def elaborate(source, **kwargs):
+    return Simulator(parse(source), **kwargs)
+
+
+class TestDeclarations:
+    def test_wire_defaults_z(self):
+        sim = elaborate("module t; wire [3:0] w; endmodule")
+        assert sim.top.signals["w"].value == Value.high_z(4)
+
+    def test_reg_defaults_x(self):
+        sim = elaborate("module t; reg [3:0] r; endmodule")
+        assert sim.top.signals["r"].value == Value.unknown(4)
+
+    def test_integer_is_signed_32(self):
+        sim = elaborate("module t; integer i; endmodule")
+        signal = sim.top.signals["i"]
+        assert signal.width == 32
+        assert signal.signed
+
+    def test_output_reg_classic_style_merged(self):
+        sim = elaborate("module t(q); output [3:0] q; reg [3:0] q; endmodule")
+        signal = sim.top.signals["q"]
+        assert signal.kind == "reg"
+        assert signal.width == 4
+
+    def test_memory_bounds(self):
+        sim = elaborate("module t; reg [7:0] mem [0:15]; endmodule")
+        memory = sim.top.memories["mem"]
+        assert (memory.lo, memory.hi, memory.word_width) == (0, 15, 8)
+
+    def test_event_elaborated(self):
+        sim = elaborate("module t; event go; endmodule")
+        assert "go" in sim.top.events
+
+    def test_decl_initialiser_applies_at_time_zero(self):
+        sim = elaborate("module t; reg [3:0] r = 4'd9; endmodule")
+        sim.run(1)
+        assert sim.top.signals["r"].value.to_int() == 9
+
+
+class TestParameters:
+    def test_parameter_in_range(self):
+        sim = elaborate(
+            "module t; parameter W = 8; reg [W-1:0] r; endmodule"
+        )
+        assert sim.top.signals["r"].width == 8
+
+    def test_localparam_depends_on_parameter(self):
+        sim = elaborate(
+            "module t; parameter W = 4; localparam D = W * 2; reg [D-1:0] r; endmodule"
+        )
+        assert sim.top.signals["r"].width == 8
+
+    def test_positional_param_override(self):
+        sim = elaborate(
+            """
+            module sub(o); parameter P = 1; output [7:0] o; assign o = P; endmodule
+            module t; wire [7:0] o; sub #(5) u(.o(o)); endmodule
+            """
+        )
+        sim.run(1)
+        assert sim.signal("o").value.to_int() == 5
+
+    def test_param_missing_value_is_parse_error(self):
+        from repro.hdl import ParseError
+
+        with pytest.raises(ParseError):
+            parse("module t; parameter; endmodule")
+
+    def test_huge_width_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate("module t; reg [1000000:0] r; endmodule")
+
+    def test_xz_range_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate("module t; reg [1'bx:0] r; endmodule")
+
+
+class TestTopDetection:
+    def test_uninstantiated_module_is_top(self):
+        sim = elaborate(
+            """
+            module leaf(input a); endmodule
+            module top_mod; reg x; leaf u(.a(x)); endmodule
+            """
+        )
+        assert sim.top.module.name == "top_mod"
+
+    def test_explicit_top_wins(self):
+        sim = Simulator(
+            parse("module a; endmodule module b; endmodule"), top="a"
+        )
+        assert sim.top.module.name == "a"
+
+
+class TestContinuousAssign:
+    def test_assign_follows_changes(self):
+        sim = elaborate(
+            """
+            module t;
+              reg [3:0] a;
+              wire [3:0] doubled;
+              assign doubled = a * 2;
+              initial begin a = 2; #5 a = 5; #1 $finish; end
+            endmodule
+            """
+        )
+        sim.run(100)
+        assert sim.signal("doubled").value.to_int() == 10
+
+    def test_assign_with_delay(self):
+        sim = elaborate(
+            """
+            module t;
+              reg a;
+              wire w;
+              assign #3 w = a;
+              initial begin
+                a = 1;
+                #2;
+                if (w !== 1'b1) $display("delayed");
+                #2;
+                if (w === 1'b1) $display("arrived");
+                $finish;
+              end
+            endmodule
+            """
+        )
+        result = sim.run(100)
+        assert result.output == ["delayed", "arrived"]
+
+    def test_chained_assigns_settle(self):
+        sim = elaborate(
+            """
+            module t;
+              reg a;
+              wire b, c, d;
+              assign b = !a;
+              assign c = !b;
+              assign d = !c;
+              initial begin a = 0; #1 $finish; end
+            endmodule
+            """
+        )
+        sim.run(10)
+        assert sim.signal("d").value.to_int() == 1

@@ -1,0 +1,242 @@
+"""Expression evaluator tests: IEEE-1364 four-state operator semantics.
+
+Expressions are evaluated inside a tiny scratch module so the tests go
+through the same environment machinery the simulator uses.
+"""
+
+import pytest
+
+from repro.hdl import parse
+from repro.hdl.parser import Parser
+from repro.hdl.lexer import tokenize
+from repro.sim.eval import EvalError, eval_expr
+from repro.sim.logic import Value
+from repro.sim.processes import Env
+from repro.sim.simulator import Simulator
+
+SCRATCH = """
+module scratch;
+  reg [7:0] a;
+  reg [7:0] b;
+  reg [3:0] nib;
+  reg signed [7:0] sa;
+  reg signed [7:0] sb;
+  reg one_bit;
+  reg [7:0] mem [0:3];
+  initial begin
+    a = 8'd10;
+    b = 8'd3;
+    nib = 4'b1010;
+    sa = -8'sd5;
+    sb = 8'sd2;
+    one_bit = 1'b1;
+    mem[0] = 8'hAA;
+    mem[1] = 8'h55;
+  end
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def env():
+    sim = Simulator(parse(SCRATCH))
+    sim.run(10)
+    return Env(sim, sim.top)
+
+
+def ev(env, text, ctx_width=None):
+    expr = Parser(tokenize(text)).parse_expr()
+    return eval_expr(expr, env, ctx_width)
+
+
+class TestArithmetic:
+    def test_add(self, env):
+        assert ev(env, "a + b").to_int() == 13
+
+    def test_sub_wraps_at_operand_width(self, env):
+        assert ev(env, "b - a").aval == (3 - 10) % (1 << 8)
+
+    def test_mul(self, env):
+        assert ev(env, "a * b").to_int() == 30
+
+    def test_div_and_mod(self, env):
+        assert ev(env, "a / b").to_int() == 3
+        assert ev(env, "a % b").to_int() == 1
+
+    def test_div_by_zero_is_x(self, env):
+        assert ev(env, "a / (b - 8'd3)").has_x_or_z
+
+    def test_power(self, env):
+        assert ev(env, "b ** 2").to_int() == 9
+
+    def test_signed_arithmetic(self, env):
+        assert ev(env, "sa + sb").to_signed_int() == -3
+
+    def test_signed_division_truncates_toward_zero(self, env):
+        assert ev(env, "sa / sb").to_signed_int() == -2
+
+    def test_x_operand_poisons_arithmetic(self, env):
+        sim = env.sim
+        # 'undefined' is a fresh reg left at x.
+        assert ev(env, "a + 8'bx").has_x_or_z
+
+    def test_unary_minus_wraps_at_operand_width(self, env):
+        assert ev(env, "-b").aval == (-3) % (1 << 8)
+
+    def test_ctx_width_preserves_carry(self, env):
+        # 8-bit operands, 9-bit context: the carry must survive.
+        result = ev(env, "8'd200 + 8'd100", ctx_width=9)
+        assert result.to_int() == 300
+
+
+class TestComparisons:
+    def test_equality(self, env):
+        assert ev(env, "a == 8'd10").to_int() == 1
+        assert ev(env, "a != 8'd10").to_int() == 0
+
+    def test_relational(self, env):
+        assert ev(env, "b < a").to_int() == 1
+        assert ev(env, "a <= a").to_int() == 1
+
+    def test_x_comparison_yields_x(self, env):
+        assert ev(env, "a == 8'hxx").has_x_or_z
+
+    def test_case_equality_exact(self, env):
+        assert ev(env, "8'hxx === 8'hxx").to_int() == 1
+        assert ev(env, "8'hxx !== 8'hxx").to_int() == 0
+
+    def test_signed_compare(self, env):
+        assert ev(env, "sa < sb").to_int() == 1  # -5 < 2
+
+    def test_mixed_sign_compare_is_unsigned(self, env):
+        # sa is -5 (0xFB); compared against unsigned a=10 → unsigned.
+        assert ev(env, "sa < a").to_int() == 0
+
+
+class TestBitwise:
+    def test_and_or_xor(self, env):
+        assert ev(env, "a & b").to_int() == 10 & 3
+        assert ev(env, "a | b").to_int() == 10 | 3
+        assert ev(env, "a ^ b").to_int() == 10 ^ 3
+
+    def test_invert(self, env):
+        assert ev(env, "~nib").to_bit_string() == "0101"
+
+    def test_xnor(self, env):
+        assert ev(env, "nib ^~ 4'b1010").to_bit_string() == "1111"
+
+    def test_and_with_zero_defeats_x(self, env):
+        assert ev(env, "8'h00 & 8'hxx").to_int() == 0
+
+    def test_or_with_one_defeats_x(self, env):
+        assert ev(env, "8'hFF | 8'hxx").aval == 0xFF
+
+    def test_x_propagates_elsewhere(self, env):
+        assert ev(env, "8'hFF & 8'hxx").has_x_or_z
+
+    def test_invert_x_stays_x(self, env):
+        assert ev(env, "~1'bx").has_x_or_z
+
+
+class TestLogical:
+    def test_and_or_not(self, env):
+        assert ev(env, "a && b").to_int() == 1
+        assert ev(env, "!a").to_int() == 0
+        assert ev(env, "1'b0 || one_bit").to_int() == 1
+
+    def test_short_circuit_semantics_with_x(self, env):
+        assert ev(env, "1'b0 && 1'bx").to_int() == 0
+        assert ev(env, "1'b1 || 1'bx").to_int() == 1
+        assert ev(env, "1'b1 && 1'bx").has_x_or_z
+
+    def test_not_x_is_x(self, env):
+        assert ev(env, "!1'bx").has_x_or_z
+
+
+class TestReductions:
+    def test_reduction_and(self, env):
+        assert ev(env, "&4'b1111").to_int() == 1
+        assert ev(env, "&nib").to_int() == 0
+
+    def test_reduction_or(self, env):
+        assert ev(env, "|8'h00").to_int() == 0
+        assert ev(env, "|nib").to_int() == 1
+
+    def test_reduction_xor_parity(self, env):
+        assert ev(env, "^nib").to_int() == 0  # 1010 has even parity
+        assert ev(env, "^4'b1000").to_int() == 1
+
+    def test_negated_reductions(self, env):
+        assert ev(env, "~&4'b1111").to_int() == 0
+        assert ev(env, "~|8'h00").to_int() == 1
+
+    def test_reduction_with_dominating_zero(self, env):
+        # &: a known 0 dominates even with x present.
+        assert ev(env, "&4'b0xx1").to_int() == 0
+
+    def test_reduction_x_otherwise(self, env):
+        assert ev(env, "&4'b1xx1").has_x_or_z
+
+
+class TestShifts:
+    def test_logical_shifts(self, env):
+        assert ev(env, "nib << 1").to_int() == 0b0100  # width 4, MSB lost
+        assert ev(env, "nib >> 1").to_int() == 0b0101
+
+    def test_shift_with_ctx_width_keeps_msb(self, env):
+        assert ev(env, "nib << 1", ctx_width=5).to_int() == 0b10100
+
+    def test_arithmetic_shift_right(self, env):
+        assert ev(env, "sa >>> 1").to_signed_int() == -3  # -5 >> 1
+
+    def test_x_shift_amount_poisons(self, env):
+        assert ev(env, "a << 1'bx").has_x_or_z
+
+
+class TestSelectsConcatTernary:
+    def test_bit_select(self, env):
+        assert ev(env, "nib[3]").to_int() == 1
+        assert ev(env, "nib[0]").to_int() == 0
+
+    def test_part_select(self, env):
+        assert ev(env, "a[3:0]").to_int() == 10
+
+    def test_out_of_range_select_x(self, env):
+        assert ev(env, "nib[9]").has_x_or_z
+
+    def test_concat_and_replication(self, env):
+        assert ev(env, "{nib, nib}").to_int() == 0b10101010
+        assert ev(env, "{2{nib}}").to_int() == 0b10101010
+
+    def test_ternary_taken_branches(self, env):
+        assert ev(env, "one_bit ? a : b").to_int() == 10
+        assert ev(env, "1'b0 ? a : b").to_int() == 3
+
+    def test_ternary_x_cond_merges(self, env):
+        merged = ev(env, "1'bx ? 4'b1100 : 4'b1010")
+        assert merged.to_bit_string() == "1xx0"
+
+    def test_memory_word_read(self, env):
+        assert ev(env, "mem[0]").aval == 0xAA
+        assert ev(env, "mem[1]").aval == 0x55
+
+    def test_memory_unwritten_word_x(self, env):
+        assert ev(env, "mem[3]").has_x_or_z
+
+    def test_memory_read_without_index_raises(self, env):
+        with pytest.raises(EvalError):
+            ev(env, "mem + 1")
+
+
+class TestErrors:
+    def test_unknown_identifier(self, env):
+        with pytest.raises(EvalError):
+            ev(env, "no_such_signal")
+
+    def test_unknown_function(self, env):
+        with pytest.raises(EvalError):
+            ev(env, "missing_fn(1)")
+
+    def test_bad_replication_count(self, env):
+        with pytest.raises(EvalError):
+            ev(env, "{1'bx{a}}")

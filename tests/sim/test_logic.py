@@ -1,0 +1,155 @@
+"""Four-state value tests, including property-based invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.logic import Value, truthiness
+
+
+def bitstrings(max_width=16):
+    return st.text(alphabet="01xz", min_size=1, max_size=max_width)
+
+
+class TestConstruction:
+    def test_from_int_masks_to_width(self):
+        assert Value.from_int(0x1F, 4).aval == 0xF
+
+    def test_from_int_negative_wraps(self):
+        assert Value.from_int(-1, 4).aval == 0xF
+
+    def test_unknown_all_x(self):
+        v = Value.unknown(3)
+        assert v.to_bit_string() == "xxx"
+
+    def test_high_z(self):
+        assert Value.high_z(2).to_bit_string() == "zz"
+
+    def test_from_string_msb_first(self):
+        v = Value.from_string("10xz")
+        assert v.bit(3) == "1"
+        assert v.bit(2) == "0"
+        assert v.bit(1) == "x"
+        assert v.bit(0) == "z"
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Value(0, 0)
+
+    def test_invalid_bit_char_rejected(self):
+        with pytest.raises(ValueError):
+            Value.from_string("10a")
+
+
+class TestInspection:
+    def test_fully_defined(self):
+        assert Value.from_int(5, 4).is_fully_defined
+        assert not Value.unknown(4).is_fully_defined
+
+    def test_to_int_ignores_xz_bits(self):
+        v = Value.from_string("1x1")
+        assert v.to_int() == 0b101
+
+    def test_signed_to_int(self):
+        v = Value.from_int(0b1111, 4, signed=True)
+        assert v.to_int() == -1
+
+    def test_to_signed_int_always_twos_complement(self):
+        assert Value.from_int(0b1000, 4).to_signed_int() == -8
+
+    def test_out_of_range_bit_reads_x(self):
+        assert Value.from_int(1, 2).bit(5) == "x"
+
+    def test_decimal_string(self):
+        assert Value.from_int(10, 8).to_decimal_string() == "10"
+        assert Value.unknown(8).to_decimal_string() == "x"
+        assert Value.high_z(8).to_decimal_string() == "z"
+        assert Value.from_string("1x").to_decimal_string() == "X"
+
+    def test_hex_string_per_nibble(self):
+        assert Value.from_int(0xA5, 8).to_hex_string() == "a5"
+        assert Value.from_string("xxxx0001").to_hex_string() == "x1"
+
+
+class TestResize:
+    def test_zero_extension(self):
+        assert Value.from_int(0b11, 2).resized(4).to_bit_string() == "0011"
+
+    def test_sign_extension(self):
+        v = Value.from_int(0b10, 2, signed=True)
+        assert v.resized(4).to_bit_string() == "1110"
+
+    def test_x_extension(self):
+        assert Value.from_string("x1").resized(4).to_bit_string() == "xxx1"
+
+    def test_z_extension(self):
+        assert Value.from_string("z0").resized(4).to_bit_string() == "zzz0"
+
+    def test_truncation(self):
+        assert Value.from_int(0b1101, 4).resized(2).to_bit_string() == "01"
+
+
+class TestSelectsAndConcat:
+    def test_select_range(self):
+        v = Value.from_int(0b11010010, 8)
+        assert v.select_range(7, 4).to_bit_string() == "1101"
+
+    def test_select_range_out_of_bounds_pads_x(self):
+        v = Value.from_int(0b11, 2)
+        assert v.select_range(3, 0).to_bit_string() == "xx11"
+
+    def test_with_bits(self):
+        v = Value.from_int(0, 8).with_bits(5, 2, Value.from_int(0b1111, 4))
+        assert v.to_bit_string() == "00111100"
+
+    def test_concat(self):
+        high = Value.from_int(0b10, 2)
+        low = Value.from_int(0b01, 2)
+        assert high.concat(low).to_bit_string() == "1001"
+
+    def test_same_state_width_extension(self):
+        assert Value.from_int(1, 1).same_state(Value.from_int(1, 8))
+        assert not Value.unknown(1).same_state(Value.from_int(1, 1))
+
+
+class TestTruthiness:
+    def test_any_one_is_true(self):
+        assert truthiness(Value.from_string("0x1")) == "true"
+
+    def test_all_zero_is_false(self):
+        assert truthiness(Value.from_int(0, 4)) == "false"
+
+    def test_x_without_ones_is_x(self):
+        assert truthiness(Value.from_string("0x0")) == "x"
+        assert truthiness(Value.high_z(3)) == "x"
+
+
+class TestProperties:
+    @given(bitstrings())
+    def test_string_roundtrip(self, bits):
+        assert Value.from_string(bits).to_bit_string() == bits
+
+    @given(bitstrings(), st.integers(min_value=1, max_value=24))
+    def test_resize_preserves_low_bits(self, bits, width):
+        v = Value.from_string(bits)
+        resized = v.resized(width)
+        for i in range(min(v.width, width)):
+            assert resized.bit(i) == v.bit(i)
+
+    @given(bitstrings(8), bitstrings(8))
+    def test_concat_width_and_parts(self, a, b):
+        va, vb = Value.from_string(a), Value.from_string(b)
+        joined = va.concat(vb)
+        assert joined.width == va.width + vb.width
+        assert joined.to_bit_string() == a + b
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_int_roundtrip(self, value):
+        assert Value.from_int(value, 16).to_int() == value
+
+    @given(bitstrings())
+    def test_hash_eq_consistency(self, bits):
+        v1 = Value.from_string(bits)
+        v2 = Value.from_string(bits)
+        assert v1 == v2
+        assert hash(v1) == hash(v2)

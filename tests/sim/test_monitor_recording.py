@@ -1,0 +1,100 @@
+"""$monitor + $cirfix_record interplay and recording-order guarantees."""
+
+from repro.hdl import parse
+from repro.sim import Simulator
+
+
+def run(source):
+    sim = Simulator(parse(source))
+    result = sim.run(10_000)
+    assert result.finished, result.errors
+    return result
+
+
+class TestRecorderOrdering:
+    def test_records_sorted_by_time(self):
+        result = run(
+            """
+            module t;
+              reg clk;
+              reg [3:0] v;
+              initial begin clk = 0; v = 0; end
+              always #5 clk = !clk;
+              always @(posedge clk) v <= v + 1;
+              always @(posedge clk) $cirfix_record(v);
+              initial #63 $finish;
+            endmodule
+            """
+        )
+        times = [r.time for r in result.trace]
+        assert times == sorted(times)
+        assert times == [5, 15, 25, 35, 45, 55]
+
+    def test_two_recorders_both_capture(self):
+        result = run(
+            """
+            module t;
+              reg clk;
+              reg a, b;
+              initial begin clk = 0; a = 0; b = 1; end
+              always #5 clk = !clk;
+              always @(posedge clk) a <= !a;
+              always @(posedge clk) $cirfix_record(a);
+              always @(posedge clk) $cirfix_record(b);
+              initial #12 $finish;
+            endmodule
+            """
+        )
+        assert len(result.trace) == 2  # one record per call at t=5
+        names = {tuple(r.values) for r in result.trace}
+        assert names == {("a",), ("b",)}
+
+    def test_record_expression_label(self):
+        result = run(
+            """
+            module t;
+              reg clk;
+              reg [3:0] v;
+              initial begin clk = 0; v = 4'b1010; end
+              always #5 clk = !clk;
+              always @(posedge clk) $cirfix_record(v[3:2]);
+              initial #8 $finish;
+            endmodule
+            """
+        )
+        record = result.trace[0]
+        label = next(iter(record.values))
+        assert "v[3:2]" in label
+        assert record.values[label].to_bit_string() == "10"
+
+
+class TestMonitorEdgeCases:
+    def test_monitor_initial_print(self):
+        result = run(
+            """
+            module t;
+              reg [1:0] v;
+              initial $monitor("m %0d", v);
+              initial begin v = 3; #1 $finish; end
+            endmodule
+            """
+        )
+        assert result.output[0].startswith("m ")
+
+    def test_monitor_not_retriggered_by_unrelated_signals(self):
+        result = run(
+            """
+            module t;
+              reg watched, unrelated;
+              initial $monitor("w=%b", watched);
+              initial begin
+                watched = 0;
+                #5 unrelated = 1;
+                #5 unrelated = 0;
+                #5 watched = 1;
+                #1 $finish;
+              end
+            endmodule
+            """
+        )
+        assert result.output == ["w=0", "w=1"]

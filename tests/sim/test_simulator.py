@@ -1,0 +1,522 @@
+"""Behavioural simulator tests: timing, events, NBA semantics, hierarchy."""
+
+import pytest
+
+from repro.hdl import parse
+from repro.sim import ElaborationError, Simulator
+from repro.sim.logic import Value
+
+
+def run(source, max_time=100_000, **kwargs):
+    sim = Simulator(parse(source), **kwargs)
+    result = sim.run(max_time)
+    return sim, result
+
+
+class TestDelaysAndFinish:
+    def test_finish_stops_at_time(self):
+        _, result = run("module t; initial #42 $finish; endmodule")
+        assert result.finished
+        assert result.time == 42
+
+    def test_sequential_delays_accumulate(self):
+        _, result = run(
+            "module t; initial begin #10; #5; #1 $finish; end endmodule"
+        )
+        assert result.time == 16
+
+    def test_no_finish_runs_to_quiescence(self):
+        _, result = run("module t; reg r; initial #3 r = 1; endmodule")
+        assert not result.finished
+        assert result.time == 3
+
+    def test_max_time_bound(self):
+        _, result = run("module t; reg c; initial c = 0; always #5 c = !c; endmodule", max_time=50)
+        assert result.time == 50
+
+    def test_display_and_time(self):
+        _, result = run(
+            'module t; initial begin #7 $display("t=%0t", $time); $finish; end endmodule'
+        )
+        assert result.output == ["t=7"]
+
+
+class TestClockAndAlways:
+    def test_clock_oscillates(self):
+        sim, _ = run(
+            "module t; reg clk; initial clk = 0; always #5 clk = !clk;"
+            " initial #23 $finish; endmodule"
+        )
+        # After 23 ticks: toggles at 5,10,15,20 → 0→1→0→1→0... value at 20 is 0.
+        assert sim.signal("clk").value.to_int() == 0
+
+    def test_posedge_counting(self):
+        sim, _ = run(
+            """
+            module t;
+              reg clk;
+              integer edges;
+              initial begin clk = 0; edges = 0; end
+              always #5 clk = !clk;
+              always @(posedge clk) edges = edges + 1;
+              initial #52 $finish;
+            endmodule
+            """
+        )
+        assert sim.signal("edges").value.to_int() == 5  # edges at 5,15,25,35,45
+
+    def test_negedge_sensitivity(self):
+        sim, _ = run(
+            """
+            module t;
+              reg clk;
+              integer edges;
+              initial begin clk = 0; edges = 0; end
+              always #5 clk = !clk;
+              always @(negedge clk) edges = edges + 1;
+              initial #52 $finish;
+            endmodule
+            """
+        )
+        assert sim.signal("edges").value.to_int() == 5  # negedges at 10,20,30,40,50
+
+    def test_star_sensitivity_combinational(self):
+        sim, _ = run(
+            """
+            module t;
+              reg [3:0] a, b;
+              reg [3:0] s;
+              always @(*) s = a + b;
+              initial begin
+                a = 1; b = 2;
+                #1;
+                a = 5;
+                #1 $finish;
+              end
+            endmodule
+            """
+        )
+        assert sim.signal("s").value.to_int() == 7
+
+    def test_x_to_one_is_posedge(self):
+        sim, _ = run(
+            """
+            module t;
+              reg sig;
+              integer hits;
+              initial hits = 0;
+              always @(posedge sig) hits = hits + 1;
+              initial begin #5 sig = 1; #5 $finish; end
+            endmodule
+            """
+        )
+        assert sim.signal("hits").value.to_int() == 1
+
+
+class TestNonBlockingSemantics:
+    def test_nba_swap(self):
+        sim, _ = run(
+            """
+            module t;
+              reg clk, a, b;
+              initial begin clk = 0; a = 0; b = 1; end
+              always #5 clk = !clk;
+              always @(posedge clk) begin
+                a <= b;
+                b <= a;
+              end
+              initial #12 $finish;
+            endmodule
+            """
+        )
+        assert sim.signal("a").value.to_int() == 1
+        assert sim.signal("b").value.to_int() == 0
+
+    def test_blocking_does_not_swap(self):
+        sim, _ = run(
+            """
+            module t;
+              reg clk, a, b;
+              initial begin clk = 0; a = 0; b = 1; end
+              always #5 clk = !clk;
+              always @(posedge clk) begin
+                a = b;
+                b = a;
+              end
+              initial #12 $finish;
+            endmodule
+            """
+        )
+        assert sim.signal("a").value.to_int() == 1
+        assert sim.signal("b").value.to_int() == 1
+
+    def test_nba_with_delay_lands_later(self):
+        sim, _ = run(
+            """
+            module t;
+              reg r;
+              initial begin
+                r = 0;
+                r <= #10 1;
+                #5;
+                if (r == 0) $display("still-zero");
+                #10;
+                if (r == 1) $display("now-one");
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert sim.output == ["still-zero", "now-one"]
+
+    def test_intra_assignment_delay_blocking(self):
+        # RHS evaluated before the delay.
+        sim, _ = run(
+            """
+            module t;
+              reg [3:0] a, b;
+              initial begin
+                a = 4'd1;
+                b = #5 a;
+                $display("%0d at %0t", b, $time);
+                $finish;
+              end
+              initial #2 a = 4'd9;
+            endmodule
+            """
+        )
+        assert sim.output == ["1 at 5"]
+
+    def test_last_nba_wins(self):
+        sim, _ = run(
+            """
+            module t;
+              reg clk, r;
+              initial begin clk = 0; r = 0; end
+              always #5 clk = !clk;
+              always @(posedge clk) begin
+                r <= 1;
+                r <= 0;
+              end
+              initial #12 $finish;
+            endmodule
+            """
+        )
+        assert sim.signal("r").value.to_int() == 0
+
+
+class TestEventsAndWait:
+    def test_named_event_handshake(self):
+        _, result = run(
+            """
+            module t;
+              event go, done;
+              initial begin
+                #10 -> go;
+                @(done);
+                $display("done at %0t", $time);
+                $finish;
+              end
+              initial begin
+                @(go);
+                #5 -> done;
+              end
+            endmodule
+            """
+        )
+        assert result.output == ["done at 15"]
+
+    def test_wait_releases_when_condition_true(self):
+        _, result = run(
+            """
+            module t;
+              reg flag;
+              initial begin flag = 0; #20 flag = 1; end
+              initial begin
+                wait (flag == 1)
+                $display("released at %0t", $time);
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert result.output == ["released at 20"]
+
+    def test_wait_already_true_continues(self):
+        _, result = run(
+            """
+            module t;
+              reg flag;
+              initial begin
+                flag = 1;
+                wait (flag)
+                $display("immediate");
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert result.output == ["immediate"]
+
+    def test_repeat_event_controls(self):
+        _, result = run(
+            """
+            module t;
+              reg clk;
+              initial clk = 0;
+              always #5 clk = !clk;
+              initial begin
+                repeat (3) begin
+                  @(negedge clk);
+                end
+                $display("%0t", $time);
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert result.output == ["30"]
+
+
+class TestHierarchy:
+    ADDER = """
+    module adder(input [3:0] x, input [3:0] y, output [4:0] s);
+      assign s = x + y;
+    endmodule
+    """
+
+    def test_instance_port_flow(self):
+        sim, _ = run(
+            self.ADDER
+            + """
+            module t;
+              reg [3:0] a, b;
+              wire [4:0] s;
+              adder dut(.x(a), .y(b), .s(s));
+              initial begin
+                a = 9; b = 8;
+                #1 $display("%0d", s);
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert sim.output == ["17"]
+
+    def test_positional_connections(self):
+        sim, _ = run(
+            self.ADDER
+            + """
+            module t;
+              reg [3:0] a, b;
+              wire [4:0] s;
+              adder dut(a, b, s);
+              initial begin a = 3; b = 4; #1 $display("%0d", s); $finish; end
+            endmodule
+            """
+        )
+        assert sim.output == ["7"]
+
+    def test_parameter_override(self):
+        sim, _ = run(
+            """
+            module producer(output [7:0] v);
+              parameter VALUE = 1;
+              assign v = VALUE;
+            endmodule
+            module t;
+              wire [7:0] v;
+              producer #(.VALUE(42)) dut(.v(v));
+              initial #1 begin $display("%0d", v); $finish; end
+            endmodule
+            """
+        )
+        assert sim.output == ["42"]
+
+    def test_nested_hierarchy_signal_path(self):
+        sim, _ = run(
+            self.ADDER
+            + """
+            module wrap(input [3:0] p, output [4:0] q);
+              adder inner(.x(p), .y(4'd1), .s(q));
+            endmodule
+            module t;
+              reg [3:0] a;
+              wire [4:0] s;
+              wrap dut(.p(a), .q(s));
+              initial begin a = 5; #1 $finish; end
+            endmodule
+            """
+        )
+        assert sim.signal("dut.inner.s").value.to_int() == 6
+
+    def test_missing_module_raises(self):
+        with pytest.raises(ElaborationError):
+            run("module t; ghost u(); endmodule")
+
+    def test_unknown_port_raises(self):
+        with pytest.raises(ElaborationError):
+            run(self.ADDER + "module t; adder u(.nope(1'b0)); endmodule")
+
+
+class TestFunctionsTasksMemories:
+    def test_function_call(self):
+        sim, _ = run(
+            """
+            module t;
+              reg [7:0] r;
+              function [7:0] double;
+                input [7:0] v;
+                double = v * 2;
+              endfunction
+              initial begin r = double(21); $finish; end
+            endmodule
+            """
+        )
+        assert sim.signal("r").value.to_int() == 42
+
+    def test_task_with_time_control(self):
+        _, result = run(
+            """
+            module t;
+              task wiggle;
+                input [3:0] n;
+                begin
+                  #5;
+                  $display("wiggled %0d at %0t", n, $time);
+                end
+              endtask
+              initial begin
+                wiggle(4'd3);
+                wiggle(4'd7);
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert result.output == ["wiggled 3 at 5", "wiggled 7 at 10"]
+
+    def test_task_output_argument(self):
+        sim, _ = run(
+            """
+            module t;
+              reg [7:0] got;
+              task fetch;
+                output [7:0] v;
+                v = 8'h5A;
+              endtask
+              initial begin fetch(got); $finish; end
+            endmodule
+            """
+        )
+        assert sim.signal("got").value.aval == 0x5A
+
+    def test_memory_write_read(self):
+        sim, _ = run(
+            """
+            module t;
+              reg [7:0] mem [0:7];
+              reg [7:0] r;
+              initial begin
+                mem[3] = 8'hAB;
+                r = mem[3];
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert sim.signal("r").value.aval == 0xAB
+
+    def test_for_loop_fills_memory(self):
+        sim, _ = run(
+            """
+            module t;
+              reg [7:0] mem [0:7];
+              reg [7:0] total;
+              integer i;
+              initial begin
+                for (i = 0; i < 8; i = i + 1) mem[i] = i;
+                total = 0;
+                for (i = 0; i < 8; i = i + 1) total = total + mem[i];
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert sim.signal("total").value.to_int() == 28
+
+
+class TestRobustness:
+    def test_zero_delay_loop_hits_budget(self):
+        _, result = run(
+            "module t; reg r; initial forever r = !r; endmodule",
+            max_steps=10_000,
+        )
+        assert any("budget" in e for e in result.errors)
+
+    def test_runtime_error_kills_one_process_only(self):
+        _, result = run(
+            """
+            module t;
+              reg ok;
+              initial no_such_task(1);  // unknown task: this process dies
+              initial begin #5 ok = 1; $display("alive"); $finish; end
+            endmodule
+            """
+        )
+        assert result.finished
+        assert "alive" in result.output
+        assert result.errors  # the failure was reported
+
+    def test_monitor_prints_on_change(self):
+        _, result = run(
+            """
+            module t;
+              reg [3:0] v;
+              initial $monitor("v=%0d", v);
+              initial begin
+                v = 1;
+                #5 v = 2;
+                #5 v = 2;
+                #5 v = 3;
+                #1 $finish;
+              end
+            endmodule
+            """
+        )
+        assert result.output == ["v=1", "v=2", "v=3"]
+
+    def test_disable_named_block(self):
+        _, result = run(
+            """
+            module t;
+              integer i;
+              initial begin : outer
+                for (i = 0; i < 10; i = i + 1) begin
+                  if (i == 3) disable outer;
+                end
+                $display("unreachable");
+              end
+              initial #5 begin $display("i=%0d", i); $finish; end
+            endmodule
+            """
+        )
+        assert result.output == ["i=3"]
+
+    def test_trace_recording(self):
+        sim, result = run(
+            """
+            module t;
+              reg clk;
+              reg [3:0] v;
+              initial begin clk = 0; v = 0; end
+              always #5 clk = !clk;
+              always @(posedge clk) v <= v + 1;
+              always @(posedge clk) $cirfix_record(v);
+              initial #22 $finish;
+            endmodule
+            """
+        )
+        assert [r.time for r in result.trace] == [5, 15]
+        # Postponed sampling sees the post-NBA value.
+        assert result.trace[0].values["v"].to_int() == 1

@@ -1,0 +1,102 @@
+"""Behavioural system-task tests (beyond the pure formatting unit tests)."""
+
+from repro.hdl import parse
+from repro.sim import Simulator
+
+
+def run(source, **kwargs):
+    sim = Simulator(parse(source), **kwargs)
+    result = sim.run(10_000)
+    return sim, result
+
+
+class TestStrobe:
+    def test_strobe_samples_after_nba(self):
+        _, result = run(
+            """
+            module t;
+              reg [3:0] v;
+              initial begin
+                v = 0;
+                v <= 4'd7;
+                $display("display v=%0d", v);
+                $strobe("strobe v=%0d", v);
+                #1 $finish;
+              end
+            endmodule
+            """
+        )
+        assert "display v=0" in result.output
+        assert "strobe v=7" in result.output
+
+
+class TestRandom:
+    def test_random_deterministic_per_seed(self):
+        source = """
+        module t;
+          integer r;
+          initial begin
+            r = $random;
+            $display("%0d", r);
+            $finish;
+          end
+        endmodule
+        """
+        _, first = run(source, seed=3)
+        _, second = run(source, seed=3)
+        _, third = run(source, seed=4)
+        assert first.output == second.output
+        assert first.output != third.output
+
+
+class TestSignedness:
+    def test_dollar_signed_changes_comparison(self):
+        _, result = run(
+            """
+            module t;
+              reg [7:0] v;
+              initial begin
+                v = 8'hFF;
+                if ($signed(v) < 0) $display("negative");
+                if (v > 8'd100) $display("large-unsigned");
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert result.output == ["negative", "large-unsigned"]
+
+
+class TestDumpNoops:
+    def test_dump_tasks_ignored(self):
+        _, result = run(
+            """
+            module t;
+              initial begin
+                $dumpfile("x.vcd");
+                $dumpvars;
+                $display("ok");
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert result.output == ["ok"]
+        assert not result.errors
+
+
+class TestUnknownTask:
+    def test_unknown_systask_reported_not_fatal(self):
+        _, result = run(
+            """
+            module t;
+              initial begin
+                $made_up_task(1);
+                $display("survived");
+                $finish;
+              end
+            endmodule
+            """
+        )
+        assert "survived" in result.output
+        assert any("made_up_task" in e for e in result.errors)

@@ -1,0 +1,49 @@
+"""System task formatting tests."""
+
+from repro.sim.logic import Value
+from repro.sim.systasks import format_display
+
+
+class TestFormatDisplay:
+    def test_decimal(self):
+        out = format_display("v=%0d", [Value.from_int(42, 8)], 0)
+        assert out == "v=42"
+
+    def test_decimal_default_width_pads(self):
+        out = format_display("%d", [Value.from_int(7, 8)], 0)
+        assert out == "  7"  # 8-bit max is 255 → width 3
+
+    def test_binary(self):
+        assert format_display("%b", [Value.from_string("10x")], 0) == "10x"
+
+    def test_binary_zero_width_strips(self):
+        assert format_display("%0b", [Value.from_int(2, 8)], 0) == "10"
+
+    def test_hex(self):
+        assert format_display("%h", [Value.from_int(0xAB, 8)], 0) == "ab"
+
+    def test_octal(self):
+        assert format_display("%o", [Value.from_int(9, 8)], 0) == "11"
+
+    def test_time(self):
+        assert format_display("at %0t", [Value.from_int(0, 1)], 125) == "at 125"
+
+    def test_char_and_string(self):
+        assert format_display("%c", [Value.from_int(65, 8)], 0) == "A"
+        hello = Value(40, int.from_bytes(b"hello", "big"))
+        assert format_display("%s", [hello], 0) == "hello"
+
+    def test_percent_escape(self):
+        assert format_display("100%%", [], 0) == "100%"
+
+    def test_newline_tab_escapes(self):
+        assert format_display("a\\nb\\tc", [], 0) == "a\nb\tc"
+
+    def test_missing_argument_marked(self):
+        assert format_display("%d %d", [Value.from_int(1, 4)], 0).endswith("<missing>")
+
+    def test_x_value_decimal(self):
+        assert format_display("%0d", [Value.unknown(4)], 0) == "x"
+
+    def test_module_placeholder(self):
+        assert format_display("%m", [], 0) == "top"

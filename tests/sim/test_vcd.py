@@ -1,0 +1,65 @@
+"""VCD writer tests."""
+
+from repro.hdl import parse
+from repro.sim import Simulator
+from repro.sim.vcd import VcdWriter, _id_code
+
+SOURCE = """
+module child(input i, output o);
+  assign o = !i;
+endmodule
+module top;
+  reg clk;
+  reg [3:0] v;
+  wire inv;
+  child u(.i(clk), .o(inv));
+  initial begin clk = 0; v = 0; end
+  always #5 clk = !clk;
+  always @(posedge clk) v <= v + 1;
+  initial #23 $finish;
+endmodule
+"""
+
+
+class TestIdCodes:
+    def test_distinct_and_printable(self):
+        codes = [_id_code(i) for i in range(500)]
+        assert len(set(codes)) == 500
+        assert all(c.isprintable() and " " not in c for c in codes)
+
+
+class TestVcdOutput:
+    def _render(self):
+        sim = Simulator(parse(SOURCE))
+        writer = VcdWriter.attach(sim)
+        sim.run(1_000)
+        return writer.render()
+
+    def test_header_sections(self):
+        text = self._render()
+        assert "$timescale 1ns $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+
+    def test_scopes_nested(self):
+        text = self._render()
+        assert "$scope module top $end" in text
+        assert "$scope module u $end" in text
+        assert text.count("$upscope $end") >= 2
+
+    def test_all_signals_declared(self):
+        text = self._render()
+        for name in ("clk", "v", "inv", "i", "o"):
+            assert f" {name} $end" in text
+
+    def test_vector_changes_recorded(self):
+        text = self._render()
+        assert "b0001 " in text
+        assert "b0010 " in text
+
+    def test_time_markers_monotone(self):
+        text = self._render()
+        times = [int(l[1:]) for l in text.splitlines() if l.startswith("#")]
+        assert times == sorted(times)
+        assert times[0] == 0
+        assert any(t == 5 for t in times)

@@ -1,0 +1,79 @@
+"""CLI tests (the artifact-style repair.conf workflow)."""
+
+import pytest
+
+from repro.benchsuite import load_scenario
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def ff_files(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    scenario = load_scenario("ff_cond")
+    (tmp / "faulty.v").write_text(scenario.faulty_design_text)
+    (tmp / "golden.v").write_text(scenario.project.design_text)
+    (tmp / "tb.v").write_text(scenario.project.testbench_text)
+    return tmp
+
+
+class TestRepairCommand:
+    def test_conf_driven_repair(self, ff_files, capsys):
+        conf = ff_files / "repair.conf"
+        conf.write_text(
+            "[project]\n"
+            f"source = {ff_files}/faulty.v\n"
+            f"testbench = {ff_files}/tb.v\n"
+            f"golden = {ff_files}/golden.v\n"
+            "[gp]\n"
+            "population_size = 120\n"
+            "max_generations = 4\n"
+            "max_fitness_evals = 600\n"
+            "max_wall_seconds = 60\n"
+            "seeds = 0,1\n"
+        )
+        code = main(["repair", "--conf", str(conf), "--output", str(ff_files / "out.v")])
+        assert code == 0
+        assert (ff_files / "out.v").exists()
+        out = capsys.readouterr().out
+        assert "PLAUSIBLE" in out
+
+    def test_positional_arguments(self, ff_files):
+        code = main(
+            [
+                "repair",
+                str(ff_files / "faulty.v"),
+                str(ff_files / "tb.v"),
+                "--golden",
+                str(ff_files / "golden.v"),
+                "--population",
+                "120",
+                "--budget",
+                "60",
+                "--seeds",
+                "0",
+                "--output",
+                str(ff_files / "out2.v"),
+            ]
+        )
+        assert code == 0
+
+    def test_missing_oracle_errors(self, ff_files):
+        with pytest.raises(SystemExit):
+            main(["repair", str(ff_files / "faulty.v"), str(ff_files / "tb.v")])
+
+
+class TestSimulateCommand:
+    def test_simulate_with_record(self, ff_files, capsys):
+        code = main(
+            ["simulate", str(ff_files / "golden.v"), str(ff_files / "tb.v"), "--record"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("time,q")
+
+
+class TestScenariosCommand:
+    def test_lists_all_32(self, capsys):
+        assert main(["scenarios"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 32

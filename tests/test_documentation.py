@@ -1,0 +1,46 @@
+"""Documentation hygiene: every public module, class, and function in the
+library carries a docstring (deliverable (e): doc comments on every public
+item)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.startswith("repro.benchsuite.projects")
+    and name != "repro.__main__"  # importing it runs the CLI
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exported from elsewhere
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+        elif inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_") or not inspect.isfunction(method):
+                    continue
+                if not inspect.getdoc(method):
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, f"{module_name}: missing docstrings on {undocumented}"

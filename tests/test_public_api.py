@@ -1,0 +1,61 @@
+"""Top-level public API tests (`repro.repair_verilog` and exports)."""
+
+import repro
+from repro import repair_verilog
+from repro.core.config import RepairConfig
+
+GOLDEN = """
+module blinker(clk, rst, led);
+  input clk, rst;
+  output led;
+  reg led;
+  reg [1:0] cnt;
+  always @(posedge clk) begin
+    if (rst) begin
+      cnt <= 0;
+      led <= 0;
+    end
+    else begin
+      cnt <= cnt + 1;
+      if (cnt == 2'd3) led <= !led;
+    end
+  end
+endmodule
+"""
+
+FAULTY = GOLDEN.replace("if (cnt == 2'd3)", "if (cnt == 2'd2)")
+
+TESTBENCH = """
+module tb;
+  reg clk, rst;
+  wire led;
+  blinker dut(.clk(clk), .rst(rst), .led(led));
+  always #5 clk = !clk;
+  initial begin
+    clk = 0; rst = 1;
+    @(negedge clk);
+    rst = 0;
+    repeat (20) begin @(negedge clk); end
+    $finish;
+  end
+endmodule
+"""
+
+
+class TestRepairVerilog:
+    def test_one_call_repair(self):
+        config = RepairConfig(
+            population_size=80,
+            max_generations=4,
+            max_wall_seconds=90.0,
+            max_fitness_evals=800,
+        )
+        outcome = repair_verilog(FAULTY, TESTBENCH, GOLDEN, config, seeds=(0, 1))
+        assert outcome.plausible
+        assert outcome.repaired_source is not None
+        assert "module blinker" in outcome.repaired_source
+
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
