@@ -2,6 +2,8 @@
 # Full verification sweep: tests, benchmarks, examples, experiment smoke.
 set -e
 cd "$(dirname "$0")/.."
+PYTHONPATH=src:${PYTHONPATH:-}
+export PYTHONPATH
 
 echo "== unit / integration / property tests =="
 python -m pytest tests/ -q
@@ -23,5 +25,24 @@ python -m repro.experiments figure3 > /dev/null
 python -m repro.experiments rq3 > /dev/null
 python -m repro.experiments phi > /dev/null
 python -m repro.experiments fixloc > /dev/null
+
+echo "== parallel smoke repair (counter_reset, --workers 2) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+python - "$SMOKE_DIR" <<'EOF'
+import sys
+from pathlib import Path
+from repro.benchsuite import load_scenario
+
+out = Path(sys.argv[1])
+scenario = load_scenario("counter_reset")
+(out / "faulty.v").write_text(scenario.faulty_design_text)
+(out / "golden.v").write_text(scenario.project.design_text)
+(out / "tb.v").write_text(scenario.project.testbench_text)
+EOF
+python -m repro repair "$SMOKE_DIR/faulty.v" "$SMOKE_DIR/tb.v" \
+    --golden "$SMOKE_DIR/golden.v" --workers 2 --population 120 \
+    --budget 120 --seeds 0 1 --output "$SMOKE_DIR/repaired.v" > /dev/null
+test -s "$SMOKE_DIR/repaired.v"
 
 echo "ALL CHECKS PASSED"

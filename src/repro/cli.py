@@ -28,6 +28,9 @@ the GP parameters.  This module reproduces that workflow::
     phi = 2.0
     seeds = 0,1,2
     max_wall_seconds = 600
+    ; parallel candidate evaluation (see repro.core.backend):
+    workers = 4
+    backend = auto
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ import sys
 from pathlib import Path
 
 from .benchsuite import DEFECTS
+from .core.backend import BACKEND_NAMES
 from .core.config import RepairConfig
 from .core.oracle import ensure_instrumented, generate_oracle
 from .core.repair import RepairProblem, repair
@@ -48,7 +52,9 @@ from .sim.simulator import Simulator
 _GP_FLOAT_FIELDS = ("rt_threshold", "mut_threshold", "delete_threshold",
                     "insert_threshold", "elitism_fraction", "phi", "max_wall_seconds")
 _GP_INT_FIELDS = ("population_size", "max_generations", "tournament_size",
-                  "max_fitness_evals", "max_sim_time", "max_sim_steps", "minimize_budget")
+                  "max_fitness_evals", "max_sim_time", "max_sim_steps", "minimize_budget",
+                  "workers", "eval_chunk_size")
+_GP_STR_FIELDS = ("backend",)
 
 
 def _config_from_section(section: configparser.SectionProxy) -> tuple[RepairConfig, tuple[int, ...]]:
@@ -59,6 +65,14 @@ def _config_from_section(section: configparser.SectionProxy) -> tuple[RepairConf
     for field in _GP_INT_FIELDS:
         if field in section:
             overrides[field] = section.getint(field)
+    for field in _GP_STR_FIELDS:
+        if field in section:
+            overrides[field] = section.get(field)
+    backend = overrides.get("backend")
+    if backend is not None and backend not in BACKEND_NAMES:
+        raise SystemExit(
+            f"error: backend must be one of {', '.join(BACKEND_NAMES)} (got {backend!r})"
+        )
     seeds = tuple(
         int(s) for s in section.get("seeds", "0,1,2").split(",") if s.strip()
     )
@@ -110,6 +124,8 @@ def cmd_repair(args: argparse.Namespace) -> int:
         config = config.scaled(max_wall_seconds=float(args.budget))
     if args.population is not None:
         config = config.scaled(population_size=args.population)
+    if args.workers is not None:
+        config = config.scaled(workers=max(1, args.workers))
 
     if args.log:
         import logging
@@ -182,6 +198,10 @@ def main(argv: list[str] | None = None) -> int:
     p_repair.add_argument("--output", help="where to write the repaired design")
     p_repair.add_argument("--budget", type=float, help="wall-clock seconds per trial")
     p_repair.add_argument("--population", type=int, help="GP population size")
+    p_repair.add_argument(
+        "--workers", type=int,
+        help="worker processes for candidate evaluation / parallel trials (default 1)",
+    )
     p_repair.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
     p_repair.add_argument(
         "--log", action="store_true", help="print per-generation progress logs"

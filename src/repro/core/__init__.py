@@ -9,6 +9,16 @@ The paper's primary contribution.  Public entry points:
 - :func:`evaluate_fitness` — the §3.2 fitness function.
 """
 
+from .backend import (
+    CandidateResult,
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    TraceSummary,
+    evaluate_design_text,
+    make_backend,
+    splice_testbench,
+)
 from .config import TEST_CONFIG, RepairConfig
 from .faultloc import FaultLocalization, all_statement_ids, localize_faults
 from .fitness import DEFAULT_PHI, FitnessBreakdown, evaluate_fitness, fitness_score
@@ -30,6 +40,14 @@ __all__ = [
     "RepairOutcome",
     "Evaluation",
     "repair",
+    "EvaluationBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "CandidateResult",
+    "TraceSummary",
+    "make_backend",
+    "evaluate_design_text",
+    "splice_testbench",
     "Patch",
     "Edit",
     "localize_faults",

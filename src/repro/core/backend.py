@@ -1,0 +1,314 @@
+"""Candidate-evaluation backends for the repair engine.
+
+The paper reports that >90% of repair wall-clock goes to fitness
+evaluations (candidate simulations), and evaluations within a generation
+are independent.  This module factors the evaluation pipeline
+(parse → splice testbench → elaborate → simulate → fitness) out of the
+engine and puts an :class:`EvaluationBackend` interface in front of it:
+
+- :class:`SerialBackend` evaluates candidates inline in the engine's
+  process — the paper's original behaviour and the default;
+- :class:`ProcessPoolBackend` keeps a persistent ``multiprocessing`` pool
+  whose workers parse the instrumented testbench and load the oracle
+  **once** at initialisation, then score batches of candidate design
+  texts, returning compact ``(fitness, breakdown, compiled, summary)``
+  results (full traces never cross the process boundary).
+
+Both backends run the identical pipeline on the identical inputs, so a
+batch submitted in child-index order produces identical results either
+way — the engine's determinism guarantee does not depend on the backend
+(see ``docs/repair_engine.md``).
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import multiprocessing.pool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+from ..hdl import ParseError, ast, parse
+from ..hdl.lexer import LexError
+from ..hdl.node_ids import max_node_id, number_nodes
+from ..instrument.trace import SimulationTrace, output_mismatch
+from ..sim.elaborate import ElaborationError
+from ..sim.simulator import Simulator
+from .config import RepairConfig
+from .fitness import FitnessBreakdown, evaluate_fitness
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repair → backend)
+    from .repair import RepairProblem
+
+logger = logging.getLogger("repro.repair")
+
+
+# ----------------------------------------------------------------------
+# Result types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Compact description of a candidate's simulation trace.
+
+    Pool workers return this instead of the full trace: it is enough for
+    engine diagnostics and keeps per-task result payloads small.  A parent
+    whose full trace is needed again (fault re-localization) is
+    re-simulated in the engine's process.
+    """
+
+    #: Number of recorded trace rows (``$cirfix_record`` samples).
+    rows: int
+    #: Number of distinct recorded variables.
+    recorded_vars: int
+    #: Output wires that ever differ from the oracle, sorted.
+    mismatched_vars: tuple[str, ...]
+
+
+@dataclass
+class CandidateResult:
+    """What a backend reports for one candidate design text.
+
+    ``trace`` is populated only when the evaluation ran in the calling
+    process (:class:`SerialBackend`); pool workers drop it and keep just
+    the :class:`TraceSummary`.
+    """
+
+    fitness: float
+    breakdown: FitnessBreakdown | None
+    compiled: bool
+    trace: SimulationTrace | None
+    summary: TraceSummary | None
+
+    def without_trace(self) -> "CandidateResult":
+        """A copy safe to ship across a process boundary (no trace)."""
+        return CandidateResult(self.fitness, self.breakdown, self.compiled, None, self.summary)
+
+
+# ----------------------------------------------------------------------
+# The evaluation pipeline (shared by every backend)
+# ----------------------------------------------------------------------
+
+
+def splice_testbench(design: ast.Source, testbench: ast.Source) -> ast.Source:
+    """Combine a freshly parsed design with cloned testbench modules.
+
+    Candidate evaluation used to re-parse ``design_text + testbench_text``
+    for every candidate even though the testbench never changes.  Instead
+    the pre-parsed testbench module ASTs are cloned and spliced after the
+    design's modules; clones are renumbered above the design's ids so the
+    combined tree keeps unique node ids.  Cloning is measurably cheaper
+    than re-lexing/re-parsing the testbench text.
+    """
+    clones = [module.clone() for module in testbench.modules]
+    next_id = max_node_id(design) + 1
+    for module in clones:
+        next_id = number_nodes(module, next_id)
+    return ast.Source(list(design.modules) + clones)
+
+
+def evaluate_design_text(
+    design_text: str,
+    testbench: ast.Source,
+    oracle: SimulationTrace,
+    config: RepairConfig,
+) -> CandidateResult:
+    """Score one candidate design: parse → splice → simulate → fitness.
+
+    Never raises: a candidate that fails to parse or elaborate scores 0.0
+    with ``compiled=False``; one that crashes at runtime scores 0.0 with
+    ``compiled=True`` (the search must survive arbitrary mutants).
+    """
+    try:
+        design = parse(design_text)
+        combined = splice_testbench(design, testbench)
+        sim = Simulator(combined, max_steps=config.max_sim_steps)
+    except (ParseError, LexError, ElaborationError, RecursionError):
+        return CandidateResult(0.0, None, False, None, None)
+    try:
+        result = sim.run(config.max_sim_time)
+    except Exception:
+        # Any uncontained runtime failure (width-cap violations from a
+        # monitor callback, pathological recursion, ...) scores zero.
+        return CandidateResult(0.0, None, True, None, None)
+    trace = SimulationTrace.from_records(result.trace)
+    breakdown = evaluate_fitness(trace, oracle, config.phi)
+    summary = TraceSummary(
+        rows=len(trace),
+        recorded_vars=len(trace.variables()),
+        mismatched_vars=tuple(sorted(output_mismatch(oracle, trace))),
+    )
+    return CandidateResult(breakdown.fitness, breakdown, True, trace, summary)
+
+
+# ----------------------------------------------------------------------
+# Backend interface and implementations
+# ----------------------------------------------------------------------
+
+
+class EvaluationBackend(Protocol):
+    """Interface the engine uses to score batches of candidate designs.
+
+    Implementations must preserve input order: ``evaluate_batch(texts)[i]``
+    is the result for ``texts[i]``.  The engine relies on this (plus its
+    own child-index-ordered submission) for seed determinism.
+    """
+
+    def evaluate_batch(self, design_texts: Sequence[str]) -> list[CandidateResult]:
+        """Evaluate every design text and return results in input order."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release any resources (worker processes) held by the backend."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialBackend:
+    """Evaluates candidates inline in the calling process.
+
+    This is the original CirFix behaviour and the default.  Results carry
+    full traces, which the engine feeds into its trace LRU so that parent
+    re-localization rarely needs to re-simulate.
+    """
+
+    def __init__(self, testbench: ast.Source, oracle: SimulationTrace, config: RepairConfig):
+        self.testbench = testbench
+        self.oracle = oracle
+        self.config = config
+
+    @staticmethod
+    def for_problem(problem: "RepairProblem", config: RepairConfig) -> "SerialBackend":
+        """Build a serial backend for a :class:`RepairProblem`."""
+        return SerialBackend(problem.testbench, problem.oracle, config)
+
+    def evaluate_batch(self, design_texts: Sequence[str]) -> list[CandidateResult]:
+        """Evaluate the batch one candidate at a time, in order."""
+        return [
+            evaluate_design_text(text, self.testbench, self.oracle, self.config)
+            for text in design_texts
+        ]
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+#: Per-worker state installed by :func:`_pool_initializer` (each worker
+#: parses the testbench and keeps the oracle exactly once).
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _pool_initializer(testbench_text: str, oracle: SimulationTrace, config: RepairConfig) -> None:
+    """Worker-side init: parse the instrumented testbench and keep the oracle."""
+    _WORKER_STATE["testbench"] = parse(testbench_text)
+    _WORKER_STATE["oracle"] = oracle
+    _WORKER_STATE["config"] = config
+
+
+def _pool_evaluate(design_text: str) -> CandidateResult:
+    """Worker-side task: evaluate one candidate against the cached state."""
+    result = evaluate_design_text(
+        design_text,
+        _WORKER_STATE["testbench"],  # type: ignore[arg-type]
+        _WORKER_STATE["oracle"],  # type: ignore[arg-type]
+        _WORKER_STATE["config"],  # type: ignore[arg-type]
+    )
+    return result.without_trace()
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """The preferred multiprocessing context (fork where available)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ProcessPoolBackend:
+    """A persistent worker pool evaluating candidate batches in parallel.
+
+    Workers parse the instrumented testbench and load the oracle once at
+    initialisation; each task ships only a candidate design text and each
+    result only ``(fitness, breakdown, compiled, trace summary)``.  The
+    pool persists across generations (and across seeds, when shared via
+    :func:`repro.core.repair.repair`), so the per-candidate overhead is
+    one pickle round-trip, not a process spawn.
+    """
+
+    def __init__(
+        self,
+        testbench_text: str,
+        oracle: SimulationTrace,
+        config: RepairConfig,
+        workers: int = 2,
+    ):
+        self.workers = max(1, int(workers))
+        self._pool: multiprocessing.pool.Pool | None = _mp_context().Pool(
+            processes=self.workers,
+            initializer=_pool_initializer,
+            initargs=(testbench_text, oracle, config),
+        )
+
+    @staticmethod
+    def for_problem(
+        problem: "RepairProblem", config: RepairConfig, workers: int | None = None
+    ) -> "ProcessPoolBackend":
+        """Build a pool backend for a :class:`RepairProblem`."""
+        return ProcessPoolBackend(
+            problem.testbench_text,
+            problem.oracle,
+            config,
+            workers if workers is not None else config.workers,
+        )
+
+    def evaluate_batch(self, design_texts: Sequence[str]) -> list[CandidateResult]:
+        """Fan the batch out over the pool; results come back in order."""
+        if self._pool is None:
+            raise RuntimeError("ProcessPoolBackend used after close()")
+        if not design_texts:
+            return []
+        # chunksize=1 keeps workers load-balanced: candidate costs vary
+        # wildly (a non-compiling mutant is ~100x cheaper than a full
+        # simulation), so large chunks would serialise behind stragglers.
+        return self._pool.map(_pool_evaluate, list(design_texts), chunksize=1)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Valid values of ``RepairConfig.backend``.
+BACKEND_NAMES = ("auto", "serial", "process")
+
+
+def make_backend(problem: "RepairProblem", config: RepairConfig) -> EvaluationBackend:
+    """Build the evaluation backend selected by ``config``.
+
+    ``config.backend`` is ``"serial"``, ``"process"``, or ``"auto"``
+    (pool when ``config.workers > 1``, serial otherwise).  If the host
+    cannot start worker processes — including ``backend = "process"``
+    inside an already-pooled (daemonic) trial or scenario worker, which
+    may not spawn children — the pool silently degrades to a
+    :class:`SerialBackend`: results are identical, only slower.
+    """
+    choice = config.backend
+    workers = max(1, config.workers)
+    if choice not in BACKEND_NAMES:
+        raise ValueError(f"unknown evaluation backend {choice!r}")
+    if choice == "serial" or (choice == "auto" and workers <= 1):
+        return SerialBackend.for_problem(problem, config)
+    if multiprocessing.current_process().daemon:
+        logger.warning("already inside a worker process; evaluating serially")
+        return SerialBackend.for_problem(problem, config)
+    try:
+        return ProcessPoolBackend.for_problem(problem, config, workers)
+    except (OSError, ValueError, ImportError, AssertionError) as exc:
+        logger.warning("process pool unavailable (%s); falling back to serial", exc)
+        return SerialBackend.for_problem(problem, config)

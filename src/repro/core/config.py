@@ -47,6 +47,18 @@ class RepairConfig:
     #: the paper's "adding more repair templates" future-work direction.
     #: Off by default so the reproduction matches the paper's template set.
     extended_templates: bool = False
+    #: Worker processes for candidate evaluation (and, in ``repair()`` /
+    #: the experiment drivers, for independent trials and scenario sweeps).
+    #: 1 = fully serial, the paper's original behaviour.
+    workers: int = 1
+    #: Evaluation backend: "serial", "process", or "auto" (process pool
+    #: when ``workers > 1``).  See :mod:`repro.core.backend`.
+    backend: str = "auto"
+    #: Candidates submitted to the backend per batch chunk.  The engine
+    #: checks budgets and scans for a plausible winner between chunks, so
+    #: this bounds how much work a found repair can strand; it is part of
+    #: the deterministic schedule and must not depend on worker count.
+    eval_chunk_size: int = 16
 
     def scaled(self, **overrides: object) -> "RepairConfig":
         """A copy with some fields replaced (for laptop-scale runs)."""

@@ -12,9 +12,17 @@ Genetic-programming search over repair patches:
    resources run out; minimize the winning patch with delta debugging.
 
 Every candidate evaluation regenerates Verilog source from the patched AST,
-reparses, elaborates, and simulates it under the instrumented testbench —
-mirroring the original pipeline (PyVerilog codegen → VCS simulation), with
-our own frontend and simulator standing in for both.
+reparses the design, splices in the pre-parsed testbench, elaborates, and
+simulates — mirroring the original pipeline (PyVerilog codegen → VCS
+simulation), with our own frontend and simulator standing in for both.
+
+The engine runs **generate-then-evaluate-batch**: each generation's
+children are produced first (selection uses the previous generation's
+already-known fitnesses, preserving Algorithm 1), then the whole batch is
+scored through an :class:`~repro.core.backend.EvaluationBackend` — serially
+by default, or on a persistent process pool with ``config.workers > 1``.
+Work is assigned in child-index order so outcomes are seed-deterministic
+regardless of backend (see ``docs/repair_engine.md``).
 """
 
 from __future__ import annotations
@@ -25,14 +33,12 @@ import time as time_mod
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from ..hdl import ParseError, ast, generate, parse
-from ..hdl.lexer import LexError
+from ..hdl import ast, generate, parse
 from ..instrument.trace import SimulationTrace, output_mismatch
-from ..sim.elaborate import ElaborationError
-from ..sim.simulator import Simulator
+from .backend import BACKEND_NAMES, EvaluationBackend, evaluate_design_text, make_backend
 from .config import RepairConfig
 from .faultloc import all_statement_ids, localize_faults
-from .fitness import FitnessBreakdown, evaluate_fitness
+from .fitness import FitnessBreakdown
 from .minimize import minimize_patch
 from .operators import apply_fix_pattern, crossover, mutate
 from .patch import Patch
@@ -126,18 +132,37 @@ class RepairProblem:
 
 
 class CirFixEngine:
-    """Runs Algorithm 1 for one defect scenario and one random seed."""
+    """Runs Algorithm 1 for one defect scenario and one random seed.
 
-    def __init__(self, problem: RepairProblem, config: RepairConfig | None = None, seed: int = 0):
+    Candidate batches are scored through an
+    :class:`~repro.core.backend.EvaluationBackend`; pass one to share a
+    worker pool across trials, or leave it ``None`` to let the engine
+    build (and own) the backend selected by ``config``.
+    """
+
+    def __init__(
+        self,
+        problem: RepairProblem,
+        config: RepairConfig | None = None,
+        seed: int = 0,
+        backend: EvaluationBackend | None = None,
+    ):
         self.problem = problem
         self.config = config or RepairConfig()
         self.seed = seed
         self.rng = random.Random(seed)
+        self._backend = backend
+        self._owns_backend = False
         self._cache: dict[str, Evaluation] = {}
         self._trace_cache: OrderedDict[str, SimulationTrace] = OrderedDict()
         self._trace_cache_limit = 48
         self.simulations = 0
         self.fitness_evals = 0
+        #: Deterministic count of unique candidate evaluations.  Unlike
+        #: ``simulations`` it excludes trace-refresh re-simulations (whose
+        #: number depends on the backend's trace availability), so budget
+        #: decisions keyed on it are identical under every backend.
+        self.eval_sims = 0
         #: Compile statistics for the fix-localization ablation (§3.6).
         self.mutants_generated = 0
         self.mutants_compile_failed = 0
@@ -175,13 +200,18 @@ class CirFixEngine:
                     cached.source_text,
                 )
             return cached
+        self.eval_sims += 1
         evaluation = self._evaluate_source(design_text)
+        self._admit(design_text, evaluation)
+        return evaluation
+
+    def _admit(self, design_text: str, evaluation: Evaluation) -> None:
+        """Record an evaluation in the fitness cache and the trace LRU."""
         self._cache[design_text] = evaluation.light_copy()
         if evaluation.trace is not None:
             self._trace_cache[design_text] = evaluation.trace
             while len(self._trace_cache) > self._trace_cache_limit:
                 self._trace_cache.popitem(last=False)
-        return evaluation
 
     def _evaluate_source(self, design_text: str) -> Evaluation:
         started = time_mod.monotonic()
@@ -193,23 +223,89 @@ class CirFixEngine:
     def _evaluate_source_inner(self, design_text: str) -> Evaluation:
         self.simulations += 1
         self.mutants_generated += 1
-        combined_text = design_text + "\n" + self.problem.testbench_text
-        try:
-            combined = parse(combined_text)
-            sim = Simulator(combined, max_steps=self.config.max_sim_steps)
-        except (ParseError, LexError, ElaborationError, RecursionError):
+        result = evaluate_design_text(
+            design_text, self.problem.testbench, self.problem.oracle, self.config
+        )
+        if not result.compiled:
             self.mutants_compile_failed += 1
-            return Evaluation(0.0, None, None, False, design_text)
-        try:
-            result = sim.run(self.config.max_sim_time)
-        except Exception:
-            # Any uncontained runtime failure (width-cap violations from a
-            # monitor callback, pathological recursion, ...) scores zero —
-            # the search must survive arbitrary mutants.
-            return Evaluation(0.0, None, None, True, design_text)
-        trace = SimulationTrace.from_records(result.trace)
-        breakdown = evaluate_fitness(trace, self.problem.oracle, self.config.phi)
-        return Evaluation(breakdown.fitness, breakdown, trace, True, design_text)
+        return Evaluation(
+            result.fitness, result.breakdown, result.trace, result.compiled, design_text
+        )
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (generate-then-evaluate)
+    # ------------------------------------------------------------------
+
+    def _ensure_backend(self) -> EvaluationBackend:
+        """The engine's backend, building (and owning) one on first use."""
+        if self._backend is None:
+            self._backend = make_backend(self.problem, self.config)
+            self._owns_backend = True
+        return self._backend
+
+    def _release_backend(self) -> None:
+        """Close the backend if this engine created it."""
+        if self._owns_backend and self._backend is not None:
+            self._backend.close()
+            self._backend = None
+            self._owns_backend = False
+
+    def _evaluate_generation(self, patches, out_of_budget) -> list[Evaluation | None]:
+        """Score a whole generation's patches through the backend.
+
+        Returns evaluations aligned with ``patches``.  Unique uncached
+        design texts are submitted in first-occurrence (child-index) order
+        in fixed-size chunks (``config.eval_chunk_size``); between chunks
+        the engine checks the budget and whether a plausible candidate has
+        already appeared, and stops early if so.  Entries that were never
+        evaluated because of an early stop are ``None`` — callers only see
+        them when the search is about to terminate anyway.  The chunk
+        schedule is independent of the backend and worker count, which is
+        what makes outcomes bit-identical across backends.
+        """
+        results: list[Evaluation | None] = [None] * len(patches)
+        pending: list[str] = []
+        indices_for_text: dict[str, list[int]] = {}
+        for i, patch in enumerate(patches):
+            self.fitness_evals += 1
+            try:
+                text = generate(self.variant_tree(patch))
+            except Exception:
+                results[i] = Evaluation(0.0, None, None, False, "")
+                continue
+            cached = self._cache.get(text)
+            if cached is not None:
+                results[i] = cached
+                continue
+            slots = indices_for_text.setdefault(text, [])
+            if not slots:
+                pending.append(text)
+            slots.append(i)
+        backend = self._ensure_backend()
+        chunk_size = max(1, self.config.eval_chunk_size)
+        found_winner = False
+        for start in range(0, len(pending), chunk_size):
+            if found_winner or out_of_budget():
+                break
+            chunk = pending[start : start + chunk_size]
+            started = time_mod.monotonic()
+            chunk_results = backend.evaluate_batch(chunk)
+            self.evaluation_seconds += time_mod.monotonic() - started
+            for text, result in zip(chunk, chunk_results):
+                self.simulations += 1
+                self.eval_sims += 1
+                self.mutants_generated += 1
+                if not result.compiled:
+                    self.mutants_compile_failed += 1
+                evaluation = Evaluation(
+                    result.fitness, result.breakdown, result.trace, result.compiled, text
+                )
+                self._admit(text, evaluation)
+                for index in indices_for_text[text]:
+                    results[index] = evaluation
+                if evaluation.fitness >= 1.0:
+                    found_winner = True
+        return results
 
     # ------------------------------------------------------------------
     # Fault localization per parent (paper: re-localize per reproduction)
@@ -239,6 +335,12 @@ class CirFixEngine:
 
     def run(self) -> RepairOutcome:
         """Run Algorithm 1 to completion and return the outcome."""
+        try:
+            return self._run()
+        finally:
+            self._release_backend()
+
+    def _run(self) -> RepairOutcome:
         config = self.config
         start = time_mod.monotonic()
         deadline = start + config.max_wall_seconds
@@ -248,13 +350,14 @@ class CirFixEngine:
                 return True
             if (
                 config.max_fitness_evals is not None
-                and self.simulations >= config.max_fitness_evals
+                and self.eval_sims >= config.max_fitness_evals
             ):
                 return True
             return False
 
         original = Patch.empty()
         original_eval = self.evaluate(original)
+        original._fitness = original_eval.fitness  # type: ignore[attr-defined]
         history = [original_eval.fitness]
         logger.info(
             "[%s seed=%d] start: fitness=%.4f popsize=%d",
@@ -280,10 +383,13 @@ class CirFixEngine:
         # seed_popn (Algorithm 1 line 1): the original plus single-edit
         # variants localized against the original's own fault set — the
         # GenProg-family convention, which keeps generation 0 diverse.
+        # Children are generated first, then the whole batch is scored
+        # through the backend in child-index order.
         population: list[Patch] = [original]
         seed_variant = self.variant_tree(original)
         seed_faults = self.fault_localization(original, seed_variant)
-        while len(population) < config.population_size and not out_of_budget():
+        seedlings: list[Patch] = []
+        while len(population) + len(seedlings) < config.population_size and not out_of_budget():
             if self.rng.random() <= config.rt_threshold:
                 self.operator_stats["template"] += 1
                 seedling = apply_fix_pattern(
@@ -300,11 +406,17 @@ class CirFixEngine:
                     config.delete_threshold,
                     config.insert_threshold,
                 )
-            population.append(seedling)
-            seed_fitness = fitness_of(seedling)
-            if seed_fitness > best_fitness:
-                best_fitness, best_patch = seed_fitness, seedling
-            if seed_fitness >= 1.0:
+            seedlings.append(seedling)
+        population.extend(seedlings)
+        for seedling, evaluation in zip(
+            seedlings, self._evaluate_generation(seedlings, out_of_budget)
+        ):
+            if evaluation is None:
+                continue  # early stop: budget exhausted or winner already seen
+            seedling._fitness = evaluation.fitness  # type: ignore[attr-defined]
+            if evaluation.fitness > best_fitness:
+                best_fitness, best_patch = evaluation.fitness, seedling
+            if evaluation.fitness >= 1.0:
                 winner = seedling
                 break
         history.append(best_fitness)
@@ -314,9 +426,11 @@ class CirFixEngine:
             children: list[Patch] = elite(
                 population, fitness_of, config.elitism_fraction
             )
-            while len(children) < config.population_size:
-                if out_of_budget():
-                    break
+            # Generate the full generation first: tournament selection and
+            # re-localization only consult the previous population's known
+            # fitnesses, so deferring evaluation preserves Algorithm 1.
+            offspring: list[Patch] = []
+            while len(children) + len(offspring) < config.population_size and not out_of_budget():
                 parent = tournament_select(
                     population, fitness_of, self.rng, config.tournament_size
                 )
@@ -347,15 +461,18 @@ class CirFixEngine:
                     )
                     child1, child2 = crossover(parent, parent2, self.rng)
                     new_children = [child1, child2]
-                for child in new_children:
-                    children.append(child)
-                    child_fitness = fitness_of(child)
-                    if child_fitness > best_fitness:
-                        best_fitness, best_patch = child_fitness, child
-                    if child_fitness >= 1.0:
-                        winner = child
-                        break
-                if winner is not None:
+                offspring.extend(new_children)
+            children.extend(offspring)
+            for child, evaluation in zip(
+                offspring, self._evaluate_generation(offspring, out_of_budget)
+            ):
+                if evaluation is None:
+                    continue  # early stop: budget exhausted or winner already seen
+                child._fitness = evaluation.fitness  # type: ignore[attr-defined]
+                if evaluation.fitness > best_fitness:
+                    best_fitness, best_patch = evaluation.fitness, child
+                if evaluation.fitness >= 1.0:
+                    winner = child
                     break
             population = children or population
             history.append(best_fitness)
@@ -412,15 +529,96 @@ def repair(
     problem: RepairProblem,
     config: RepairConfig | None = None,
     seeds: tuple[int, ...] = (0,),
+    backend: EvaluationBackend | None = None,
 ) -> RepairOutcome:
     """Run independent trials (paper: 5 per scenario) and return the first
-    plausible outcome, or the best-fitness outcome if none succeeds."""
-    best: RepairOutcome | None = None
-    for seed in seeds:
-        outcome = CirFixEngine(problem, config, seed).run()
-        if outcome.plausible:
+    plausible outcome, or the best-fitness outcome if none succeeds.
+
+    With ``config.workers > 1`` and several seeds, the trials themselves
+    fan out over a process pool (each trial evaluating serially inside its
+    worker); with a single seed the one trial parallelises its candidate
+    evaluations instead.  Either way the outcome is the one the serial
+    sweep would have returned: the lowest plausible seed wins, falling
+    back to the earliest best-fitness trial.
+    """
+    config = config or RepairConfig()
+    if config.backend not in BACKEND_NAMES:
+        # Fail in the caller's process, not inside a pickled trial worker.
+        raise ValueError(f"unknown evaluation backend {config.backend!r}")
+    workers = max(1, config.workers)
+    if backend is None and workers > 1 and len(seeds) > 1:
+        outcome = _repair_parallel_trials(problem, config, seeds, workers)
+        if outcome is not None:
             return outcome
-        if best is None or outcome.fitness > best.fitness:
-            best = outcome
+        # Pool unavailable on this host: fall through to the serial sweep.
+    owns_backend = backend is None
+    if owns_backend:
+        backend = make_backend(problem, config)
+    try:
+        best: RepairOutcome | None = None
+        for seed in seeds:
+            outcome = CirFixEngine(problem, config, seed, backend=backend).run()
+            if outcome.plausible:
+                return outcome
+            if best is None or outcome.fitness > best.fitness:
+                best = outcome
+        assert best is not None
+        return best
+    finally:
+        if owns_backend and backend is not None:
+            backend.close()
+
+
+def _trial_payload(problem: RepairProblem, config: RepairConfig, seed: int) -> tuple:
+    """Pickle-friendly description of one trial (texts, not ASTs)."""
+    return (
+        generate(problem.design),
+        problem.testbench_text,
+        problem.oracle,
+        problem.name,
+        config,
+        seed,
+    )
+
+
+def _run_trial(payload: tuple) -> RepairOutcome:
+    """Worker-side entry: rebuild the problem from texts and run one trial."""
+    design_text, testbench_text, oracle, name, config, seed = payload
+    problem = RepairProblem.from_text(design_text, testbench_text, oracle, name)
+    return CirFixEngine(problem, config, seed).run()
+
+
+def _repair_parallel_trials(
+    problem: RepairProblem,
+    config: RepairConfig,
+    seeds: tuple[int, ...],
+    workers: int,
+) -> RepairOutcome | None:
+    """Fan independent trials out over a process pool.
+
+    Trials are consumed in seed order, so the returned outcome matches the
+    serial sweep exactly; trailing trials are terminated as soon as an
+    earlier seed produces a plausible repair.  Returns ``None`` when the
+    host cannot start worker processes (caller falls back to serial).
+    """
+    from .backend import _mp_context  # single source of truth for the context
+
+    trial_config = config.scaled(workers=1)
+    payloads = [_trial_payload(problem, trial_config, seed) for seed in seeds]
+    try:
+        pool = _mp_context().Pool(processes=min(workers, len(seeds)))
+    except (OSError, ValueError, ImportError) as exc:
+        logger.warning("trial pool unavailable (%s); running trials serially", exc)
+        return None
+    best: RepairOutcome | None = None
+    try:
+        for outcome in pool.imap(_run_trial, payloads):
+            if outcome.plausible:
+                return outcome
+            if best is None or outcome.fitness > best.fitness:
+                best = outcome
+    finally:
+        pool.terminate()
+        pool.join()
     assert best is not None
     return best

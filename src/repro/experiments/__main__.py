@@ -22,20 +22,20 @@ from . import (
 )
 
 EXPERIMENTS = {
-    "table2": lambda preset: table2.main(),
-    "table3": lambda preset: table3.main(preset),
-    "figure2": lambda preset: figure2.main(),
-    "figure3": lambda preset: figure3.main(),
-    "rq1": lambda preset: rq1.main(preset),
-    "rq2": lambda preset: rq2.main(preset),
-    "rq3": lambda preset: rq3.main(),
-    "rq4": lambda preset: rq4.main(preset),
-    "fixloc": lambda preset: fixloc_ablation.main(),
-    "phi": lambda preset: phi_ablation.main(),
-    "ext-templates": lambda preset: ext_templates.main(preset),
-    "param-sensitivity": lambda preset: param_sensitivity.main(preset),
-    "runtime": lambda preset: runtime_analysis.main(preset),
-    "seeded": lambda preset: seeded_defects.main(preset),
+    "table2": lambda preset, workers: table2.main(),
+    "table3": lambda preset, workers: table3.main(preset, workers=workers),
+    "figure2": lambda preset, workers: figure2.main(),
+    "figure3": lambda preset, workers: figure3.main(),
+    "rq1": lambda preset, workers: rq1.main(preset, workers=workers),
+    "rq2": lambda preset, workers: rq2.main(preset),
+    "rq3": lambda preset, workers: rq3.main(),
+    "rq4": lambda preset, workers: rq4.main(preset),
+    "fixloc": lambda preset, workers: fixloc_ablation.main(),
+    "phi": lambda preset, workers: phi_ablation.main(),
+    "ext-templates": lambda preset, workers: ext_templates.main(preset),
+    "param-sensitivity": lambda preset, workers: param_sensitivity.main(preset),
+    "runtime": lambda preset, workers: runtime_analysis.main(preset),
+    "seeded": lambda preset, workers: seeded_defects.main(preset),
 }
 
 
@@ -56,10 +56,16 @@ def main() -> None:
         default="quick",
         help="search budget preset (default: quick)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for scenario sweeps (table3/rq1; default serial)",
+    )
     args = parser.parse_args()
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        EXPERIMENTS[name](args.preset)
+        EXPERIMENTS[name](args.preset, args.workers)
         print()
 
 

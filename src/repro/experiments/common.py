@@ -8,12 +8,19 @@ records which preset produced the committed numbers.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
 
 from ..benchsuite import Scenario
+from ..core.backend import EvaluationBackend, _mp_context, make_backend
 from ..core.config import RepairConfig
 from ..core.repair import CirFixEngine, RepairOutcome
+
+logger = logging.getLogger("repro.experiments")
+
+T = TypeVar("T")
 
 #: CI-sized preset: seconds per scenario.  A large generation-0 seed pool
 #: matters more than generation count (the paper's population of 5000 means
@@ -82,20 +89,33 @@ def run_scenario(
     seeds: tuple[int, ...] = (0, 1),
 ) -> ScenarioResult:
     """Run CirFix trials on one scenario (paper: 5 independent trials,
-    stopping at the first plausible repair)."""
+    stopping at the first plausible repair).
+
+    With ``config.workers > 1`` the trials share one evaluation backend
+    (a persistent process pool), so the pool is paid for once per
+    scenario, not once per seed.
+    """
     scaled = scenario.suggested_config(config)
     start = time.monotonic()
     best: RepairOutcome | None = None
     winner: RepairOutcome | None = None
     total_sims = 0
-    for seed in seeds:
-        outcome = CirFixEngine(scenario.problem(), scaled, seed).run()
-        total_sims += outcome.simulations
-        if best is None or outcome.fitness > best.fitness:
-            best = outcome
-        if outcome.plausible:
-            winner = outcome
-            break
+    problem = scenario.problem()
+    backend: EvaluationBackend | None = (
+        make_backend(problem, scaled) if scaled.workers > 1 else None
+    )
+    try:
+        for seed in seeds:
+            outcome = CirFixEngine(problem, scaled, seed, backend=backend).run()
+            total_sims += outcome.simulations
+            if best is None or outcome.fitness > best.fitness:
+                best = outcome
+            if outcome.plausible:
+                winner = outcome
+                break
+    finally:
+        if backend is not None:
+            backend.close()
     assert best is not None
     chosen = winner if winner is not None else best
     correct = False
@@ -119,6 +139,33 @@ def run_scenario(
         best_fitness_history=chosen.best_fitness_history,
         repaired_source=chosen.repaired_source,
     )
+
+
+def map_parallel(
+    worker: Callable[[object], T],
+    payloads: Sequence[object],
+    workers: int,
+) -> list[T]:
+    """Order-preserving ``map`` over a process pool, with serial fallback.
+
+    ``worker`` must be a module-level function so the pool can pickle it.
+    With ``workers <= 1``, a single payload, or an unavailable pool, the
+    map simply runs in-process.  Results are identical either way: each
+    payload is independent and output order matches input order.
+    """
+    items = list(payloads)
+    if workers <= 1 or len(items) <= 1:
+        return [worker(p) for p in items]
+    try:
+        pool = _mp_context().Pool(min(workers, len(items)))
+    except (OSError, ValueError, ImportError) as exc:  # pragma: no cover
+        logger.warning("worker pool unavailable (%s); running sweep serially", exc)
+        return [worker(p) for p in items]
+    try:
+        return pool.map(worker, items, chunksize=1)
+    finally:
+        pool.terminate()
+        pool.join()
 
 
 def format_table(headers: list[str], rows: list[list[str]]) -> str:

@@ -15,9 +15,10 @@ from dataclasses import dataclass
 
 from ..baselines.brute_force import BruteForceRepair
 from ..benchsuite import load_scenario
+from ..core.backend import make_backend
 from ..core.config import RepairConfig
 from ..core.repair import CirFixEngine
-from .common import QUICK, format_table
+from .common import QUICK, format_table, map_parallel
 
 #: Scenarios used for the head-to-head (a spread of difficulties).
 HEAD_TO_HEAD: tuple[str, ...] = (
@@ -48,35 +49,53 @@ class Rq1Result:
         return sum(1 for r in self.rows if r.cirfix_plausible and not r.brute_plausible)
 
 
-def run_rq1(
-    config: RepairConfig | None = None,
-    scenario_ids: tuple[str, ...] = HEAD_TO_HEAD,
-    seeds: tuple[int, ...] = (0, 1),
-) -> Rq1Result:
-    """Run the CirFix vs brute-force head-to-head."""
-    config = config or QUICK
-    rows = []
-    for scenario_id in scenario_ids:
-        scenario = load_scenario(scenario_id)
-        scaled = scenario.suggested_config(config)
-        cirfix_plausible = False
-        cirfix_sims = 0
+def _rq1_worker(payload: tuple[str, RepairConfig, tuple[int, ...]]) -> HeadToHeadRow:
+    # Module-level so multiprocessing pools can pickle it.
+    scenario_id, config, seeds = payload
+    scenario = load_scenario(scenario_id)
+    scaled = scenario.suggested_config(config)
+    problem = scenario.problem()
+    backend = make_backend(problem, scaled) if scaled.workers > 1 else None
+    cirfix_plausible = False
+    cirfix_sims = 0
+    try:
         for seed in seeds:
-            outcome = CirFixEngine(scenario.problem(), scaled, seed).run()
+            outcome = CirFixEngine(problem, scaled, seed, backend=backend).run()
             cirfix_sims += outcome.simulations
             if outcome.plausible:
                 cirfix_plausible = True
                 break
-        brute = BruteForceRepair(scenario.problem(), scaled, seed=seeds[0]).run()
-        rows.append(
-            HeadToHeadRow(
-                scenario_id,
-                cirfix_plausible,
-                cirfix_sims,
-                brute.plausible,
-                brute.simulations,
-            )
-        )
+    finally:
+        if backend is not None:
+            backend.close()
+    brute = BruteForceRepair(scenario.problem(), scaled, seed=seeds[0]).run()
+    return HeadToHeadRow(
+        scenario_id,
+        cirfix_plausible,
+        cirfix_sims,
+        brute.plausible,
+        brute.simulations,
+    )
+
+
+def run_rq1(
+    config: RepairConfig | None = None,
+    scenario_ids: tuple[str, ...] = HEAD_TO_HEAD,
+    seeds: tuple[int, ...] = (0, 1),
+    workers: int | None = None,
+) -> Rq1Result:
+    """Run the CirFix vs brute-force head-to-head.
+
+    ``workers`` (default ``config.workers``) fans the head-to-head
+    scenarios out over a process pool, one fully-serial child each, with
+    results in ``scenario_ids`` order — identical to the serial sweep.
+    """
+    config = config or QUICK
+    workers = config.workers if workers is None else workers
+    fan_out = workers > 1 and len(scenario_ids) > 1
+    child_config = config.scaled(workers=1) if fan_out else config
+    payloads = [(sid, child_config, seeds) for sid in scenario_ids]
+    rows = map_parallel(_rq1_worker, payloads, workers if fan_out else 1)
     return Rq1Result(rows)
 
 
@@ -101,12 +120,12 @@ def render_rq1(result: Rq1Result) -> str:
     )
 
 
-def main(preset: str = "quick") -> None:
+def main(preset: str = "quick", workers: int | None = None) -> None:
     """Print RQ1."""
     from .common import PRESETS
 
     print("RQ1: CirFix vs brute-force search")
-    print(render_rq1(run_rq1(PRESETS[preset])))
+    print(render_rq1(run_rq1(PRESETS[preset], workers=workers)))
 
 
 if __name__ == "__main__":  # pragma: no cover

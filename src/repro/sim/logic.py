@@ -18,6 +18,18 @@ from typing import Iterator
 _CHAR_FOR_PAIR = {(0, 0): "0", (1, 0): "1", (0, 1): "z", (1, 1): "x"}
 _PAIR_FOR_CHAR = {"0": (0, 0), "1": (1, 0), "z": (0, 1), "x": (1, 1), "?": (0, 1)}
 
+# Interning caches for the constants candidate evaluation churns through:
+# every reg initialises to unknown(width), undriven wires to high_z(width),
+# and comparisons/conditions produce 0/1 constantly.  Values are immutable
+# (every operation returns a fresh instance), so sharing is safe.  Only
+# unsigned values are cached, and only up to a width cap so a pathological
+# mutant writing huge part-selects cannot grow the caches without bound.
+_INTERN_MAX_WIDTH = 4096
+_ZERO_CACHE: dict[int, "Value"] = {}
+_ONE_CACHE: dict[int, "Value"] = {}
+_UNKNOWN_CACHE: dict[int, "Value"] = {}
+_HIGH_Z_CACHE: dict[int, "Value"] = {}
+
 
 class Value:
     """An immutable four-state bit vector.
@@ -54,19 +66,41 @@ class Value:
 
     @staticmethod
     def from_int(value: int, width: int = 32, signed: bool = False) -> "Value":
-        """Build a fully-defined value from a Python int (wraps to width)."""
-        return Value(width, value & ((1 << width) - 1), 0, signed)
+        """Build a fully-defined value from a Python int (wraps to width).
+
+        The all-zero and one constants are interned per width (unsigned
+        only), since they dominate the values produced while evaluating
+        repair candidates.
+        """
+        masked = value & ((1 << width) - 1)
+        if not signed and 1 <= width <= _INTERN_MAX_WIDTH and masked <= 1:
+            cache = _ONE_CACHE if masked else _ZERO_CACHE
+            cached = cache.get(width)
+            if cached is None:
+                cached = cache[width] = Value(width, masked, 0, False)
+            return cached
+        return Value(width, masked, 0, signed)
 
     @staticmethod
     def unknown(width: int) -> "Value":
-        """All bits x (the initial state of a reg)."""
-        mask = (1 << width) - 1
-        return Value(width, mask, mask)
+        """All bits x (the initial state of a reg); interned per width."""
+        cached = _UNKNOWN_CACHE.get(width)
+        if cached is None:
+            mask = (1 << width) - 1
+            cached = Value(width, mask, mask)
+            if width <= _INTERN_MAX_WIDTH:
+                _UNKNOWN_CACHE[width] = cached
+        return cached
 
     @staticmethod
     def high_z(width: int) -> "Value":
-        """All bits z (the state of an undriven wire)."""
-        return Value(width, 0, (1 << width) - 1)
+        """All bits z (the state of an undriven wire); interned per width."""
+        cached = _HIGH_Z_CACHE.get(width)
+        if cached is None:
+            cached = Value(width, 0, (1 << width) - 1)
+            if width <= _INTERN_MAX_WIDTH:
+                _HIGH_Z_CACHE[width] = cached
+        return cached
 
     @staticmethod
     def from_string(text: str, signed: bool = False) -> "Value":

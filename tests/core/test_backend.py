@@ -1,0 +1,155 @@
+"""Evaluation-backend tests: splice correctness, serial/pool batch parity,
+and cross-backend determinism of whole repair runs.
+
+The parallel backend must be an implementation detail: same scenario, same
+seed, same outcome — whether candidates are scored in-process or by a pool
+of worker processes.  Simulation *counts* may differ (pool results carry no
+traces, so the engine occasionally re-simulates a parent for localization);
+everything the search decides on must not.
+"""
+
+import pytest
+
+from repro.core import TEST_CONFIG, CirFixEngine, RepairProblem
+from repro.core.backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    splice_testbench,
+)
+from repro.core.oracle import combine_sources, ensure_instrumented, generate_oracle
+from repro.core.repair import repair
+from repro.hdl import generate, parse
+
+GOLDEN_FF = """
+module tff(clk, rstn, t, q);
+  input clk, rstn, t;
+  output q;
+  reg q;
+  always @(posedge clk) begin
+    if (!rstn) q <= 1'b0;
+    else begin
+      if (t) q <= !q;
+      else q <= q;
+    end
+  end
+endmodule
+"""
+
+FAULTY_FF = GOLDEN_FF.replace("if (t) q <= !q;", "if (!t) q <= !q;")
+
+TESTBENCH = """
+module tb;
+  reg clk, rstn, t;
+  wire q;
+  tff dut(.clk(clk), .rstn(rstn), .t(t), .q(q));
+  always #5 clk = !clk;
+  initial begin
+    clk = 0; rstn = 0; t = 0;
+    @(negedge clk);
+    rstn = 1; t = 1;
+    repeat (4) begin @(negedge clk); end
+    t = 0;
+    repeat (3) begin @(negedge clk); end
+    #5 $finish;
+  end
+endmodule
+"""
+
+BROKEN_TEXT = "module tff(clk); input clk; always @(posedge clk) begin\n"
+
+
+@pytest.fixture(scope="module")
+def problem():
+    golden = parse(GOLDEN_FF)
+    bench = ensure_instrumented(parse(TESTBENCH), golden)
+    oracle = generate_oracle(golden, bench)
+    return RepairProblem(parse(FAULTY_FF), bench, oracle, "ff_cond")
+
+
+class TestSplice:
+    def test_splice_matches_combined_parse(self, problem):
+        spliced = splice_testbench(parse(FAULTY_FF), problem.testbench)
+        combined = combine_sources(parse(FAULTY_FF), problem.testbench)
+        assert generate(spliced) == generate(combined)
+
+    def test_splice_does_not_mutate_testbench(self, problem):
+        before = generate(problem.testbench)
+        splice_testbench(parse(FAULTY_FF), problem.testbench)
+        splice_testbench(parse(GOLDEN_FF), problem.testbench)
+        assert generate(problem.testbench) == before
+
+    def test_spliced_node_ids_unique(self, problem):
+        spliced = splice_testbench(parse(FAULTY_FF), problem.testbench)
+        ids = [n.node_id for n in spliced.walk()]
+        assert len(ids) == len(set(ids))
+
+
+class TestBatchParity:
+    def test_serial_and_pool_agree(self, problem):
+        texts = [generate(problem.design), GOLDEN_FF, BROKEN_TEXT, FAULTY_FF]
+        serial = SerialBackend.for_problem(problem, TEST_CONFIG)
+        pool = ProcessPoolBackend.for_problem(problem, TEST_CONFIG, workers=2)
+        try:
+            serial_results = serial.evaluate_batch(texts)
+            pool_results = pool.evaluate_batch(texts)
+        finally:
+            serial.close()
+            pool.close()
+        assert len(serial_results) == len(pool_results) == len(texts)
+        for s, p in zip(serial_results, pool_results):
+            assert s.compiled == p.compiled
+            assert s.fitness == p.fitness
+            assert s.summary == p.summary
+            assert p.trace is None  # pool results are trace-stripped
+
+    def test_batch_flags_uncompilable(self, problem):
+        backend = SerialBackend.for_problem(problem, TEST_CONFIG)
+        (result,) = backend.evaluate_batch([BROKEN_TEXT])
+        assert not result.compiled
+        assert result.fitness == 0.0
+
+    def test_make_backend_serial_for_one_worker(self, problem):
+        backend = make_backend(problem, TEST_CONFIG)
+        try:
+            assert isinstance(backend, SerialBackend)
+        finally:
+            backend.close()
+        pool = make_backend(problem, TEST_CONFIG.scaled(workers=2))
+        try:
+            assert isinstance(pool, ProcessPoolBackend)
+        finally:
+            pool.close()
+
+
+class TestCrossBackendDeterminism:
+    def _outcome(self, problem, backend):
+        config = TEST_CONFIG.scaled(max_generations=4)
+        engine = CirFixEngine(problem, config, seed=0, backend=backend)
+        return engine.run()
+
+    def test_engine_outcome_identical(self, problem):
+        serial = self._outcome(problem, None)
+        pool_backend = ProcessPoolBackend.for_problem(
+            problem, TEST_CONFIG.scaled(max_generations=4), workers=4
+        )
+        try:
+            pooled = self._outcome(problem, pool_backend)
+        finally:
+            pool_backend.close()
+        assert serial.plausible == pooled.plausible
+        assert serial.fitness == pooled.fitness
+        assert serial.generations == pooled.generations
+        assert serial.best_fitness_history == pooled.best_fitness_history
+        assert serial.patch.describe() == pooled.patch.describe()
+        assert serial.repaired_source == pooled.repaired_source
+
+    def test_repair_parallel_trials_match_serial(self, problem):
+        config = TEST_CONFIG.scaled(max_generations=3)
+        serial = repair(problem, config, seeds=(0, 1))
+        pooled = repair(problem, config.scaled(workers=2), seeds=(0, 1))
+        assert serial.plausible == pooled.plausible
+        assert serial.fitness == pooled.fitness
+        assert serial.seed == pooled.seed
+        assert serial.patch.describe() == pooled.patch.describe()
+        assert serial.repaired_source == pooled.repaired_source

@@ -153,3 +153,39 @@ class TestProperties:
         v2 = Value.from_string(bits)
         assert v1 == v2
         assert hash(v1) == hash(v2)
+
+
+class TestInterning:
+    """from_int(0/1) / unknown / high_z return shared per-width instances."""
+
+    def test_zero_and_one_interned(self):
+        assert Value.from_int(0, 8) is Value.from_int(0, 8)
+        assert Value.from_int(1, 8) is Value.from_int(1, 8)
+        assert Value.from_int(0, 8) is not Value.from_int(0, 9)
+
+    def test_wrapping_hits_the_cache(self):
+        assert Value.from_int(256, 8) is Value.from_int(0, 8)
+        assert Value.from_int(257, 8) is Value.from_int(1, 8)
+
+    def test_unknown_and_high_z_interned(self):
+        assert Value.unknown(5) is Value.unknown(5)
+        assert Value.high_z(5) is Value.high_z(5)
+        assert Value.unknown(5) is not Value.unknown(6)
+
+    def test_signed_values_not_interned(self):
+        signed = Value.from_int(1, 8, signed=True)
+        assert signed.signed
+        assert signed is not Value.from_int(1, 8)
+        assert not Value.from_int(1, 8).signed
+
+    def test_interned_values_correct(self):
+        assert Value.from_int(0, 4).to_bit_string() == "0000"
+        assert Value.from_int(1, 4).to_bit_string() == "0001"
+        assert Value.unknown(4).to_bit_string() == "xxxx"
+        assert Value.high_z(4).to_bit_string() == "zzzz"
+
+    def test_huge_widths_bypass_cache(self):
+        import repro.sim.logic as logic
+
+        wide = logic._INTERN_MAX_WIDTH + 1
+        assert Value.unknown(wide) is not Value.unknown(wide)
