@@ -15,7 +15,9 @@ SAMPLE = ["ff_cond", "lshift_sens", "fsm_next_sens", "fsm_next_default"]
 
 def test_rq2_both_categories_repairable(once):
     def run_sample():
-        return [run_scenario(load_scenario(sid), SMOKE, (0, 1)) for sid in SAMPLE]
+        return [
+            run_scenario(load_scenario(sid), SMOKE, seeds=(0, 1)) for sid in SAMPLE
+        ]
 
     results = once(run_sample)
     analysis = analyze_rq2(results)

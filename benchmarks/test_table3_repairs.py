@@ -29,7 +29,7 @@ REPRESENTATIVES = [
 @pytest.mark.parametrize("scenario_id", REPRESENTATIVES)
 def test_table3_row(once, scenario_id):
     scenario = load_scenario(scenario_id)
-    result = once(run_scenario, scenario, SMOKE, (0, 1))
+    result = once(run_scenario, scenario, SMOKE, seeds=(0, 1))
     assert result.plausible, f"{scenario_id} should repair under SMOKE budget"
     assert result.fitness == 1.0
     # Minimized repairs are small, as in the paper (most are 1-2 edits).
@@ -42,6 +42,6 @@ def test_unsupported_defect_class_not_repaired(once):
     unrepaired, and so must we."""
     scenario = load_scenario("mux_width")
     config = SMOKE.scaled(max_fitness_evals=250, max_wall_seconds=30.0)
-    result = once(run_scenario, scenario, config, (0,))
+    result = once(run_scenario, scenario, config, seeds=(0,))
     assert not result.plausible
     assert result.fitness < 1.0

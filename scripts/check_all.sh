@@ -45,4 +45,43 @@ python -m repro repair "$SMOKE_DIR/faulty.v" "$SMOKE_DIR/tb.v" \
     --budget 120 --seeds 0 1 --output "$SMOKE_DIR/repaired.v" > /dev/null
 test -s "$SMOKE_DIR/repaired.v"
 
+echo "== telemetry smoke (trace + metrics vs outcome, repro report) =="
+python - "$SMOKE_DIR" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro import repair_scenario
+from repro.core.config import RepairConfig
+from repro.obs import JsonlTraceObserver, MetricsObserver, read_events
+
+trace_path = Path(sys.argv[1]) / "smoke.jsonl"
+config = RepairConfig(
+    population_size=120, max_generations=4, max_wall_seconds=90.0,
+    max_fitness_evals=600, minimize_budget=64,
+)
+metrics = MetricsObserver()
+with JsonlTraceObserver(trace_path) as trace:
+    outcome = repair_scenario(
+        "counter_reset", config, seeds=(0,), observers=[trace, metrics]
+    )
+
+# The JSONL artifact parses back into typed events...
+events = read_events(trace_path)
+assert events, "trace is empty"
+assert events[0].type == "trial_started"
+assert events[-1].type == "trial_completed"
+
+# ...and the metrics totals match the engine's own counters.
+assert metrics.candidates == outcome.eval_sims, (
+    metrics.candidates, outcome.eval_sims)
+assert metrics.eval_sims == outcome.eval_sims
+assert metrics.fitness_evals == outcome.fitness_evals
+assert metrics.simulations == outcome.simulations
+replayed = MetricsObserver.replay(events)
+assert replayed.summary() == metrics.summary()
+print(f"telemetry smoke ok: {len(events)} events, "
+      f"{metrics.candidates} unique evaluations")
+EOF
+python -m repro report "$SMOKE_DIR/smoke.jsonl" > /dev/null
+
 echo "ALL CHECKS PASSED"

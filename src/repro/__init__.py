@@ -9,31 +9,56 @@ the complete system plus every substrate the paper depends on:
 - :mod:`repro.sim` — event-driven 4-state simulator (the VCS stand-in);
 - :mod:`repro.instrument` — testbench instrumentation and traces;
 - :mod:`repro.core` — the CirFix repair engine itself;
+- :mod:`repro.obs` — run telemetry: structured tracing and metrics;
+- :mod:`repro.api` — the stable high-level facade;
 - :mod:`repro.baselines` — the brute-force comparison search;
 - :mod:`repro.benchsuite` — 11 projects / 32 defect scenarios (Table 2/3);
 - :mod:`repro.experiments` — harnesses regenerating every table and figure.
 
 Quickstart::
 
-    from repro import repair_verilog
+    from repro import repair_scenario, repair_verilog
 
     outcome = repair_verilog(faulty_design, testbench, golden_design)
     if outcome.plausible:
         print(outcome.repaired_source)
+
+    # or run a benchmark scenario by id, with telemetry:
+    from repro.obs import JsonlTraceObserver
+
+    outcome = repair_scenario(
+        "dec_numeric",
+        seeds=(0,),
+        observers=[JsonlTraceObserver("run.jsonl")],
+    )
 """
 
 from __future__ import annotations
 
-from .core.config import RepairConfig
+from .api import (
+    build_problem,
+    localize,
+    repair_scenario,
+    repair_verilog,
+    simulate,
+)
+from .core.config import ConfigError, RepairConfig
 from .core.oracle import ensure_instrumented, generate_oracle
 from .core.repair import CirFixEngine, RepairOutcome, RepairProblem
 from .hdl import generate, parse
 from .sim import SimResult, Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # facade (repro.api)
+    "repair_scenario",
     "repair_verilog",
+    "localize",
+    "simulate",
+    "build_problem",
+    # core types
+    "ConfigError",
     "RepairConfig",
     "RepairProblem",
     "RepairOutcome",
@@ -44,35 +69,3 @@ __all__ = [
     "generate",
     "__version__",
 ]
-
-
-def repair_verilog(
-    faulty_design: str,
-    testbench: str,
-    golden_design: str,
-    config: RepairConfig | None = None,
-    seeds: tuple[int, ...] = (0, 1, 2),
-) -> RepairOutcome:
-    """One-call repair: oracle from the golden design, then run CirFix.
-
-    Args:
-        faulty_design: Verilog source of the design to repair.
-        testbench: Verilog testbench (instrumented automatically if it has
-            no ``$cirfix_record`` hook).
-        golden_design: A previously-functioning version of the design used
-            to generate the expected-behaviour trace (paper §4.1.2).
-        config: Search budget; defaults to paper-style parameters — pass
-            :data:`repro.core.config.TEST_CONFIG` or a custom config for
-            laptop-scale runs.
-        seeds: Independent trial seeds; the first plausible repair wins.
-
-    Returns:
-        The best :class:`RepairOutcome` across trials.
-    """
-    from .core.repair import repair
-
-    golden = parse(golden_design)
-    bench = ensure_instrumented(parse(testbench), golden)
-    oracle = generate_oracle(golden, bench)
-    problem = RepairProblem(parse(faulty_design), bench, oracle)
-    return repair(problem, config, seeds)

@@ -1,0 +1,201 @@
+"""High-level facade over the repro package (the stable entry points).
+
+Callers — the CLI, the experiment drivers, notebooks — should not need to
+know which internal module owns oracles, backends, or fault localization.
+This module collects the three operations the paper's pipeline is built
+from behind small functions:
+
+- :func:`repair_scenario` — run the CirFix search on a benchmark scenario
+  id, a :class:`~repro.benchsuite.Scenario`, or a prepared
+  :class:`~repro.core.repair.RepairProblem`;
+- :func:`localize` — Algorithm 2 on its own: simulate the faulty design
+  once and return the implicated node set;
+- :func:`simulate` — run a design (optionally under a testbench, optionally
+  instrumented) and return the :class:`~repro.sim.SimResult`;
+
+plus the supporting constructors :func:`build_problem` (file-based, the
+artifact's ``repair.conf`` workflow) and :func:`repair_verilog`
+(text-based, the README quick-start).
+
+Every repair entry point accepts ``observers`` — :mod:`repro.obs`
+instances that receive the engine's event stream (tracing, metrics).
+Observers never influence the search; see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from .core.config import RepairConfig
+from .core.faultloc import FaultLocalization, localize_faults
+from .core.oracle import combine_sources, ensure_instrumented, generate_oracle
+from .core.repair import RepairOutcome, RepairProblem, repair
+from .hdl import ast, parse
+from .instrument.trace import SimulationTrace, output_mismatch
+from .obs.observer import RepairObserver
+from .sim.simulator import SimResult, Simulator
+
+__all__ = [
+    "build_problem",
+    "localize",
+    "repair_scenario",
+    "repair_verilog",
+    "simulate",
+]
+
+
+def _as_source(design: "ast.Source | str") -> ast.Source:
+    return parse(design) if isinstance(design, str) else design
+
+
+def _as_problem(
+    scenario: "str | object",
+    config: RepairConfig,
+) -> tuple[RepairProblem, RepairConfig]:
+    """Resolve a scenario spec to ``(problem, scaled_config)``.
+
+    Accepts a benchmark scenario id (``"dec_numeric"``),
+    a :class:`~repro.benchsuite.Scenario`, or a ready
+    :class:`RepairProblem` (returned unchanged, config unscaled).
+    """
+    if isinstance(scenario, RepairProblem):
+        return scenario, config
+    # Lazy import: the benchsuite loads all 32 scenarios' sources.
+    from .benchsuite import Scenario, load_scenario
+
+    if isinstance(scenario, str):
+        scenario = load_scenario(scenario)
+    if not isinstance(scenario, Scenario):
+        raise TypeError(
+            "scenario must be a scenario id, a Scenario, or a RepairProblem "
+            f"(got {type(scenario).__name__})"
+        )
+    return scenario.problem(), scenario.suggested_config(config)
+
+
+def repair_scenario(
+    scenario: "str | object",
+    config: RepairConfig | None = None,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    observers: Sequence[RepairObserver] | None = None,
+) -> RepairOutcome:
+    """Run CirFix trials on a scenario and return the chosen outcome.
+
+    The first plausible trial wins; otherwise the best-fitness trial is
+    returned.  Benchmark scenarios get their per-scenario simulation
+    bounds applied via ``Scenario.suggested_config``.
+    """
+    config = config or RepairConfig()
+    problem, scaled = _as_problem(scenario, config)
+    return repair(problem, scaled, seeds, observers=observers)
+
+
+def repair_verilog(
+    faulty_design: str,
+    testbench: str,
+    golden_design: str,
+    config: RepairConfig | None = None,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    observers: Sequence[RepairObserver] | None = None,
+) -> RepairOutcome:
+    """One-call repair: oracle from the golden design, then run CirFix.
+
+    Args:
+        faulty_design: Verilog source of the design to repair.
+        testbench: Verilog testbench (instrumented automatically if it has
+            no ``$cirfix_record`` hook).
+        golden_design: A previously-functioning version of the design used
+            to generate the expected-behaviour trace (paper §4.1.2).
+        config: Search budget; defaults to paper-style parameters — pass
+            :data:`repro.core.config.TEST_CONFIG` or a custom config for
+            laptop-scale runs.
+        seeds: Independent trial seeds; the first plausible repair wins.
+        observers: Optional :mod:`repro.obs` observers receiving the
+            engine's event stream.
+
+    Returns:
+        The best :class:`RepairOutcome` across trials.
+    """
+    golden = parse(golden_design)
+    bench = ensure_instrumented(parse(testbench), golden)
+    oracle = generate_oracle(golden, bench)
+    problem = RepairProblem(parse(faulty_design), bench, oracle)
+    return repair(problem, config, seeds, observers=observers)
+
+
+def build_problem(
+    source: "str | Path",
+    testbench: "str | Path",
+    golden: "str | Path | None" = None,
+    oracle: "str | Path | None" = None,
+) -> RepairProblem:
+    """Assemble a :class:`RepairProblem` from files (the artifact workflow).
+
+    Exactly one oracle source is required: ``golden`` (a
+    previously-functioning design, simulated to produce the expected
+    trace) or ``oracle`` (an expected-behaviour CSV in the Figure 2
+    shape).  Raises :class:`ValueError` when neither is given.
+    """
+    source = Path(source)
+    faulty = parse(source.read_text())
+    testbench_ast = parse(Path(testbench).read_text())
+    if golden is not None:
+        golden_ast = parse(Path(golden).read_text())
+        bench = ensure_instrumented(testbench_ast, golden_ast)
+        oracle_trace = generate_oracle(golden_ast, bench)
+    elif oracle is not None:
+        bench = ensure_instrumented(testbench_ast, faulty)
+        oracle_trace = SimulationTrace.from_csv(Path(oracle).read_text())
+    else:
+        raise ValueError("provide either a golden design or an oracle CSV")
+    return RepairProblem(faulty, bench, oracle_trace, name=source.stem)
+
+
+def localize(
+    scenario: "str | object",
+    config: RepairConfig | None = None,
+) -> FaultLocalization:
+    """Run fault localization (Algorithm 2) on the unpatched design.
+
+    Simulates the faulty design once under its instrumented testbench,
+    diffs the trace against the oracle, and returns the implicated node
+    set.  An empty mismatch yields an empty localization (the design
+    already matches its oracle).
+    """
+    config = config or RepairConfig()
+    problem, scaled = _as_problem(scenario, config)
+    sim = Simulator(
+        combine_sources(problem.design, problem.testbench),
+        max_steps=scaled.max_sim_steps,
+    )
+    result = sim.run(scaled.max_sim_time)
+    trace = SimulationTrace.from_records(result.trace)
+    mismatch = output_mismatch(problem.oracle, trace)
+    if not mismatch:
+        return FaultLocalization()
+    return localize_faults(problem.design, mismatch)
+
+
+def simulate(
+    design: "ast.Source | str",
+    testbench: "ast.Source | str | None" = None,
+    record: bool = False,
+    max_time: int = 1_000_000,
+    max_steps: int = 5_000_000,
+) -> SimResult:
+    """Simulate a design, optionally under a testbench.
+
+    With ``record=True`` the testbench is instrumented with a
+    ``$cirfix_record`` hook first (if it lacks one), so
+    ``result.trace`` carries the sampled output signals.
+    """
+    design = _as_source(design)
+    if testbench is not None:
+        bench = _as_source(testbench)
+        if record:
+            bench = ensure_instrumented(bench, design)
+        source = combine_sources(design, bench)
+    else:
+        source = design
+    return Simulator(source, max_steps=max_steps).run(max_time)

@@ -6,8 +6,10 @@ the GP parameters.  This module reproduces that workflow::
 
     python -m repro repair --conf repair.conf
     python -m repro repair faulty.v testbench.v --golden golden.v
+    python -m repro repair faulty.v testbench.v --golden golden.v --trace run.jsonl
     python -m repro simulate design.v testbench.v
     python -m repro scenarios                     # list the benchmark suite
+    python -m repro report run.jsonl              # summarise a telemetry trace
 
 ``repair.conf`` uses INI syntax:
 
@@ -31,6 +33,11 @@ the GP parameters.  This module reproduces that workflow::
     ; parallel candidate evaluation (see repro.core.backend):
     workers = 4
     backend = auto
+
+The ``[gp]`` section accepts every :class:`repro.core.config.RepairConfig`
+field; unknown keys are rejected with the offending key named.  CLI flags
+(``--budget``, ``--population``, ``--workers``, ``--backend``) are applied
+on top of the file.
 """
 
 from __future__ import annotations
@@ -40,63 +47,11 @@ import configparser
 import sys
 from pathlib import Path
 
+from .api import build_problem, simulate
 from .benchsuite import DEFECTS
-from .core.backend import BACKEND_NAMES
-from .core.config import RepairConfig
-from .core.oracle import ensure_instrumented, generate_oracle
-from .core.repair import RepairProblem, repair
-from .hdl import parse
+from .core.config import BACKEND_NAMES, ConfigError, RepairConfig
+from .core.repair import repair
 from .instrument.trace import SimulationTrace
-from .sim.simulator import Simulator
-
-_GP_FLOAT_FIELDS = ("rt_threshold", "mut_threshold", "delete_threshold",
-                    "insert_threshold", "elitism_fraction", "phi", "max_wall_seconds")
-_GP_INT_FIELDS = ("population_size", "max_generations", "tournament_size",
-                  "max_fitness_evals", "max_sim_time", "max_sim_steps", "minimize_budget",
-                  "workers", "eval_chunk_size")
-_GP_STR_FIELDS = ("backend",)
-
-
-def _config_from_section(section: configparser.SectionProxy) -> tuple[RepairConfig, tuple[int, ...]]:
-    overrides: dict[str, object] = {}
-    for field in _GP_FLOAT_FIELDS:
-        if field in section:
-            overrides[field] = section.getfloat(field)
-    for field in _GP_INT_FIELDS:
-        if field in section:
-            overrides[field] = section.getint(field)
-    for field in _GP_STR_FIELDS:
-        if field in section:
-            overrides[field] = section.get(field)
-    backend = overrides.get("backend")
-    if backend is not None and backend not in BACKEND_NAMES:
-        raise SystemExit(
-            f"error: backend must be one of {', '.join(BACKEND_NAMES)} (got {backend!r})"
-        )
-    seeds = tuple(
-        int(s) for s in section.get("seeds", "0,1,2").split(",") if s.strip()
-    )
-    return RepairConfig().scaled(**overrides), seeds
-
-
-def _build_problem(
-    source_path: Path,
-    testbench_path: Path,
-    golden_path: Path | None,
-    oracle_path: Path | None,
-) -> RepairProblem:
-    faulty = parse(source_path.read_text())
-    testbench = parse(testbench_path.read_text())
-    if golden_path is not None:
-        golden = parse(golden_path.read_text())
-        bench = ensure_instrumented(testbench, golden)
-        oracle = generate_oracle(golden, bench)
-    elif oracle_path is not None:
-        bench = ensure_instrumented(testbench, faulty)
-        oracle = SimulationTrace.from_csv(oracle_path.read_text())
-    else:
-        raise SystemExit("error: provide either a golden design or an oracle CSV")
-    return RepairProblem(faulty, bench, oracle, name=source_path.stem)
 
 
 def cmd_repair(args: argparse.Namespace) -> int:
@@ -105,14 +60,18 @@ def cmd_repair(args: argparse.Namespace) -> int:
     seeds: tuple[int, ...] = tuple(args.seeds)
     if args.conf:
         ini = configparser.ConfigParser(inline_comment_prefixes=(";", "#"))
-        ini.read(args.conf)
+        if not ini.read(args.conf):
+            raise SystemExit(f"error: cannot read config file {args.conf}")
+        if "project" not in ini:
+            raise SystemExit(f"error: {args.conf} has no [project] section")
         project = ini["project"]
         source = Path(project["source"])
         testbench = Path(project["testbench"])
         golden = Path(project["golden"]) if "golden" in project else None
         oracle = Path(project["oracle"]) if "oracle" in project else None
-        if ini.has_section("gp"):
-            config, seeds = _config_from_section(ini["gp"])
+        config, file_seeds = RepairConfig.from_file(args.conf)
+        if file_seeds is not None:
+            seeds = file_seeds
     else:
         if not args.source or not args.testbench:
             raise SystemExit("error: provide SOURCE TESTBENCH or --conf FILE")
@@ -120,20 +79,31 @@ def cmd_repair(args: argparse.Namespace) -> int:
         testbench = Path(args.testbench)
         golden = Path(args.golden) if args.golden else None
         oracle = Path(args.oracle) if args.oracle else None
-    if args.budget is not None:
-        config = config.scaled(max_wall_seconds=float(args.budget))
-    if args.population is not None:
-        config = config.scaled(population_size=args.population)
-    if args.workers is not None:
-        config = config.scaled(workers=max(1, args.workers))
+    config = RepairConfig.from_cli_args(args, base=config)
 
     if args.log:
         import logging
 
         logging.basicConfig(level=logging.INFO, format="%(message)s")
 
-    problem = _build_problem(source, testbench, golden, oracle)
-    outcome = repair(problem, config, seeds)
+    try:
+        problem = build_problem(source, testbench, golden=golden, oracle=oracle)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    observers = []
+    trace_observer = None
+    if args.trace:
+        from .obs import JsonlTraceObserver
+
+        trace_observer = JsonlTraceObserver(args.trace)
+        observers.append(trace_observer)
+    try:
+        outcome = repair(problem, config, seeds, observers=observers)
+    finally:
+        if trace_observer is not None:
+            trace_observer.close()
+            print(f"telemetry trace written to {args.trace}", file=sys.stderr)
     print(outcome.describe())
     if outcome.plausible and outcome.repaired_source is not None:
         print("repair patchlist:", outcome.patch.describe())
@@ -152,21 +122,19 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """``simulate`` subcommand: run a design under a testbench."""
-    design = parse(Path(args.source).read_text())
-    testbench = parse(Path(args.testbench).read_text())
-    if args.record:
-        testbench = ensure_instrumented(testbench, design)
-    from .core.oracle import combine_sources
-
-    sim = Simulator(combine_sources(design, testbench))
-    result = sim.run(args.max_time)
+    result = simulate(
+        Path(args.source).read_text(),
+        Path(args.testbench).read_text(),
+        record=args.record,
+        max_time=args.max_time,
+    )
     for line in result.output:
         print(line)
     if args.record and result.trace:
         print(SimulationTrace.from_records(result.trace).to_csv(), end="")
     print(
         f"-- {'finished' if result.finished else 'stopped'} at t={result.time}"
-        f" ({result.steps_used} statements)",
+        f" ({result.steps_used} statements, {result.events_executed} events)",
         file=sys.stderr,
     )
     return 0 if result.finished else 2
@@ -179,6 +147,17 @@ def cmd_scenarios(_args: argparse.Namespace) -> int:
             f"{defect.scenario_id:20s} cat{defect.category}  "
             f"{defect.project:22s} {defect.description}"
         )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``report`` subcommand: summarise a ``run.jsonl`` telemetry trace."""
+    from .obs.report import report_text
+
+    try:
+        print(report_text(args.trace))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
     return 0
 
 
@@ -202,7 +181,14 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int,
         help="worker processes for candidate evaluation / parallel trials (default 1)",
     )
+    p_repair.add_argument(
+        "--backend", choices=BACKEND_NAMES,
+        help="candidate-evaluation backend (default: auto)",
+    )
     p_repair.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
+    p_repair.add_argument(
+        "--trace", help="write a repro.obs JSONL telemetry trace to this path"
+    )
     p_repair.add_argument(
         "--log", action="store_true", help="print per-generation progress logs"
     )
@@ -218,9 +204,15 @@ def main(argv: list[str] | None = None) -> int:
     p_list = sub.add_parser("scenarios", help="list the 32 benchmark defect scenarios")
     p_list.set_defaults(func=cmd_scenarios)
 
+    p_report = sub.add_parser("report", help="summarise a telemetry trace (run.jsonl)")
+    p_report.add_argument("trace", help="JSONL trace written by --trace or the experiments")
+    p_report.set_defaults(func=cmd_report)
+
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}")
     except BrokenPipeError:  # e.g. piped into `head`
         return 0
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import multiprocessing.pool
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence
 
@@ -34,7 +35,7 @@ from ..hdl.node_ids import max_node_id, number_nodes
 from ..instrument.trace import SimulationTrace, output_mismatch
 from ..sim.elaborate import ElaborationError
 from ..sim.simulator import Simulator
-from .config import RepairConfig
+from .config import BACKEND_NAMES, RepairConfig
 from .fitness import FitnessBreakdown, evaluate_fitness
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repair → backend)
@@ -72,7 +73,10 @@ class CandidateResult:
 
     ``trace`` is populated only when the evaluation ran in the calling
     process (:class:`SerialBackend`); pool workers drop it and keep just
-    the :class:`TraceSummary`.
+    the :class:`TraceSummary`.  The trailing stats fields are the
+    telemetry payload (repro.obs): measured where the evaluation actually
+    ran, so pool workers batch them back with the chunk results instead
+    of emitting events across the process boundary.
     """
 
     fitness: float
@@ -80,10 +84,31 @@ class CandidateResult:
     compiled: bool
     trace: SimulationTrace | None
     summary: TraceSummary | None
+    #: Wall-clock of the whole evaluation (codegen output → fitness).
+    eval_seconds: float = 0.0
+    #: Wall-clock of the frontend span (parse + splice + elaborate).
+    parse_seconds: float = 0.0
+    #: Wall-clock of the simulate + fitness span.
+    sim_seconds: float = 0.0
+    #: Scheduler callbacks the candidate's simulation executed.
+    sim_events: int = 0
+    #: Statements the candidate's simulation executed.
+    sim_steps: int = 0
 
     def without_trace(self) -> "CandidateResult":
         """A copy safe to ship across a process boundary (no trace)."""
-        return CandidateResult(self.fitness, self.breakdown, self.compiled, None, self.summary)
+        return CandidateResult(
+            self.fitness,
+            self.breakdown,
+            self.compiled,
+            None,
+            self.summary,
+            eval_seconds=self.eval_seconds,
+            parse_seconds=self.parse_seconds,
+            sim_seconds=self.sim_seconds,
+            sim_events=self.sim_events,
+            sim_steps=self.sim_steps,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -119,19 +144,37 @@ def evaluate_design_text(
     Never raises: a candidate that fails to parse or elaborate scores 0.0
     with ``compiled=False``; one that crashes at runtime scores 0.0 with
     ``compiled=True`` (the search must survive arbitrary mutants).
+
+    Each result carries its telemetry stats (phase wall-clock and the
+    simulator's event-loop counters) measured in the process that ran
+    the pipeline — serial callers and pool workers report identically.
     """
+    started = time.perf_counter()
     try:
         design = parse(design_text)
         combined = splice_testbench(design, testbench)
         sim = Simulator(combined, max_steps=config.max_sim_steps)
     except (ParseError, LexError, ElaborationError, RecursionError):
-        return CandidateResult(0.0, None, False, None, None)
+        elapsed = time.perf_counter() - started
+        return CandidateResult(
+            0.0, None, False, None, None,
+            eval_seconds=elapsed, parse_seconds=elapsed,
+        )
+    parse_seconds = time.perf_counter() - started
     try:
         result = sim.run(config.max_sim_time)
     except Exception:
         # Any uncontained runtime failure (width-cap violations from a
         # monitor callback, pathological recursion, ...) scores zero.
-        return CandidateResult(0.0, None, True, None, None)
+        elapsed = time.perf_counter() - started
+        return CandidateResult(
+            0.0, None, True, None, None,
+            eval_seconds=elapsed,
+            parse_seconds=parse_seconds,
+            sim_seconds=elapsed - parse_seconds,
+            sim_events=sim.scheduler.events_executed,
+            sim_steps=sim.steps_used,
+        )
     trace = SimulationTrace.from_records(result.trace)
     breakdown = evaluate_fitness(trace, oracle, config.phi)
     summary = TraceSummary(
@@ -139,7 +182,15 @@ def evaluate_design_text(
         recorded_vars=len(trace.variables()),
         mismatched_vars=tuple(sorted(output_mismatch(oracle, trace))),
     )
-    return CandidateResult(breakdown.fitness, breakdown, True, trace, summary)
+    elapsed = time.perf_counter() - started
+    return CandidateResult(
+        breakdown.fitness, breakdown, True, trace, summary,
+        eval_seconds=elapsed,
+        parse_seconds=parse_seconds,
+        sim_seconds=elapsed - parse_seconds,
+        sim_events=result.events_executed,
+        sim_steps=result.steps_used,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -284,10 +335,6 @@ class ProcessPoolBackend:
             pass
 
 
-#: Valid values of ``RepairConfig.backend``.
-BACKEND_NAMES = ("auto", "serial", "process")
-
-
 def make_backend(problem: "RepairProblem", config: RepairConfig) -> EvaluationBackend:
     """Build the evaluation backend selected by ``config``.
 
@@ -301,7 +348,10 @@ def make_backend(problem: "RepairProblem", config: RepairConfig) -> EvaluationBa
     choice = config.backend
     workers = max(1, config.workers)
     if choice not in BACKEND_NAMES:
-        raise ValueError(f"unknown evaluation backend {choice!r}")
+        raise ValueError(
+            f"unknown evaluation backend {choice!r}; "
+            f"valid backends: {', '.join(BACKEND_NAMES)}"
+        )
     if choice == "serial" or (choice == "auto" and workers <= 1):
         return SerialBackend.for_problem(problem, config)
     if multiprocessing.current_process().daemon:

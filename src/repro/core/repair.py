@@ -32,10 +32,28 @@ import random
 import time as time_mod
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..hdl import ast, generate, parse
 from ..instrument.trace import SimulationTrace, output_mismatch
-from .backend import BACKEND_NAMES, EvaluationBackend, evaluate_design_text, make_backend
+from ..obs.events import (
+    BackendChunkCompleted,
+    BackendChunkDispatched,
+    CandidateEvaluated,
+    GenerationCompleted,
+    PhaseCompleted,
+    PlausiblePatchFound,
+    TrialCompleted,
+    TrialStarted,
+)
+from ..obs.observer import ObserverSet, RepairObserver
+from .backend import (
+    BACKEND_NAMES,
+    CandidateResult,
+    EvaluationBackend,
+    evaluate_design_text,
+    make_backend,
+)
 from .config import RepairConfig
 from .faultloc import all_statement_ids, localize_faults
 from .fitness import FitnessBreakdown
@@ -88,6 +106,9 @@ class RepairOutcome:
     elapsed_seconds: float
     best_fitness_history: list[float] = field(default_factory=list)
     seed: int = 0
+    #: Unique candidate evaluations — the deterministic budget counter
+    #: (identical across backends, unlike ``simulations``).
+    eval_sims: int = 0
 
     def describe(self) -> str:
         """One-line summary for logs and CLI output."""
@@ -146,11 +167,21 @@ class CirFixEngine:
         config: RepairConfig | None = None,
         seed: int = 0,
         backend: EvaluationBackend | None = None,
+        observers: Sequence[RepairObserver] | None = None,
     ):
         self.problem = problem
         self.config = config or RepairConfig()
         self.seed = seed
         self.rng = random.Random(seed)
+        #: Telemetry fan-out (repro.obs).  Falsy when no observers are
+        #: attached, so every emit site costs one branch on unobserved
+        #: runs; observers only ever read already-computed values, which
+        #: is what keeps outcomes bit-identical with or without them.
+        self.events = (
+            observers
+            if isinstance(observers, ObserverSet)
+            else ObserverSet(observers)
+        )
         self._backend = backend
         self._owns_backend = False
         self._cache: dict[str, Evaluation] = {}
@@ -172,6 +203,18 @@ class CirFixEngine:
         #: parse + simulate + fitness) — the paper reports >90% of repair
         #: time goes to fitness evaluations.
         self.evaluation_seconds = 0.0
+        #: Per-phase wall-clock (repro.obs): ``parse`` is the frontend
+        #: sub-span of ``evaluation``; ``localization`` and
+        #: ``minimization`` exclude the evaluations they trigger, so the
+        #: three top-level phases partition the trial's accounted time.
+        self.phase_seconds: dict[str, float] = {
+            "parse": 0.0,
+            "localization": 0.0,
+            "evaluation": 0.0,
+            "minimization": 0.0,
+        }
+        #: Monotonic id for backend chunk events.
+        self._chunk_counter = 0
 
     # ------------------------------------------------------------------
     # Candidate evaluation
@@ -201,7 +244,12 @@ class CirFixEngine:
                 )
             return cached
         self.eval_sims += 1
-        evaluation = self._evaluate_source(design_text)
+        result = self._score_text(design_text)
+        if self.events:
+            self._emit_candidate(result)
+        evaluation = Evaluation(
+            result.fitness, result.breakdown, result.trace, result.compiled, design_text
+        )
         self._admit(design_text, evaluation)
         return evaluation
 
@@ -213,14 +261,9 @@ class CirFixEngine:
             while len(self._trace_cache) > self._trace_cache_limit:
                 self._trace_cache.popitem(last=False)
 
-    def _evaluate_source(self, design_text: str) -> Evaluation:
+    def _score_text(self, design_text: str) -> CandidateResult:
+        """Run the evaluation pipeline in-process, updating counters."""
         started = time_mod.monotonic()
-        try:
-            return self._evaluate_source_inner(design_text)
-        finally:
-            self.evaluation_seconds += time_mod.monotonic() - started
-
-    def _evaluate_source_inner(self, design_text: str) -> Evaluation:
         self.simulations += 1
         self.mutants_generated += 1
         result = evaluate_design_text(
@@ -228,8 +271,34 @@ class CirFixEngine:
         )
         if not result.compiled:
             self.mutants_compile_failed += 1
+        elapsed = time_mod.monotonic() - started
+        self.evaluation_seconds += elapsed
+        self.phase_seconds["evaluation"] += elapsed
+        self.phase_seconds["parse"] += result.parse_seconds
+        return result
+
+    def _evaluate_source(self, design_text: str) -> Evaluation:
+        """In-process evaluation without telemetry emission.
+
+        Used for backend-dependent re-simulations (trace refresh in
+        :meth:`fault_localization`): those must stay invisible to
+        observers so the event sequence is identical on every backend.
+        """
+        result = self._score_text(design_text)
         return Evaluation(
             result.fitness, result.breakdown, result.trace, result.compiled, design_text
+        )
+
+    def _emit_candidate(self, result: CandidateResult) -> None:
+        """Emit the CandidateEvaluated event for one unique evaluation."""
+        self.events.emit(
+            CandidateEvaluated(
+                fitness=result.fitness,
+                compiled=result.compiled,
+                wall_seconds=result.eval_seconds,
+                sim_events=result.sim_events,
+                sim_steps=result.sim_steps,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -288,15 +357,30 @@ class CirFixEngine:
             if found_winner or out_of_budget():
                 break
             chunk = pending[start : start + chunk_size]
+            chunk_id = self._chunk_counter
+            self._chunk_counter += 1
+            if self.events:
+                self.events.emit(BackendChunkDispatched(chunk=chunk_id, size=len(chunk)))
             started = time_mod.monotonic()
             chunk_results = backend.evaluate_batch(chunk)
-            self.evaluation_seconds += time_mod.monotonic() - started
+            chunk_seconds = time_mod.monotonic() - started
+            self.evaluation_seconds += chunk_seconds
+            self.phase_seconds["evaluation"] += chunk_seconds
+            if self.events:
+                self.events.emit(
+                    BackendChunkCompleted(
+                        chunk=chunk_id, size=len(chunk), wall_seconds=chunk_seconds
+                    )
+                )
             for text, result in zip(chunk, chunk_results):
                 self.simulations += 1
                 self.eval_sims += 1
                 self.mutants_generated += 1
                 if not result.compiled:
                     self.mutants_compile_failed += 1
+                self.phase_seconds["parse"] += result.parse_seconds
+                if self.events:
+                    self._emit_candidate(result)
                 evaluation = Evaluation(
                     result.fitness, result.breakdown, result.trace, result.compiled, text
                 )
@@ -312,7 +396,21 @@ class CirFixEngine:
     # ------------------------------------------------------------------
 
     def fault_localization(self, patch: Patch, variant: ast.Source) -> set[int]:
-        """Algorithm 2 against this parent's own simulation trace."""
+        """Algorithm 2 against this parent's own simulation trace.
+
+        The ``localization`` phase timer excludes the candidate
+        evaluations this triggers (those are ``evaluation`` time).
+        """
+        started = time_mod.monotonic()
+        eval_before = self.evaluation_seconds
+        try:
+            return self._fault_localization(patch, variant)
+        finally:
+            self.phase_seconds["localization"] += (
+                time_mod.monotonic() - started
+            ) - (self.evaluation_seconds - eval_before)
+
+    def _fault_localization(self, patch: Patch, variant: ast.Source) -> set[int]:
         evaluation = self.evaluate(patch)
         if evaluation.compiled and evaluation.trace is None:
             # Trace evicted from the LRU: re-simulate this parent once.
@@ -340,10 +438,39 @@ class CirFixEngine:
         finally:
             self._release_backend()
 
+    def _generation_event(self, generation: int, population: list[Patch],
+                          best_fitness: float) -> GenerationCompleted:
+        """Build the GenerationCompleted event from known fitnesses."""
+        fitnesses = [
+            f for f in (getattr(p, "_fitness", None) for p in population)
+            if f is not None
+        ]
+        return GenerationCompleted(
+            generation=generation,
+            population=len(population),
+            best_fitness=best_fitness,
+            fitness_min=min(fitnesses, default=0.0),
+            fitness_mean=(sum(fitnesses) / len(fitnesses)) if fitnesses else 0.0,
+            fitness_max=max(fitnesses, default=0.0),
+            eval_sims=self.eval_sims,
+            operator_stats=dict(self.operator_stats),
+        )
+
     def _run(self) -> RepairOutcome:
         config = self.config
         start = time_mod.monotonic()
         deadline = start + config.max_wall_seconds
+        if self.events:
+            self.events.emit(
+                TrialStarted(
+                    scenario=self.problem.name,
+                    seed=self.seed,
+                    backend=config.backend,
+                    workers=config.workers,
+                    population_size=config.population_size,
+                    max_generations=config.max_generations,
+                )
+            )
 
         def out_of_budget() -> bool:
             if time_mod.monotonic() > deadline:
@@ -420,6 +547,8 @@ class CirFixEngine:
                 winner = seedling
                 break
         history.append(best_fitness)
+        if self.events:
+            self.events.emit(self._generation_event(0, population, best_fitness))
 
         while generations < config.max_generations and winner is None and not out_of_budget():
             generations += 1
@@ -476,6 +605,10 @@ class CirFixEngine:
                     break
             population = children or population
             history.append(best_fitness)
+            if self.events:
+                self.events.emit(
+                    self._generation_event(generations, population, best_fitness)
+                )
             logger.info(
                 "[%s seed=%d] gen %d: best=%.4f sims=%d best_patch=%s",
                 self.problem.name, self.seed, generations, best_fitness,
@@ -485,6 +618,14 @@ class CirFixEngine:
         final_patch = winner if winner is not None else best_patch
         final_eval = self.evaluate(final_patch)
         if winner is not None:
+            if self.events:
+                self.events.emit(
+                    PlausiblePatchFound(
+                        generation=generations,
+                        fitness=final_eval.fitness,
+                        edits=len(final_patch),
+                    )
+                )
             logger.info(
                 "[%s seed=%d] plausible repair found (%d edits); minimizing",
                 self.problem.name, self.seed, len(final_patch),
@@ -501,7 +642,15 @@ class CirFixEngine:
         def is_plausible(candidate: Patch) -> bool:
             return self.evaluate(candidate).is_plausible
 
-        return minimize_patch(patch, is_plausible, self.config.minimize_budget)
+        started = time_mod.monotonic()
+        eval_before = self.evaluation_seconds
+        try:
+            return minimize_patch(patch, is_plausible, self.config.minimize_budget)
+        finally:
+            # Like localization, the phase excludes its own evaluations.
+            self.phase_seconds["minimization"] += (
+                time_mod.monotonic() - started
+            ) - (self.evaluation_seconds - eval_before)
 
     def _finish(
         self,
@@ -511,7 +660,7 @@ class CirFixEngine:
         start: float,
         history: list[float],
     ) -> RepairOutcome:
-        return RepairOutcome(
+        outcome = RepairOutcome(
             plausible=evaluation.is_plausible,
             patch=patch,
             fitness=evaluation.fitness,
@@ -522,7 +671,28 @@ class CirFixEngine:
             elapsed_seconds=time_mod.monotonic() - start,
             best_fitness_history=history,
             seed=self.seed,
+            eval_sims=self.eval_sims,
         )
+        if self.events:
+            # Fixed emission order (all four phases, then the trial
+            # summary) keeps the event-type sequence deterministic.
+            for phase in ("parse", "localization", "evaluation", "minimization"):
+                self.events.emit(
+                    PhaseCompleted(phase=phase, seconds=self.phase_seconds[phase])
+                )
+            self.events.emit(
+                TrialCompleted(
+                    plausible=outcome.plausible,
+                    fitness=outcome.fitness,
+                    generations=outcome.generations,
+                    eval_sims=outcome.eval_sims,
+                    fitness_evals=outcome.fitness_evals,
+                    simulations=outcome.simulations,
+                    edits=len(outcome.patch),
+                    elapsed_seconds=outcome.elapsed_seconds,
+                )
+            )
+        return outcome
 
 
 def repair(
@@ -530,6 +700,7 @@ def repair(
     config: RepairConfig | None = None,
     seeds: tuple[int, ...] = (0,),
     backend: EvaluationBackend | None = None,
+    observers: Sequence[RepairObserver] | None = None,
 ) -> RepairOutcome:
     """Run independent trials (paper: 5 per scenario) and return the first
     plausible outcome, or the best-fitness outcome if none succeeds.
@@ -540,13 +711,24 @@ def repair(
     evaluations instead.  Either way the outcome is the one the serial
     sweep would have returned: the lowest plausible seed wins, falling
     back to the earliest best-fitness trial.
+
+    ``observers`` (repro.obs) see the full event stream of every trial
+    run in this process.  With observers attached, multi-seed runs stay
+    in-process sharing one evaluation backend — candidate evaluations
+    still fan out over the pool, but trials are not shipped to workers
+    (observers are generally not picklable, and a complete trace beats a
+    marginally faster sweep when telemetry was requested).
     """
     config = config or RepairConfig()
+    events = observers if isinstance(observers, ObserverSet) else ObserverSet(observers)
     if config.backend not in BACKEND_NAMES:
         # Fail in the caller's process, not inside a pickled trial worker.
-        raise ValueError(f"unknown evaluation backend {config.backend!r}")
+        raise ValueError(
+            f"unknown evaluation backend {config.backend!r}; "
+            f"valid backends: {', '.join(BACKEND_NAMES)}"
+        )
     workers = max(1, config.workers)
-    if backend is None and workers > 1 and len(seeds) > 1:
+    if backend is None and workers > 1 and len(seeds) > 1 and not events:
         outcome = _repair_parallel_trials(problem, config, seeds, workers)
         if outcome is not None:
             return outcome
@@ -557,7 +739,9 @@ def repair(
     try:
         best: RepairOutcome | None = None
         for seed in seeds:
-            outcome = CirFixEngine(problem, config, seed, backend=backend).run()
+            outcome = CirFixEngine(
+                problem, config, seed, backend=backend, observers=events
+            ).run()
             if outcome.plausible:
                 return outcome
             if best is None or outcome.fitness > best.fitness:

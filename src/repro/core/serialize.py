@@ -99,6 +99,7 @@ def outcome_to_json(outcome: RepairOutcome, scenario_id: str = "") -> str:
             "fitness": outcome.fitness,
             "generations": outcome.generations,
             "fitness_evals": outcome.fitness_evals,
+            "eval_sims": outcome.eval_sims,
             "simulations": outcome.simulations,
             "elapsed_seconds": round(outcome.elapsed_seconds, 3),
             "seed": outcome.seed,

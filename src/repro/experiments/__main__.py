@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
 from . import (
     ext_templates,
@@ -22,20 +23,24 @@ from . import (
 )
 
 EXPERIMENTS = {
-    "table2": lambda preset, workers: table2.main(),
-    "table3": lambda preset, workers: table3.main(preset, workers=workers),
-    "figure2": lambda preset, workers: figure2.main(),
-    "figure3": lambda preset, workers: figure3.main(),
-    "rq1": lambda preset, workers: rq1.main(preset, workers=workers),
-    "rq2": lambda preset, workers: rq2.main(preset),
-    "rq3": lambda preset, workers: rq3.main(),
-    "rq4": lambda preset, workers: rq4.main(preset),
-    "fixloc": lambda preset, workers: fixloc_ablation.main(),
-    "phi": lambda preset, workers: phi_ablation.main(),
-    "ext-templates": lambda preset, workers: ext_templates.main(preset),
-    "param-sensitivity": lambda preset, workers: param_sensitivity.main(preset),
-    "runtime": lambda preset, workers: runtime_analysis.main(preset),
-    "seeded": lambda preset, workers: seeded_defects.main(preset),
+    "table2": lambda ctx: table2.main(),
+    "table3": lambda ctx: table3.main(
+        ctx.preset, workers=ctx.workers, trace_dir=ctx.trace_dir
+    ),
+    "figure2": lambda ctx: figure2.main(),
+    "figure3": lambda ctx: figure3.main(),
+    "rq1": lambda ctx: rq1.main(
+        ctx.preset, workers=ctx.workers, trace_dir=ctx.trace_dir
+    ),
+    "rq2": lambda ctx: rq2.main(ctx.preset),
+    "rq3": lambda ctx: rq3.main(),
+    "rq4": lambda ctx: rq4.main(ctx.preset),
+    "fixloc": lambda ctx: fixloc_ablation.main(),
+    "phi": lambda ctx: phi_ablation.main(),
+    "ext-templates": lambda ctx: ext_templates.main(ctx.preset),
+    "param-sensitivity": lambda ctx: param_sensitivity.main(ctx.preset),
+    "runtime": lambda ctx: runtime_analysis.main(ctx.preset),
+    "seeded": lambda ctx: seeded_defects.main(ctx.preset),
 }
 
 
@@ -62,10 +67,22 @@ def main() -> None:
         default=None,
         help="worker processes for scenario sweeps (table3/rq1; default serial)",
     )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="write one repro.obs JSONL trace per scenario here (table3/rq1); "
+        "per-experiment subdirectories are created automatically",
+    )
     args = parser.parse_args()
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        EXPERIMENTS[name](args.preset, args.workers)
+        ctx = argparse.Namespace(
+            preset=args.preset,
+            workers=args.workers,
+            trace_dir=(args.trace_dir / name) if args.trace_dir is not None else None,
+        )
+        EXPERIMENTS[name](ctx)
         print()
 
 

@@ -11,12 +11,14 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence, TypeVar
+from pathlib import Path
+from typing import Callable, Iterable, Sequence, TypeVar
 
-from ..benchsuite import Scenario
+from ..benchsuite import Scenario, load_scenario
 from ..core.backend import EvaluationBackend, _mp_context, make_backend
 from ..core.config import RepairConfig
 from ..core.repair import CirFixEngine, RepairOutcome
+from ..obs.observer import ObserverSet, RepairObserver
 
 logger = logging.getLogger("repro.experiments")
 
@@ -86,16 +88,21 @@ class ScenarioResult:
 def run_scenario(
     scenario: Scenario,
     config: RepairConfig,
+    observers: Sequence[RepairObserver] | None = None,
+    *,
     seeds: tuple[int, ...] = (0, 1),
 ) -> ScenarioResult:
     """Run CirFix trials on one scenario (paper: 5 independent trials,
     stopping at the first plausible repair).
 
-    With ``config.workers > 1`` the trials share one evaluation backend
-    (a persistent process pool), so the pool is paid for once per
-    scenario, not once per seed.
+    This is the one driver every experiment funnels through.  With
+    ``config.workers > 1`` the trials share one evaluation backend (a
+    persistent process pool), so the pool is paid for once per scenario,
+    not once per seed.  ``observers`` (repro.obs) see every trial's event
+    stream; they never influence the search.
     """
     scaled = scenario.suggested_config(config)
+    events = observers if isinstance(observers, ObserverSet) else ObserverSet(observers)
     start = time.monotonic()
     best: RepairOutcome | None = None
     winner: RepairOutcome | None = None
@@ -106,7 +113,9 @@ def run_scenario(
     )
     try:
         for seed in seeds:
-            outcome = CirFixEngine(problem, scaled, seed, backend=backend).run()
+            outcome = CirFixEngine(
+                problem, scaled, seed, backend=backend, observers=events
+            ).run()
             total_sims += outcome.simulations
             if best is None or outcome.fitness > best.fitness:
                 best = outcome
@@ -139,6 +148,64 @@ def run_scenario(
         best_fitness_history=chosen.best_fitness_history,
         repaired_source=chosen.repaired_source,
     )
+
+
+def _scenario_worker(
+    payload: tuple[str, RepairConfig, tuple[int, ...], str | None],
+) -> ScenarioResult:
+    # Module-level so multiprocessing pools can pickle it.  Observers are
+    # generally not picklable, so the trace path travels instead and the
+    # JSONL observer is constructed inside the worker.
+    scenario_id, config, seeds, trace_path = payload
+    observers: list[RepairObserver] = []
+    if trace_path is not None:
+        from ..obs import JsonlTraceObserver
+
+        observers.append(JsonlTraceObserver(trace_path))
+    try:
+        return run_scenario(
+            load_scenario(scenario_id), config, observers, seeds=seeds
+        )
+    finally:
+        for observer in observers:
+            observer.close()
+
+
+def run_scenarios(
+    scenario_ids: Iterable[str],
+    config: RepairConfig,
+    *,
+    seeds: tuple[int, ...] = (0, 1),
+    workers: int | None = None,
+    trace_dir: "str | Path | None" = None,
+) -> list[ScenarioResult]:
+    """Run a sweep of scenarios, optionally fanned out over a pool.
+
+    ``workers`` (default ``config.workers``) fans independent scenarios
+    out over a process pool; each child then runs fully serially so pools
+    never nest.  Row order and per-row results match the serial sweep
+    exactly.  With ``trace_dir`` set, each scenario writes a repro.obs
+    JSONL trace to ``trace_dir/<scenario_id>.jsonl`` (works in both the
+    serial and the fanned-out path — workers reconstruct the observer
+    from the path).
+    """
+    ids = list(scenario_ids)
+    workers = config.workers if workers is None else workers
+    fan_out = workers > 1 and len(ids) > 1
+    child_config = config.scaled(workers=1) if fan_out else config
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+    payloads = [
+        (
+            sid,
+            child_config,
+            seeds,
+            str(trace_dir / f"{sid}.jsonl") if trace_dir is not None else None,
+        )
+        for sid in ids
+    ]
+    return map_parallel(_scenario_worker, payloads, workers if fan_out else 1)
 
 
 def map_parallel(

@@ -91,7 +91,7 @@ def _render_reset_block(tree: ast.Source) -> str:
 
 def run_search(seeds: tuple[int, ...] = (0, 1, 2)) -> ScenarioResult:
     """Let the GP find the Figure 3 repair itself (slower)."""
-    return run_scenario(load_scenario("sdram_reset"), QUICK, seeds)
+    return run_scenario(load_scenario("sdram_reset"), QUICK, seeds=seeds)
 
 
 def main() -> None:

@@ -12,13 +12,13 @@ Beyond Table 3's per-defect outcomes, RQ1 makes two claims we reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..baselines.brute_force import BruteForceRepair
 from ..benchsuite import load_scenario
-from ..core.backend import make_backend
 from ..core.config import RepairConfig
-from ..core.repair import CirFixEngine
-from .common import QUICK, format_table, map_parallel
+from ..obs.observer import RepairObserver
+from .common import QUICK, format_table, map_parallel, run_scenario
 
 #: Scenarios used for the head-to-head (a spread of difficulties).
 HEAD_TO_HEAD: tuple[str, ...] = (
@@ -49,30 +49,30 @@ class Rq1Result:
         return sum(1 for r in self.rows if r.cirfix_plausible and not r.brute_plausible)
 
 
-def _rq1_worker(payload: tuple[str, RepairConfig, tuple[int, ...]]) -> HeadToHeadRow:
-    # Module-level so multiprocessing pools can pickle it.
-    scenario_id, config, seeds = payload
+def _rq1_worker(
+    payload: tuple[str, RepairConfig, tuple[int, ...], str | None],
+) -> HeadToHeadRow:
+    # Module-level so multiprocessing pools can pickle it.  The CirFix
+    # side goes through the shared run_scenario driver; the brute-force
+    # side runs under the same per-scenario budget.
+    scenario_id, config, seeds, trace_path = payload
     scenario = load_scenario(scenario_id)
-    scaled = scenario.suggested_config(config)
-    problem = scenario.problem()
-    backend = make_backend(problem, scaled) if scaled.workers > 1 else None
-    cirfix_plausible = False
-    cirfix_sims = 0
+    observers: list[RepairObserver] = []
+    if trace_path is not None:
+        from ..obs import JsonlTraceObserver
+
+        observers.append(JsonlTraceObserver(trace_path))
     try:
-        for seed in seeds:
-            outcome = CirFixEngine(problem, scaled, seed, backend=backend).run()
-            cirfix_sims += outcome.simulations
-            if outcome.plausible:
-                cirfix_plausible = True
-                break
+        cirfix = run_scenario(scenario, config, observers, seeds=seeds)
     finally:
-        if backend is not None:
-            backend.close()
+        for observer in observers:
+            observer.close()
+    scaled = scenario.suggested_config(config)
     brute = BruteForceRepair(scenario.problem(), scaled, seed=seeds[0]).run()
     return HeadToHeadRow(
         scenario_id,
-        cirfix_plausible,
-        cirfix_sims,
+        cirfix.plausible,
+        cirfix.simulations,
         brute.plausible,
         brute.simulations,
     )
@@ -83,18 +83,32 @@ def run_rq1(
     scenario_ids: tuple[str, ...] = HEAD_TO_HEAD,
     seeds: tuple[int, ...] = (0, 1),
     workers: int | None = None,
+    trace_dir: "str | Path | None" = None,
 ) -> Rq1Result:
     """Run the CirFix vs brute-force head-to-head.
 
     ``workers`` (default ``config.workers``) fans the head-to-head
     scenarios out over a process pool, one fully-serial child each, with
     results in ``scenario_ids`` order — identical to the serial sweep.
+    With ``trace_dir`` set, the CirFix side of each row writes a
+    repro.obs JSONL trace to ``trace_dir/<scenario_id>.jsonl``.
     """
     config = config or QUICK
     workers = config.workers if workers is None else workers
     fan_out = workers > 1 and len(scenario_ids) > 1
     child_config = config.scaled(workers=1) if fan_out else config
-    payloads = [(sid, child_config, seeds) for sid in scenario_ids]
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+    payloads = [
+        (
+            sid,
+            child_config,
+            seeds,
+            str(trace_dir / f"{sid}.jsonl") if trace_dir is not None else None,
+        )
+        for sid in scenario_ids
+    ]
     rows = map_parallel(_rq1_worker, payloads, workers if fan_out else 1)
     return Rq1Result(rows)
 
@@ -120,12 +134,16 @@ def render_rq1(result: Rq1Result) -> str:
     )
 
 
-def main(preset: str = "quick", workers: int | None = None) -> None:
+def main(
+    preset: str = "quick",
+    workers: int | None = None,
+    trace_dir: "str | Path | None" = None,
+) -> None:
     """Print RQ1."""
     from .common import PRESETS
 
     print("RQ1: CirFix vs brute-force search")
-    print(render_rq1(run_rq1(PRESETS[preset], workers=workers)))
+    print(render_rq1(run_rq1(PRESETS[preset], workers=workers, trace_dir=trace_dir)))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,9 +15,10 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from ..api import repair_scenario
 from ..benchsuite import Scenario, all_scenarios, load_scenario
 from ..core.config import RepairConfig
-from ..core.repair import CirFixEngine, RepairProblem
+from ..core.repair import RepairProblem
 from .common import QUICK, format_table
 
 #: The paper's oracle-completeness levels.
@@ -59,10 +60,10 @@ def _repair_with_degraded_oracle(
         name=f"{scenario.scenario_id}@{fraction}",
     )
     scaled = scenario.suggested_config(config)
-    for seed in seeds:
-        outcome = CirFixEngine(problem, scaled, seed).run()
-        if outcome.plausible and outcome.repaired_source is not None:
-            return True, scenario.is_correct_repair(outcome.repaired_source)
+    # repair() stops at the first plausible seed, matching the old loop.
+    outcome = repair_scenario(problem, scaled, seeds)
+    if outcome.plausible and outcome.repaired_source is not None:
+        return True, scenario.is_correct_repair(outcome.repaired_source)
     return False, False
 
 

@@ -11,16 +11,11 @@ width/instantiation defects never repaired — should reproduce.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from pathlib import Path
 
-from ..benchsuite import all_scenarios, load_scenario
+from ..benchsuite import all_scenarios
 from ..core.config import RepairConfig
-from .common import QUICK, ScenarioResult, format_table, map_parallel, run_scenario
-
-
-def _scenario_worker(payload: tuple[str, RepairConfig, tuple[int, ...]]) -> ScenarioResult:
-    # Module-level so multiprocessing pools can pickle it.
-    scenario_id, config, seeds = payload
-    return run_scenario(load_scenario(scenario_id), config, seeds)
+from .common import QUICK, ScenarioResult, format_table, run_scenarios
 
 
 def run_table3(
@@ -28,13 +23,14 @@ def run_table3(
     seeds: tuple[int, ...] = (0, 1),
     scenario_ids: Iterable[str] | None = None,
     workers: int | None = None,
+    trace_dir: "str | Path | None" = None,
 ) -> list[ScenarioResult]:
     """Run the full (or filtered) Table 3 experiment.
 
-    ``workers`` (default ``config.workers``) fans independent scenarios
-    out over a process pool; each child then runs fully serially so
-    pools never nest.  Row order and per-row results match the serial
-    sweep exactly.
+    Delegates to :func:`repro.experiments.common.run_scenarios`:
+    ``workers`` fans independent scenarios out over a process pool (one
+    fully-serial child each), and ``trace_dir`` writes one repro.obs
+    JSONL trace per scenario.
     """
     config = config or QUICK
     ids = (
@@ -42,11 +38,9 @@ def run_table3(
         if scenario_ids is not None
         else [s.scenario_id for s in all_scenarios()]
     )
-    workers = config.workers if workers is None else workers
-    fan_out = workers > 1 and len(ids) > 1
-    child_config = config.scaled(workers=1) if fan_out else config
-    payloads = [(sid, child_config, seeds) for sid in ids]
-    return map_parallel(_scenario_worker, payloads, workers if fan_out else 1)
+    return run_scenarios(
+        ids, config, seeds=seeds, workers=workers, trace_dir=trace_dir
+    )
 
 
 def render_table3(results: list[ScenarioResult]) -> str:
@@ -79,13 +73,19 @@ def render_table3(results: list[ScenarioResult]) -> str:
     return table + summary
 
 
-def main(preset: str = "quick", workers: int | None = None) -> None:
+def main(
+    preset: str = "quick",
+    workers: int | None = None,
+    trace_dir: "str | Path | None" = None,
+) -> None:
     """Run and print Table 3."""
     from .common import PRESETS
 
-    results = run_table3(PRESETS[preset], workers=workers)
+    results = run_table3(PRESETS[preset], workers=workers, trace_dir=trace_dir)
     print("Table 3: repair results for CirFix")
     print(render_table3(results))
+    if trace_dir is not None:
+        print(f"\ntelemetry traces written to {trace_dir}/<scenario>.jsonl")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,194 @@
+"""Typed run-telemetry events (the ``repro.obs`` event schema).
+
+Every interesting moment of a repair run is described by one frozen
+dataclass below.  Events are *pure data*: producers (the engine, the
+backends) compute their fields from values the search has already
+derived, so attaching observers can never perturb the search itself —
+a fixed-seed run emits the same event sequence whether zero or ten
+observers are listening, and the :class:`~repro.core.repair.RepairOutcome`
+is bit-identical either way.
+
+Determinism contract
+--------------------
+
+For a fixed seed the *sequence of event types* (and every non-timing
+field) is identical across evaluation backends (``serial`` vs
+``process``): events are emitted only at points of the engine's
+deterministic schedule (unique candidate evaluations counted by
+``eval_sims``, chunk boundaries, generation boundaries).  Wall-clock
+fields — everything named in :data:`WALL_TIME_FIELDS`, plus the ``ts``
+stamp added by :class:`~repro.obs.jsonl.JsonlTraceObserver` — are the
+only values that vary between runs and backends.
+
+Serialisation
+-------------
+
+``event.to_dict()`` yields a JSON-ready mapping with a ``type`` tag;
+:func:`event_from_dict` reverses it (ignoring unknown keys, so traces
+written by newer schema versions still load).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+#: Fields whose values are wall-clock measurements: excluded from any
+#: cross-backend or golden-file comparison (see ``docs/observability.md``).
+WALL_TIME_FIELDS = frozenset({"ts", "wall_seconds", "seconds", "elapsed_seconds"})
+
+
+@dataclass(frozen=True)
+class RepairEvent:
+    """Base class for all telemetry events."""
+
+    type: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping with the ``type`` tag first."""
+        return {"type": self.type, **dataclasses.asdict(self)}
+
+
+@dataclass(frozen=True)
+class TrialStarted(RepairEvent):
+    """One engine trial (scenario × seed) is starting."""
+
+    type: ClassVar[str] = "trial_started"
+    scenario: str
+    seed: int
+    backend: str
+    workers: int
+    population_size: int
+    max_generations: int
+
+
+@dataclass(frozen=True)
+class CandidateEvaluated(RepairEvent):
+    """One *unique* candidate design was scored (an ``eval_sims`` tick).
+
+    Emitted exactly once per unique design text the engine evaluates —
+    cache hits and backend-dependent trace-refresh re-simulations do not
+    emit, which is what keeps the event sequence identical across
+    backends.  ``sim_events``/``sim_steps`` come from the simulator's
+    scheduler counters; when the candidate ran in a pool worker they are
+    measured worker-side and batched back with the chunk results.
+    """
+
+    type: ClassVar[str] = "candidate_evaluated"
+    fitness: float
+    compiled: bool
+    wall_seconds: float
+    sim_events: int
+    sim_steps: int
+
+
+@dataclass(frozen=True)
+class GenerationCompleted(RepairEvent):
+    """A generation's population is fully scored.
+
+    ``generation`` 0 is the seed population.  Fitness statistics cover
+    the candidates whose fitness is known at the boundary (an early-stop
+    generation may leave some unevaluated).  ``operator_stats`` is a
+    cumulative snapshot of reproduction-path usage counts.
+    """
+
+    type: ClassVar[str] = "generation_completed"
+    generation: int
+    population: int
+    best_fitness: float
+    fitness_min: float
+    fitness_mean: float
+    fitness_max: float
+    eval_sims: int
+    operator_stats: dict[str, int]
+
+
+@dataclass(frozen=True)
+class BackendChunkDispatched(RepairEvent):
+    """A chunk of unique candidates is about to go to the backend."""
+
+    type: ClassVar[str] = "backend_chunk_dispatched"
+    chunk: int
+    size: int
+
+
+@dataclass(frozen=True)
+class BackendChunkCompleted(RepairEvent):
+    """The backend returned a chunk's results."""
+
+    type: ClassVar[str] = "backend_chunk_completed"
+    chunk: int
+    size: int
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class PlausiblePatchFound(RepairEvent):
+    """A candidate reached fitness 1.0 (before minimization)."""
+
+    type: ClassVar[str] = "plausible_patch_found"
+    generation: int
+    fitness: float
+    edits: int
+
+
+@dataclass(frozen=True)
+class PhaseCompleted(RepairEvent):
+    """Aggregate wall-clock spent in one pipeline phase over a trial.
+
+    Phases are ``parse`` (candidate parse/splice/elaborate, a sub-span of
+    ``evaluation``), ``localization`` (fault localization excluding the
+    evaluations it triggers), ``evaluation`` (all candidate scoring), and
+    ``minimization`` (delta debugging excluding its evaluations).  One
+    event per phase is emitted at the end of every trial, in that order.
+    """
+
+    type: ClassVar[str] = "phase_completed"
+    phase: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class TrialCompleted(RepairEvent):
+    """One engine trial finished (counters mirror ``RepairOutcome``)."""
+
+    type: ClassVar[str] = "trial_completed"
+    plausible: bool
+    fitness: float
+    generations: int
+    eval_sims: int
+    fitness_evals: int
+    simulations: int
+    edits: int
+    elapsed_seconds: float
+
+
+#: ``type`` tag → event class, for parsing traces back into events.
+EVENT_TYPES: dict[str, type[RepairEvent]] = {
+    cls.type: cls
+    for cls in (
+        TrialStarted,
+        CandidateEvaluated,
+        GenerationCompleted,
+        BackendChunkDispatched,
+        BackendChunkCompleted,
+        PlausiblePatchFound,
+        PhaseCompleted,
+        TrialCompleted,
+    )
+}
+
+
+def event_from_dict(data: dict[str, Any]) -> RepairEvent:
+    """Rebuild an event from its :meth:`RepairEvent.to_dict` form.
+
+    Raises ``ValueError`` for an unknown ``type`` tag; silently drops
+    unknown field keys (forward compatibility with newer traces).
+    """
+    tag = data.get("type")
+    cls = EVENT_TYPES.get(tag)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown telemetry event type {tag!r}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in names})

@@ -1,0 +1,86 @@
+"""Streaming JSONL trace writer and reader.
+
+A *run trace* is one JSON object per line: the event's
+:meth:`~repro.obs.events.RepairEvent.to_dict` payload plus a ``ts``
+wall-clock stamp added at write time.  Keeping timestamps out of the
+event objects themselves is what lets tests compare traces across
+backends byte-for-byte after dropping the wall-time fields.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from .events import RepairEvent, event_from_dict
+
+
+class JsonlTraceObserver:
+    """Streams every event to a per-run ``run.jsonl`` artifact.
+
+    The file is created (parents included) when the observer is built and
+    each event is flushed on write, so a trace is inspectable while the
+    run is still going and survives a crashed run up to its last event.
+    """
+
+    def __init__(self, path: str | Path, *, clock: Callable[[], float] = time.time):
+        self.path = Path(path)
+        self._clock = clock
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+
+    def on_event(self, event: RepairEvent) -> None:
+        """Append one event as a JSON line (no-op after :meth:`close`)."""
+        if self._fh is None:
+            return
+        record: dict[str, Any] = {"ts": round(self._clock(), 6)}
+        record.update(event.to_dict())
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the trace file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceObserver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a ``run.jsonl`` into raw records (``ts`` included).
+
+    Raises ``ValueError`` on a line that is not valid JSON, naming the
+    line number.
+    """
+    records: list[dict[str, Any]] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid trace line ({exc})") from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: trace line is not an object")
+            records.append(record)
+    return records
+
+
+def read_events(path: str | Path) -> list[RepairEvent]:
+    """Parse a ``run.jsonl`` back into typed events (``ts`` dropped)."""
+    return [event_from_dict(record) for record in read_trace(path)]

@@ -1,0 +1,94 @@
+"""The observer protocol and the engine-side fan-out set.
+
+``RepairObserver`` is the single extension point of the telemetry layer:
+anything with an ``on_event(event)`` method can be attached to the
+engine, ``repro.api`` entry points, or the experiment drivers.  The
+engine never calls observers directly — it emits through an
+:class:`ObserverSet`, which guarantees that a misbehaving observer can
+neither raise into the search nor slow an unobserved run (an empty set
+is falsy and every emit site is guarded by ``if self.events:``).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Iterable, Protocol, runtime_checkable
+
+from .events import RepairEvent
+
+logger = logging.getLogger("repro.obs")
+
+
+@runtime_checkable
+class RepairObserver(Protocol):
+    """Anything that wants to watch a repair run.
+
+    Implementations must treat events as read-only facts: the engine's
+    determinism guarantee (same seed → bit-identical outcome with or
+    without observers) holds because telemetry never feeds back into the
+    search.
+    """
+
+    def on_event(self, event: RepairEvent) -> None:
+        """Handle one telemetry event."""
+        ...  # pragma: no cover - protocol
+
+
+class ObserverSet:
+    """Fans events out to observers, isolating the search from them.
+
+    An observer whose ``on_event`` raises is logged once and detached —
+    telemetry failures degrade telemetry, never the repair.  The set is
+    falsy when empty so hot paths can skip event construction entirely.
+    """
+
+    def __init__(self, observers: Iterable[RepairObserver] | None = None):
+        self._observers: list[RepairObserver] = [
+            obs for obs in (observers or ()) if obs is not None
+        ]
+
+    def __bool__(self) -> bool:
+        return bool(self._observers)
+
+    def __len__(self) -> int:
+        return len(self._observers)
+
+    def emit(self, event: RepairEvent) -> None:
+        """Deliver ``event`` to every live observer."""
+        dead: list[RepairObserver] = []
+        for observer in self._observers:
+            try:
+                observer.on_event(event)
+            except Exception:
+                logger.exception(
+                    "observer %r failed on %s; detaching it",
+                    observer, event.type,
+                )
+                dead.append(observer)
+        for observer in dead:
+            self._observers.remove(observer)
+
+    def close(self) -> None:
+        """Close observers that support it (e.g. trace writers)."""
+        for observer in self._observers:
+            close = getattr(observer, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    logger.exception("observer %r failed to close", observer)
+
+
+class RecordingObserver:
+    """Keeps every event in memory — for tests and interactive use."""
+
+    def __init__(self) -> None:
+        self.events: list[RepairEvent] = []
+
+    def on_event(self, event: RepairEvent) -> None:
+        """Append the event to :attr:`events`."""
+        self.events.append(event)
+
+    def types(self) -> list[str]:
+        """The event-type sequence (the determinism-test fingerprint)."""
+        return [event.type for event in self.events]

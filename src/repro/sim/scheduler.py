@@ -40,6 +40,11 @@ class Scheduler:
         self._future: list[tuple[int, int, str, Callable[[], None]]] = []
         self._seq = 0
         self.finished = False
+        #: Telemetry counters (repro.obs): callbacks executed in the
+        #: active/NBA regions and time slots advanced.  Plain integer
+        #: increments on the hot path — effectively free, always on.
+        self.events_executed = 0
+        self.slots_advanced = 0
 
     # ------------------------------------------------------------------
     # Scheduling API
@@ -94,6 +99,7 @@ class Scheduler:
         """Run active/inactive/nba regions until the slot is quiet."""
         while not self.finished:
             if self._active:
+                self.events_executed += 1
                 self._active.popleft()()
             elif self._inactive:
                 self._active.extend(self._inactive)
@@ -103,6 +109,7 @@ class Scheduler:
                 # active events (processes sensitive to the updated nets).
                 batch = list(self._nba)
                 self._nba.clear()
+                self.events_executed += len(batch)
                 for fn in batch:
                     fn()
             else:
@@ -127,6 +134,7 @@ class Scheduler:
             if next_time > max_time:
                 break
             self.time = next_time
+            self.slots_advanced += 1
             while self._future and self._future[0][0] == next_time:
                 _, _, region, fn = heapq.heappop(self._future)
                 if region == "active":

@@ -46,6 +46,11 @@ class SimResult:
     trace: list[TraceRecord] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
     steps_used: int = 0
+    #: Scheduler callbacks executed (active + NBA regions) — the cheap
+    #: event-loop counter behind repro.obs's sim-events/sec metric.
+    events_executed: int = 0
+    #: Distinct simulation time slots advanced to.
+    slots_advanced: int = 0
 
     @property
     def ok(self) -> bool:
@@ -133,7 +138,14 @@ class Simulator:
             trace=self.trace,
             errors=self.errors,
             steps_used=self._steps,
+            events_executed=self.scheduler.events_executed,
+            slots_advanced=self.scheduler.slots_advanced,
         )
+
+    @property
+    def steps_used(self) -> int:
+        """Statements executed so far (readable even after a crash)."""
+        return self._steps
 
     # ------------------------------------------------------------------
     # Hooks used by processes / elaboration

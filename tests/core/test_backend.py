@@ -121,6 +121,18 @@ class TestBatchParity:
         finally:
             pool.close()
 
+    def test_make_backend_unknown_name_lists_valid_backends(self, problem):
+        with pytest.raises(ValueError) as excinfo:
+            make_backend(problem, TEST_CONFIG.scaled(backend="gpu"))
+        message = str(excinfo.value)
+        assert "'gpu'" in message
+        for name in ("auto", "serial", "process"):
+            assert name in message
+
+    def test_repair_unknown_backend_lists_valid_backends(self, problem):
+        with pytest.raises(ValueError, match="valid backends: auto, serial, process"):
+            repair(problem, TEST_CONFIG.scaled(backend="cluster"))
+
 
 class TestCrossBackendDeterminism:
     def _outcome(self, problem, backend):

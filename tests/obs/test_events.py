@@ -1,0 +1,79 @@
+"""Event schema tests: serialisation round-trips and the registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    WALL_TIME_FIELDS,
+    CandidateEvaluated,
+    GenerationCompleted,
+    PhaseCompleted,
+    TrialCompleted,
+    TrialStarted,
+    event_from_dict,
+)
+
+SAMPLES = [
+    TrialStarted(
+        scenario="dec_numeric", seed=0, backend="serial", workers=1,
+        population_size=16, max_generations=3,
+    ),
+    CandidateEvaluated(
+        fitness=0.5, compiled=True, wall_seconds=0.01, sim_events=120, sim_steps=80,
+    ),
+    GenerationCompleted(
+        generation=1, population=16, best_fitness=0.9, fitness_min=0.1,
+        fitness_mean=0.4, fitness_max=0.9, eval_sims=30,
+        operator_stats={"mutate": 7, "crossover": 3},
+    ),
+    PhaseCompleted(phase="evaluation", seconds=1.25),
+    TrialCompleted(
+        plausible=True, fitness=1.0, generations=2, eval_sims=40,
+        fitness_evals=52, simulations=44, edits=1, elapsed_seconds=3.2,
+    ),
+]
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.type)
+def test_round_trip(event):
+    data = event.to_dict()
+    assert data["type"] == event.type
+    assert event_from_dict(data) == event
+
+
+def test_registry_covers_all_types():
+    assert set(EVENT_TYPES) == {
+        "trial_started", "candidate_evaluated", "generation_completed",
+        "backend_chunk_dispatched", "backend_chunk_completed",
+        "plausible_patch_found", "phase_completed", "trial_completed",
+    }
+    for tag, cls in EVENT_TYPES.items():
+        assert cls.type == tag
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ValueError, match="unknown telemetry event type"):
+        event_from_dict({"type": "not_a_thing"})
+
+
+def test_unknown_keys_dropped():
+    data = PhaseCompleted(phase="parse", seconds=0.5).to_dict()
+    data["future_field"] = 42
+    assert event_from_dict(data) == PhaseCompleted(phase="parse", seconds=0.5)
+
+
+def test_events_are_frozen():
+    event = PhaseCompleted(phase="parse", seconds=0.5)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        event.seconds = 1.0
+
+
+def test_wall_time_fields_name_real_fields():
+    """Every wall-time name except ``ts`` (the serialisation stamp) must
+    exist on some event, so the golden-file filter stays honest."""
+    declared = {
+        f.name for cls in EVENT_TYPES.values() for f in dataclasses.fields(cls)
+    }
+    assert WALL_TIME_FIELDS - {"ts"} <= declared

@@ -1,0 +1,78 @@
+"""JSONL trace writer/reader tests."""
+
+import json
+
+import pytest
+
+from repro.obs.events import PhaseCompleted, TrialStarted
+from repro.obs.jsonl import JsonlTraceObserver, read_events, read_trace
+
+EVENTS = [
+    TrialStarted(
+        scenario="dec_numeric", seed=0, backend="serial", workers=1,
+        population_size=16, max_generations=3,
+    ),
+    PhaseCompleted(phase="evaluation", seconds=0.5),
+]
+
+
+def _write(path, events=EVENTS, clock=None):
+    observer = (
+        JsonlTraceObserver(path, clock=clock) if clock else JsonlTraceObserver(path)
+    )
+    with observer:
+        for event in events:
+            observer.on_event(event)
+    return path
+
+
+def test_round_trip(tmp_path):
+    path = _write(tmp_path / "run.jsonl")
+    assert read_events(path) == EVENTS
+
+
+def test_ts_stamped_at_write_time(tmp_path):
+    ticks = iter([10.0, 20.0])
+    path = _write(tmp_path / "run.jsonl", clock=lambda: next(ticks))
+    records = read_trace(path)
+    assert [r["ts"] for r in records] == [10.0, 20.0]
+    assert records[0]["type"] == "trial_started"
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = _write(tmp_path / "deep" / "nested" / "run.jsonl")
+    assert path.exists()
+    assert len(read_trace(path)) == 2
+
+
+def test_close_is_idempotent_and_stops_writes(tmp_path):
+    path = tmp_path / "run.jsonl"
+    observer = JsonlTraceObserver(path)
+    observer.on_event(EVENTS[0])
+    observer.close()
+    observer.close()
+    observer.on_event(EVENTS[1])  # silently dropped after close
+    assert len(read_trace(path)) == 1
+
+
+def test_flushes_per_event(tmp_path):
+    path = tmp_path / "run.jsonl"
+    observer = JsonlTraceObserver(path)
+    observer.on_event(EVENTS[0])
+    # Readable mid-run, before close.
+    assert len(read_trace(path)) == 1
+    observer.close()
+
+
+def test_bad_line_names_line_number(tmp_path):
+    path = tmp_path / "run.jsonl"
+    path.write_text(json.dumps({"type": "phase_completed", "phase": "parse", "seconds": 0.1}) + "\n{oops\n")
+    with pytest.raises(ValueError, match=":2"):
+        read_trace(path)
+
+
+def test_non_object_line_rejected(tmp_path):
+    path = tmp_path / "run.jsonl"
+    path.write_text("[1, 2, 3]\n")
+    with pytest.raises(ValueError, match="not an object"):
+        read_trace(path)

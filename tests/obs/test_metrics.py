@@ -1,0 +1,106 @@
+"""MetricsObserver aggregation tests (synthetic event streams)."""
+
+from repro.obs.events import (
+    BackendChunkCompleted,
+    BackendChunkDispatched,
+    CandidateEvaluated,
+    GenerationCompleted,
+    PhaseCompleted,
+    PlausiblePatchFound,
+    TrialCompleted,
+    TrialStarted,
+)
+from repro.obs.metrics import MetricsObserver, Summary
+
+STREAM = [
+    TrialStarted(
+        scenario="dec_numeric", seed=0, backend="serial", workers=1,
+        population_size=4, max_generations=2,
+    ),
+    BackendChunkDispatched(chunk=0, size=2),
+    CandidateEvaluated(fitness=0.5, compiled=True, wall_seconds=0.5,
+                       sim_events=100, sim_steps=60),
+    CandidateEvaluated(fitness=0.0, compiled=False, wall_seconds=0.25,
+                       sim_events=0, sim_steps=0),
+    BackendChunkCompleted(chunk=0, size=2, wall_seconds=0.75),
+    GenerationCompleted(generation=0, population=4, best_fitness=0.5,
+                        fitness_min=0.0, fitness_mean=0.25, fitness_max=0.5,
+                        eval_sims=2, operator_stats={"mutate": 2}),
+    CandidateEvaluated(fitness=1.0, compiled=True, wall_seconds=0.25,
+                       sim_events=50, sim_steps=30),
+    PlausiblePatchFound(generation=1, fitness=1.0, edits=2),
+    PhaseCompleted(phase="parse", seconds=0.2),
+    PhaseCompleted(phase="localization", seconds=0.1),
+    PhaseCompleted(phase="evaluation", seconds=1.0),
+    PhaseCompleted(phase="minimization", seconds=0.05),
+    TrialCompleted(plausible=True, fitness=1.0, generations=1, eval_sims=3,
+                   fitness_evals=4, simulations=3, edits=1, elapsed_seconds=2.0),
+]
+
+
+def test_summary_streaming():
+    s = Summary()
+    assert s.mean == 0.0
+    for v in (2.0, 1.0, 3.0):
+        s.add(v)
+    assert s.count == 3
+    assert s.total == 6.0
+    assert s.min == 1.0
+    assert s.max == 3.0
+    assert s.mean == 2.0
+    assert s.to_dict()["mean"] == 2.0
+
+
+def test_replay_aggregates():
+    m = MetricsObserver.replay(STREAM)
+    assert m.trials_started == 1
+    assert m.trials_completed == 1
+    assert m.plausible_trials == 1
+    assert m.scenarios == ["dec_numeric"]
+    assert m.candidates == 3
+    assert m.compile_failures == 1
+    assert m.sim_events == 150
+    assert m.sim_steps == 90
+    assert m.eval_seconds.total == 1.0
+    assert m.chunks_dispatched == 1
+    assert m.chunks_completed == 1
+    assert m.chunk_candidates == 2
+    assert m.plausible_found == 1
+    assert m.eval_sims == 3
+    assert m.fitness_evals == 4
+    assert m.simulations == 3
+    assert m.best_fitness == 1.0
+    assert m.phase_seconds["evaluation"] == 1.0
+    assert m.operator_stats == {"mutate": 2}
+
+
+def test_derived_rates():
+    m = MetricsObserver.replay(STREAM)
+    assert m.evaluation_seconds == 1.0
+    assert m.evals_per_second == 3.0
+    assert m.sim_events_per_second == 150.0
+    empty = MetricsObserver()
+    assert empty.evals_per_second == 0.0
+    assert empty.sim_events_per_second == 0.0
+
+
+def test_live_and_replay_agree():
+    live = MetricsObserver()
+    for event in STREAM:
+        live.on_event(event)
+    assert live.summary() == MetricsObserver.replay(STREAM).summary()
+
+
+def test_summary_is_json_ready():
+    import json
+
+    text = json.dumps(MetricsObserver.replay(STREAM).summary())
+    assert "dec_numeric" in text
+
+
+def test_multi_trial_totals_accumulate():
+    m = MetricsObserver.replay(STREAM + STREAM)
+    assert m.trials_completed == 2
+    assert m.eval_sims == 6
+    assert m.simulations == 6
+    assert m.elapsed_seconds == 4.0

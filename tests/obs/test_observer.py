@@ -1,0 +1,63 @@
+"""ObserverSet isolation semantics: telemetry can never hurt the search."""
+
+from repro.obs.events import PhaseCompleted
+from repro.obs.observer import ObserverSet, RecordingObserver, RepairObserver
+
+
+class _Exploding:
+    def __init__(self):
+        self.calls = 0
+
+    def on_event(self, event):
+        self.calls += 1
+        raise RuntimeError("boom")
+
+
+def test_empty_set_is_falsy():
+    assert not ObserverSet()
+    assert not ObserverSet(None)
+    assert not ObserverSet([])
+    assert len(ObserverSet()) == 0
+
+
+def test_recording_observer_satisfies_protocol():
+    assert isinstance(RecordingObserver(), RepairObserver)
+
+
+def test_emit_fans_out():
+    a, b = RecordingObserver(), RecordingObserver()
+    events = ObserverSet([a, b])
+    assert events and len(events) == 2
+    event = PhaseCompleted(phase="parse", seconds=0.1)
+    events.emit(event)
+    assert a.events == [event]
+    assert b.events == [event]
+    assert a.types() == ["phase_completed"]
+
+
+def test_failing_observer_detached_others_survive(caplog):
+    bad, good = _Exploding(), RecordingObserver()
+    events = ObserverSet([bad, good])
+    events.emit(PhaseCompleted(phase="parse", seconds=0.1))
+    events.emit(PhaseCompleted(phase="evaluation", seconds=0.2))
+    # The exploding observer saw only the first event, then was detached.
+    assert bad.calls == 1
+    assert len(good.events) == 2
+    assert len(events) == 1
+
+
+def test_close_calls_observer_close():
+    class _Closeable(RecordingObserver):
+        closed = False
+
+        def close(self):
+            self.closed = True
+
+    observer = _Closeable()
+    events = ObserverSet([observer, RecordingObserver()])  # second has no close
+    events.close()
+    assert observer.closed
+
+
+def test_none_observers_filtered():
+    assert not ObserverSet([None, None])
