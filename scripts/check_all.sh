@@ -84,4 +84,10 @@ print(f"telemetry smoke ok: {len(events)} events, "
 EOF
 python -m repro report "$SMOKE_DIR/smoke.jsonl" > /dev/null
 
+echo "== fuzz smoke (fixed seed, differential oracles) =="
+python -m repro fuzz --seed 0 --count 25 --trace "$SMOKE_DIR/fuzz.jsonl" \
+    > "$SMOKE_DIR/fuzz_summary.txt"
+grep -q "violations: 0" "$SMOKE_DIR/fuzz_summary.txt"
+python -m repro report "$SMOKE_DIR/fuzz.jsonl" > /dev/null
+
 echo "ALL CHECKS PASSED"

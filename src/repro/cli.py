@@ -150,6 +150,40 @@ def cmd_scenarios(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``fuzz`` subcommand: run the differential fuzzing harness."""
+    from .fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        seed=args.seed,
+        count=args.count,
+        backend=args.backend,
+        workers=args.workers,
+        cross_backend_every=args.cross_backend_every,
+        shrink=args.shrink,
+        corpus_dir=Path(args.corpus_dir) if args.corpus_dir else None,
+        inject_fault=args.inject_fault,
+        check_logic=not args.no_logic,
+    )
+    observers = []
+    trace_observer = None
+    if args.trace:
+        from .obs import JsonlTraceObserver
+
+        trace_observer = JsonlTraceObserver(args.trace)
+        observers.append(trace_observer)
+    try:
+        report = run_fuzz(config, observers=observers)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        if trace_observer is not None:
+            trace_observer.close()
+            print(f"telemetry trace written to {args.trace}", file=sys.stderr)
+    print(report.to_text(), end="")
+    return 0 if report.ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """``report`` subcommand: summarise a ``run.jsonl`` telemetry trace."""
     from .obs.report import report_text
@@ -203,6 +237,41 @@ def main(argv: list[str] | None = None) -> int:
 
     p_list = sub.add_parser("scenarios", help="list the 32 benchmark defect scenarios")
     p_list.set_defaults(func=cmd_scenarios)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="fuzz the parser/simulator/templates with differential oracles"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    p_fuzz.add_argument(
+        "--count", type=int, default=25, help="number of programs (default 25)"
+    )
+    p_fuzz.add_argument(
+        "--backend", choices=("serial", "process"), default="serial",
+        help="evaluation path for the self-fitness oracle (default: serial)",
+    )
+    p_fuzz.add_argument("--workers", type=int, default=2)
+    p_fuzz.add_argument(
+        "--cross-backend-every", type=int, default=10, metavar="N",
+        help="serial-vs-process differential on every Nth program (0 disables)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", dest="shrink", action="store_false",
+        help="keep full failing programs instead of delta-reducing them",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir", help="write shrunk reproducers here (tests/fuzz/corpus)"
+    )
+    p_fuzz.add_argument(
+        "--inject-fault", help="plant a known codegen fault (mutation smoke)"
+    )
+    p_fuzz.add_argument(
+        "--no-logic", action="store_true",
+        help="skip the once-per-run 4-state logic property sweep",
+    )
+    p_fuzz.add_argument(
+        "--trace", help="write a repro.obs JSONL telemetry trace to this path"
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_report = sub.add_parser("report", help="summarise a telemetry trace (run.jsonl)")
     p_report.add_argument("trace", help="JSONL trace written by --trace or the experiments")

@@ -4,48 +4,49 @@ After the GP loop finds a plausible repair, extraneous edits (those not
 needed to keep the fitness at 1.0) are removed by computing a *one-minimal*
 subset of the patch's edit list with the ddmin algorithm — polynomial-time,
 following the norm set by APR for software.
+
+The same reduction also powers the fuzz harness (:mod:`repro.fuzz.shrink`),
+which delta-reduces a generator decision trace instead of a patch edit
+list, so the core loop lives in the generic :func:`ddmin`.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence, TypeVar
 
 from .patch import Patch
 
+T = TypeVar("T")
 
-def minimize_patch(
-    patch: Patch,
-    is_plausible: Callable[[Patch], bool],
+
+def ddmin(
+    items: Sequence[T],
+    still_failing: Callable[[list[T]], bool],
     max_tests: int = 512,
-) -> Patch:
-    """Return a one-minimal sub-patch that is still plausible.
+) -> list[T]:
+    """One-minimal subsequence of ``items`` that still satisfies the oracle.
 
-    Args:
-        patch: A plausible repair (``is_plausible(patch)`` must hold).
-        is_plausible: Oracle — typically "fitness == 1.0 under the
-            instrumented testbench".
-        max_tests: Budget on oracle invocations (simulations are the
-            dominant cost; the paper reports >90% of wall-clock time goes
-            to fitness evaluations).
+    ``still_failing`` receives a candidate subsequence (original order
+    preserved) and reports whether it still exhibits the property of
+    interest — plausibility for patch minimization, "still violates the
+    same oracle" for fuzz shrinking.  The full sequence is assumed to
+    satisfy it; the empty sequence is never proposed.
 
-    Returns:
-        A patch whose edit list is a subset of the input's, from which no
-        single edit can be removed without losing plausibility (when the
-        budget suffices; otherwise the best reduction found so far).
+    Runs the classic ddmin reduction followed by a greedy single-drop
+    sweep, both sharing the ``max_tests`` budget.  With budget to spare
+    the result is 1-minimal; otherwise it is the best reduction found.
     """
-    indices = list(range(len(patch.edits)))
-    if not indices:
-        return patch
+    current = list(items)
+    if not current:
+        return current
     tests = 0
 
-    def check(keep: list[int]) -> bool:
+    def check(keep: list[T]) -> bool:
         nonlocal tests
         tests += 1
-        return is_plausible(patch.subset(keep))
+        return still_failing(keep)
 
-    # Classic ddmin over the index list.
     granularity = 2
-    current = indices
     while len(current) >= 2 and tests < max_tests:
         chunk = max(1, len(current) // granularity)
         subsets = [current[i : i + chunk] for i in range(0, len(current), chunk)]
@@ -77,7 +78,6 @@ def minimize_patch(
         if granularity >= len(current):
             break
         granularity = min(len(current), granularity * 2)
-    result = patch.subset(current)
     # ddmin guarantees 1-minimality only at full granularity; do one last
     # greedy sweep to be safe within budget.
     changed = True
@@ -89,4 +89,31 @@ def minimize_patch(
                 current = keep
                 changed = True
                 break
-    return patch.subset(current) if current else result
+    return current
+
+
+def minimize_patch(
+    patch: Patch,
+    is_plausible: Callable[[Patch], bool],
+    max_tests: int = 512,
+) -> Patch:
+    """Return a one-minimal sub-patch that is still plausible.
+
+    Args:
+        patch: A plausible repair (``is_plausible(patch)`` must hold).
+        is_plausible: Oracle — typically "fitness == 1.0 under the
+            instrumented testbench".
+        max_tests: Budget on oracle invocations (simulations are the
+            dominant cost; the paper reports >90% of wall-clock time goes
+            to fitness evaluations).
+
+    Returns:
+        A patch whose edit list is a subset of the input's, from which no
+        single edit can be removed without losing plausibility (when the
+        budget suffices; otherwise the best reduction found so far).
+    """
+    indices = list(range(len(patch.edits)))
+    if not indices:
+        return patch
+    kept = ddmin(indices, lambda keep: is_plausible(patch.subset(keep)), max_tests)
+    return patch.subset(kept)

@@ -151,8 +151,38 @@ def _apply_numeric(name: str, tree: ast.Source, target: ast.Node, fresh_start: i
         replacement.node_id = fresh_start
         return tree.replace(target.node_id or -1, replacement)
     if isinstance(target, ast.Identifier):
+        if _is_lvalue_head(tree, target):
+            # Wrapping the head of an assignment target would emit
+            # ``(a + 1) = rhs;`` which no longer parses — refuse (no-op).
+            return False
         op = "+" if delta == 1 else "-"
         wrapped = ast.BinaryOp(op, ast.Identifier(target.name), ast.Number("1", None, 1, 0))
         number_nodes(wrapped, fresh_start)
         return tree.replace(target.node_id or -1, wrapped)
     return False
+
+
+def _is_lvalue_head(tree: ast.Source, target: ast.Identifier) -> bool:
+    """True when ``target`` names the variable being assigned.
+
+    That is, it is reachable from an assignment's ``lhs`` slot through
+    ``Index``/``PartSelect`` target links only.  Identifiers inside a
+    concatenation lvalue or an index expression are fine — a rewritten
+    ``{a, b[(i + 1)]} = rhs;`` still parses.
+    """
+    if target.node_id is None:
+        return False
+    parents = tree.parent_map()
+    node: ast.Node = target
+    while True:
+        parent = parents.get(node.node_id or -1)
+        if parent is None:
+            return False
+        if isinstance(
+            parent, (ast.BlockingAssign, ast.NonBlockingAssign, ast.ContinuousAssign)
+        ):
+            return parent.lhs is node
+        if isinstance(parent, (ast.Index, ast.PartSelect)) and parent.target is node:
+            node = parent
+            continue
+        return False

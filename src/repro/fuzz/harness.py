@@ -1,0 +1,286 @@
+"""The fuzz run loop: generate → oracle battery → shrink → report.
+
+``run_fuzz`` drives :mod:`repro.fuzz.generator` for ``count`` seeds,
+applies the oracle battery from :mod:`repro.fuzz.oracles` (plus one
+:mod:`repro.fuzz.logic_props` sweep per run), shrinks each violation's
+decision trace with :mod:`repro.fuzz.shrink`, and returns a
+:class:`FuzzReport` whose :meth:`FuzzReport.to_text` summary contains no
+wall-clock or backend-dependent fields — a fixed seed yields a
+byte-identical summary whichever evaluation backend scored the
+candidates (the obs determinism contract, extended to fuzzing).
+
+Telemetry: runs emit the existing JSONL trace events
+(``fuzz_program_checked`` / ``fuzz_violation_found`` /
+``fuzz_run_completed``) through the same ``ObserverSet`` machinery the
+repair engine uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..hdl import ast
+from ..obs.events import FuzzProgramChecked, FuzzRunCompleted, FuzzViolationFound
+from ..obs.observer import ObserverSet, RepairObserver
+from . import faults as faults_mod
+from .generator import TB_NAME, GeneratedProgram, generate_program
+from .logic_props import check_logic_properties
+from .oracles import (
+    Violation,
+    check_backends,
+    check_determinism,
+    check_roundtrip,
+    check_templates,
+)
+from .shrink import shrink_decisions
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for one fuzz run (all defaults deterministic)."""
+
+    seed: int = 0
+    count: int = 25
+    #: Evaluation path for the self-fitness check: "serial" or "process".
+    backend: str = "serial"
+    workers: int = 2
+    #: Every Nth program additionally gets the serial-vs-process
+    #: differential (0 disables; forking a pool per program is the
+    #: dominant cost, so this is strided).
+    cross_backend_every: int = 10
+    #: Cap on template mutants pushed through full evaluation per program.
+    max_sim_mutants: int = 4
+    shrink: bool = True
+    shrink_budget: int = 120
+    #: Directory where shrunk reproducers are written (None = don't).
+    corpus_dir: Path | None = None
+    #: Name from :data:`repro.fuzz.faults.FAULTS` to plant, or None.
+    inject_fault: str | None = None
+    #: Run the once-per-run logic-property sweep.
+    check_logic: bool = True
+
+
+@dataclass(frozen=True)
+class FuzzViolation:
+    """One confirmed oracle violation, with its (shrunk) reproducer."""
+
+    index: int
+    program_seed: int
+    oracle: str
+    detail: str
+    program_text: str
+    shrunk_text: str | None = None
+
+    @property
+    def reproducer(self) -> str:
+        """The smallest program known to trigger the violation."""
+        return self.shrunk_text if self.shrunk_text is not None else self.program_text
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz run."""
+
+    seed: int
+    count: int
+    programs: int = 0
+    #: oracle name → number of checks that ran.
+    checks: dict[str, int] = field(default_factory=dict)
+    violations: list[FuzzViolation] = field(default_factory=list)
+    corpus_files: list[Path] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks.values())
+
+    def to_text(self) -> str:
+        """Byte-stable summary: no wall-clock, no backend echo."""
+        lines = [
+            "fuzz summary",
+            f"  seed: {self.seed}  count: {self.count}",
+            f"  programs checked: {self.programs}",
+            "  checks: "
+            + " ".join(
+                f"{name}={self.checks[name]}" for name in sorted(self.checks)
+            ),
+            f"  violations: {len(self.violations)}",
+        ]
+        for v in self.violations:
+            lines.append(f"  [{v.oracle}] program {v.index} (seed {v.program_seed})")
+            lines.append(f"    {v.detail}")
+        if self.corpus_files:
+            lines.append("  reproducers:")
+            lines.extend(f"    {path}" for path in self.corpus_files)
+        return "\n".join(lines) + "\n"
+
+
+#: Re-check a single oracle on a replayed program (for shrinking).
+_RECHECKS: dict[str, Callable[[GeneratedProgram], list[Violation]]] = {
+    "roundtrip": lambda p: check_roundtrip(p.text, p.source),
+    "determinism": lambda p: check_determinism(p)[0],
+    "templates": lambda p: check_templates(p, check_determinism(p)[1]),
+}
+
+
+def _check_program(program: GeneratedProgram, config: FuzzConfig, index: int):
+    """Run the oracle battery on one program; (violations, checks)."""
+    checks: dict[str, int] = {}
+    violations = list(check_roundtrip(program.text, program.source))
+    checks["roundtrip"] = 1
+    det_violations, oracle = check_determinism(
+        program, backend=config.backend, workers=config.workers
+    )
+    violations.extend(det_violations)
+    checks["determinism"] = 1
+    if (
+        config.cross_backend_every
+        and oracle is not None
+        and index % config.cross_backend_every == 0
+    ):
+        violations.extend(check_backends(program, oracle, config.workers))
+        checks["backends"] = 1
+    violations.extend(
+        check_templates(program, oracle, max_sim_mutants=config.max_sim_mutants)
+    )
+    checks["templates"] = 1
+    return violations, checks
+
+
+def _shrink_violation(
+    program: GeneratedProgram, violation: Violation, config: FuzzConfig
+) -> str | None:
+    """Delta-reduce the decision trace for a violation's oracle kind."""
+    recheck = _RECHECKS.get(violation.oracle)
+    if recheck is None:
+        return None
+
+    def still_failing(candidate: GeneratedProgram) -> bool:
+        return any(v.oracle == violation.oracle for v in recheck(candidate))
+
+    budget = config.shrink_budget
+    if violation.oracle == "roundtrip":
+        budget *= 4  # parse-only probes are cheap
+    else:
+        budget = max(10, budget // 4)  # these re-simulate per probe
+    shrunk = shrink_decisions(
+        list(program.decisions), still_failing, max_tests=budget,
+        seed=program.seed,
+    )
+    # Parse-based oracles don't need the testbench: slice it off when the
+    # design alone still reproduces the violation.
+    if violation.oracle == "roundtrip":
+        design_modules = [m for m in shrunk.source.modules if m.name != TB_NAME]
+        if design_modules and any(
+            v.oracle == "roundtrip"
+            for v in check_roundtrip(
+                shrunk.design_text, ast.Source(design_modules)
+            )
+        ):
+            return shrunk.design_text
+    elif violation.oracle == "templates":
+        if any(v.oracle == "templates" for v in check_templates(shrunk, None)):
+            return shrunk.design_text
+    return shrunk.text
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    observers: Sequence[RepairObserver] | None = None,
+) -> FuzzReport:
+    """Execute one fuzz run; see module docstring."""
+    started = time.perf_counter()
+    if config.backend not in ("serial", "process"):
+        raise ValueError(
+            f"unknown fuzz backend {config.backend!r}; use serial or process"
+        )
+    observer_set = ObserverSet(observers)
+    report = FuzzReport(seed=config.seed, count=config.count)
+
+    fault_factory = None
+    if config.inject_fault is not None:
+        fault_factory = faults_mod.FAULTS.get(config.inject_fault)
+        if fault_factory is None:
+            raise ValueError(
+                f"unknown fault {config.inject_fault!r}; "
+                f"known: {', '.join(sorted(faults_mod.FAULTS))}"
+            )
+
+    if config.check_logic:
+        logic_violations = check_logic_properties()
+        report.checks["logic"] = 1
+        for v in logic_violations:
+            report.violations.append(
+                FuzzViolation(-1, -1, v.oracle, v.detail, program_text="")
+            )
+            observer_set.emit(FuzzViolationFound(-1, -1, v.oracle, v.detail))
+
+    for index in range(config.count):
+        program_seed = config.seed + index
+        if fault_factory is not None:
+            with fault_factory():
+                program = generate_program(program_seed)
+                violations, checks = _check_program(program, config, index)
+        else:
+            program = generate_program(program_seed)
+            violations, checks = _check_program(program, config, index)
+        report.programs += 1
+        for name, n in checks.items():
+            report.checks[name] = report.checks.get(name, 0) + n
+        observer_set.emit(
+            FuzzProgramChecked(
+                index, program_seed, sum(checks.values()), len(violations)
+            )
+        )
+        for v in violations:
+            shrunk_text = None
+            if config.shrink:
+                if fault_factory is not None:
+                    with fault_factory():
+                        shrunk_text = _shrink_violation(program, v, config)
+                else:
+                    shrunk_text = _shrink_violation(program, v, config)
+            record = FuzzViolation(
+                index, program_seed, v.oracle, v.detail,
+                program_text=program.text, shrunk_text=shrunk_text,
+            )
+            report.violations.append(record)
+            observer_set.emit(
+                FuzzViolationFound(index, program_seed, v.oracle, v.detail)
+            )
+            if config.corpus_dir is not None:
+                path = _write_reproducer(config.corpus_dir, record)
+                report.corpus_files.append(path)
+
+    report.elapsed_seconds = time.perf_counter() - started
+    observer_set.emit(
+        FuzzRunCompleted(
+            config.seed,
+            report.programs,
+            report.total_checks,
+            len(report.violations),
+            report.elapsed_seconds,
+        )
+    )
+    return report
+
+
+def _write_reproducer(corpus_dir: Path, violation: FuzzViolation) -> Path:
+    """Save a violation's reproducer for check-in (corpus policy)."""
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    name = f"{violation.oracle}_seed{violation.program_seed}.v"
+    path = corpus_dir / name
+    header = (
+        f"// fuzz reproducer: oracle={violation.oracle} "
+        f"seed={violation.program_seed}\n"
+        f"// {violation.detail}\n"
+    )
+    path.write_text(header + violation.reproducer)
+    return path

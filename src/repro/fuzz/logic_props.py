@@ -1,0 +1,150 @@
+"""Algebraic properties of the 4-state logic (oracle (d)).
+
+Checks :mod:`repro.sim.logic` / :mod:`repro.sim.eval` against exhaustive
+small-width truth tables:
+
+- **commutativity** — ``a op b == b op a`` for the symmetric operators,
+  over every 4-state value pair at widths 1–2 (256 pairs per op/width);
+- **x-pessimism monotonicity** — refining an input (replacing x/z bits
+  with 0/1) may only *define* output bits, never flip a bit the
+  pessimistic evaluation already claimed was 0 or 1.
+
+These run once per fuzz invocation (they are input-independent) and are
+reused by ``tests/sim/test_logic_properties.py``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..hdl import ast
+from ..sim.eval import eval_expr
+from ..sim.logic import Value
+from .oracles import Violation
+
+#: Operators for which ``a op b == b op a`` must hold in 4-state logic.
+COMMUTATIVE_OPS = ("&", "|", "^", "~^", "+", "*", "==", "!=", "===", "!==", "&&", "||")
+
+#: Binary operators included in the monotonicity sweep.
+MONOTONE_BINARY_OPS = COMMUTATIVE_OPS + ("-", "<", "<=", ">", ">=", "<<", ">>")
+
+#: Unary operators included in the monotonicity sweep.  ``===``-style
+#: exact-match operators are excluded from monotonicity by definition
+#: (they are *designed* to observe x/z).
+MONOTONE_UNARY_OPS = ("~", "!", "-", "&", "|", "^", "~&", "~|", "~^")
+
+_EXACT_MATCH_OPS = ("===", "!==")
+
+
+class _DictScope:
+    """Minimal EvalScope over a plain name → Value mapping."""
+
+    def __init__(self, values: dict[str, Value]):
+        self._values = values
+
+    def read(self, name: str) -> Value:
+        return self._values[name]
+
+    def read_word(self, name: str, index: int) -> Value:  # pragma: no cover
+        raise KeyError(name)
+
+    def is_memory(self, name: str) -> bool:
+        return False
+
+    def call_function(self, name: str, args):  # pragma: no cover
+        raise KeyError(name)
+
+
+def all_values(width: int):
+    """Every 4-state value of ``width`` bits (4**width of them)."""
+    for digits in product("01xz", repeat=width):
+        yield Value.from_string("".join(digits))
+
+
+def _binary(op: str, a: Value, b: Value) -> Value:
+    scope = _DictScope({"a": a, "b": b})
+    return eval_expr(
+        ast.BinaryOp(op, ast.Identifier("a"), ast.Identifier("b")), scope
+    )
+
+
+def _unary(op: str, a: Value) -> Value:
+    scope = _DictScope({"a": a})
+    return eval_expr(ast.UnaryOp(op, ast.Identifier("a")), scope)
+
+
+def refinements(value: Value):
+    """Every value obtained by fixing each x/z bit to 0 and to 1.
+
+    Yields the fully-defined corners: the 2**k combinations over the k
+    undefined bits (k is small at the widths we sweep).
+    """
+    text = value.to_bit_string()
+    undefined = [i for i, ch in enumerate(text) if ch in "xz"]
+    for bits in product("01", repeat=len(undefined)):
+        chars = list(text)
+        for pos, bit in zip(undefined, bits):
+            chars[pos] = bit
+        yield Value.from_string("".join(chars))
+
+
+def _monotonicity_violation(op: str, result: Value, refined: Value) -> str | None:
+    """Defined bits of the pessimistic result must survive refinement."""
+    res_text, ref_text = result.to_bit_string(), refined.to_bit_string()
+    width = max(len(res_text), len(ref_text))
+    res_text = res_text.rjust(width, res_text[0])
+    ref_text = ref_text.rjust(width, ref_text[0])
+    for res_bit, ref_bit in zip(res_text, ref_text):
+        if res_bit in "01" and ref_bit in "01" and res_bit != ref_bit:
+            return (
+                f"{op}: pessimistic result {res_text} contradicts "
+                f"refined result {ref_text}"
+            )
+    return None
+
+
+def check_logic_properties(max_width: int = 2) -> list[Violation]:
+    """Run the commutativity + monotonicity sweeps; [] when all hold."""
+    violations: list[Violation] = []
+    for width in range(1, max_width + 1):
+        values = list(all_values(width))
+        for op in COMMUTATIVE_OPS:
+            for a in values:
+                for b in values:
+                    ab, ba = _binary(op, a, b), _binary(op, b, a)
+                    if ab != ba:
+                        violations.append(
+                            Violation(
+                                "logic",
+                                f"{op} not commutative at width {width}: "
+                                f"{a} {op} {b} = {ab} but {b} {op} {a} = {ba}",
+                            )
+                        )
+        for op in MONOTONE_UNARY_OPS:
+            for a in values:
+                result = _unary(op, a)
+                for a2 in refinements(a):
+                    msg = _monotonicity_violation(op, result, _unary(op, a2))
+                    if msg:
+                        violations.append(
+                            Violation("logic", f"unary {msg} (input {a})")
+                        )
+        for op in MONOTONE_BINARY_OPS:
+            if op in _EXACT_MATCH_OPS:
+                continue
+            for a in values:
+                for b in values:
+                    result = _binary(op, a, b)
+                    for a2 in refinements(a):
+                        for b2 in refinements(b):
+                            msg = _monotonicity_violation(
+                                op, result, _binary(op, a2, b2)
+                            )
+                            if msg:
+                                violations.append(
+                                    Violation(
+                                        "logic",
+                                        f"binary {msg} (inputs {a}, {b})",
+                                    )
+                                )
+    return violations

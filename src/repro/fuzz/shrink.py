@@ -1,0 +1,75 @@
+"""Shrinking failing programs by delta-reducing their decision trace.
+
+A generated program is a pure function of its decision list
+(:class:`~repro.fuzz.generator.DecisionTrace` replay clamps out-of-range
+values and treats an exhausted trace as all-zeros, where 0 is the
+simplest alternative).  So a failure can be reduced with the same ddmin
+that minimizes repair patches (:func:`repro.core.minimize.ddmin`):
+
+1. ddmin over decision *indices* (duplicated decision values make the
+   value list itself unsafe to ddmin) with the predicate "the replayed
+   program still violates the same oracle";
+2. a greedy zeroing pass that rewrites each surviving decision to 0,
+   further simplifying the program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.minimize import ddmin
+from .generator import GeneratedProgram, replay_program
+
+#: Predicate: does this program still violate the oracle we care about?
+StillFailing = Callable[[GeneratedProgram], bool]
+
+
+def shrink_decisions(
+    decisions: list[int],
+    still_failing: StillFailing,
+    max_tests: int = 200,
+    seed: int = -1,
+) -> GeneratedProgram:
+    """Reduce ``decisions`` while the replayed program keeps failing.
+
+    ``still_failing`` must be True for the full list (the caller observed
+    the violation); it should re-run only the violated oracle check and
+    swallow its own exceptions.  Returns the replayed program for the
+    reduced decision list.
+    """
+    tests = 0
+
+    def replay_ok(keep: list[int]) -> bool:
+        nonlocal tests
+        if tests >= max_tests:
+            return False
+        tests += 1
+        try:
+            return still_failing(replay_program([decisions[i] for i in keep], seed))
+        except Exception:
+            return False
+
+    indices = ddmin(
+        list(range(len(decisions))), replay_ok, max_tests=max(1, max_tests // 2)
+    )
+    kept = [decisions[i] for i in indices]
+
+    # Greedy zeroing: decision 0 is by construction the simplest
+    # alternative, so rewriting entries to 0 simplifies the program.
+    def zero_ok(candidate: list[int]) -> bool:
+        nonlocal tests
+        if tests >= max_tests:
+            return False
+        tests += 1
+        try:
+            return still_failing(replay_program(candidate, seed))
+        except Exception:
+            return False
+
+    for i in range(len(kept)):
+        if kept[i] == 0:
+            continue
+        trial = kept[:i] + [0] + kept[i + 1 :]
+        if zero_ok(trial):
+            kept = trial
+    return replay_program(kept, seed)

@@ -10,6 +10,7 @@ CirFix artifact.  Typical usage::
 """
 
 from . import ast
+from .ast import structural_diff, structurally_equal
 from .codegen import CodegenError, generate
 from .lexer import LexError, tokenize
 from .node_ids import clear_ids, max_node_id, number_nodes
@@ -25,6 +26,8 @@ __all__ = [
     "number_nodes",
     "clear_ids",
     "max_node_id",
+    "structural_diff",
+    "structurally_equal",
     "ParseError",
     "LexError",
     "CodegenError",

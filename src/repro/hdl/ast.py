@@ -22,6 +22,10 @@ class Node:
     """Base class for all AST nodes."""
 
     _fields: tuple[str, ...] = ()
+    #: Extra attributes that carry semantic state but are not child slots
+    #: (literal planes, signedness flags, port order).  Compared by
+    #: :func:`structural_diff` alongside ``_fields``.
+    _attrs: tuple[str, ...] = ()
 
     def __init__(self) -> None:
         self.node_id: int | None = None
@@ -141,6 +145,7 @@ class Number(Expr):
     """
 
     _fields = ("text",)
+    _attrs = ("width", "aval", "bval", "signed")
 
     def __init__(self, text: str, width: int | None, aval: int, bval: int, signed: bool = False):
         super().__init__()
@@ -504,6 +509,7 @@ class Decl(ModuleItem):
     """
 
     _fields = ("kind", "name", "msb", "lsb", "array_msb", "array_lsb", "init")
+    _attrs = ("reg_flag", "signed")
 
     def __init__(
         self,
@@ -643,6 +649,7 @@ class ModuleDef(Node):
     """
 
     _fields = ("name", "items")
+    _attrs = ("port_names",)
 
     def __init__(self, name: str, port_names: list[str], items: list[ModuleItem]):
         super().__init__()
@@ -677,3 +684,58 @@ class Source(Node):
             if mod.name == name:
                 return mod
         return None
+
+
+# ----------------------------------------------------------------------
+# Structural comparison
+# ----------------------------------------------------------------------
+
+
+def structural_diff(
+    a: object, b: object, *, compare_ids: bool = False, _path: str = "root"
+) -> str | None:
+    """First structural difference between two trees, or None if equal.
+
+    Compares node types, every ``_fields`` slot recursively, and the
+    declared ``_attrs`` (semantic state that lives outside the child
+    slots: literal planes, signedness, port order).  ``compare_ids=True``
+    additionally requires matching ``node_id`` on every node — the
+    contract the repair engine relies on after renumbering.
+
+    The return value is a human-readable path to the mismatch, which the
+    fuzz oracles surface verbatim in violation reports.
+    """
+    if isinstance(a, Node) or isinstance(b, Node):
+        if type(a) is not type(b):
+            return f"{_path}: {type(a).__name__} != {type(b).__name__}"
+        assert isinstance(a, Node) and isinstance(b, Node)
+        if compare_ids and a.node_id != b.node_id:
+            return f"{_path}: node_id {a.node_id} != {b.node_id}"
+        for name in a._fields + a._attrs:
+            diff = structural_diff(
+                getattr(a, name),
+                getattr(b, name),
+                compare_ids=compare_ids,
+                _path=f"{_path}.{name}",
+            )
+            if diff is not None:
+                return diff
+        return None
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return f"{_path}: list length {len(a)} != {len(b)}"
+        for i, (item_a, item_b) in enumerate(zip(a, b)):
+            diff = structural_diff(
+                item_a, item_b, compare_ids=compare_ids, _path=f"{_path}[{i}]"
+            )
+            if diff is not None:
+                return diff
+        return None
+    if type(a) is not type(b) or a != b:
+        return f"{_path}: {a!r} != {b!r}"
+    return None
+
+
+def structurally_equal(a: object, b: object, *, compare_ids: bool = False) -> bool:
+    """True when :func:`structural_diff` finds no difference."""
+    return structural_diff(a, b, compare_ids=compare_ids) is None

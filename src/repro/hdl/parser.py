@@ -151,10 +151,13 @@ class Parser:
         decls: list[ast.Decl] = []
         while True:
             self._accept("parameter")
+            signed = self._accept("signed")
             msb, lsb = self._parse_optional_range()
             pname = self._expect_ident()
             self._expect("=")
-            decls.append(ast.Decl("parameter", pname, msb, lsb, init=self.parse_expr()))
+            decls.append(
+                ast.Decl("parameter", pname, msb, lsb, init=self.parse_expr(), signed=signed)
+            )
             if not self._accept(","):
                 return decls
 
@@ -263,12 +266,17 @@ class Parser:
 
     def _parse_param_decl(self, kind: str) -> list[ast.Decl]:
         self._next()
+        signed = self._accept("signed")
         msb, lsb = self._parse_optional_range()
         decls: list[ast.Decl] = []
         while True:
             name = self._expect_ident()
             self._expect("=")
-            decls.append(ast.Decl(kind, name, _clone(msb), _clone(lsb), init=self.parse_expr()))
+            decls.append(
+                ast.Decl(
+                    kind, name, _clone(msb), _clone(lsb), init=self.parse_expr(), signed=signed
+                )
+            )
             if not self._accept(","):
                 self._expect(";")
                 return decls

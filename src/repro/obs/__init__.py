@@ -25,6 +25,9 @@ from .events import (
     BackendChunkCompleted,
     BackendChunkDispatched,
     CandidateEvaluated,
+    FuzzProgramChecked,
+    FuzzRunCompleted,
+    FuzzViolationFound,
     GenerationCompleted,
     PhaseCompleted,
     PlausiblePatchFound,
@@ -48,6 +51,9 @@ __all__ = [
     "BackendChunkCompleted",
     "PlausiblePatchFound",
     "PhaseCompleted",
+    "FuzzProgramChecked",
+    "FuzzViolationFound",
+    "FuzzRunCompleted",
     "EVENT_TYPES",
     "WALL_TIME_FIELDS",
     "event_from_dict",

@@ -164,6 +164,46 @@ class TrialCompleted(RepairEvent):
     elapsed_seconds: float
 
 
+@dataclass(frozen=True)
+class FuzzProgramChecked(RepairEvent):
+    """One generated program went through the fuzz oracle battery.
+
+    ``program_seed`` is the per-program seed (run seed + index), ``checks``
+    the number of oracle checks that ran, ``violations`` how many of them
+    failed.  Like every event, the non-timing fields are identical for a
+    fixed seed regardless of evaluation backend.
+    """
+
+    type: ClassVar[str] = "fuzz_program_checked"
+    index: int
+    program_seed: int
+    checks: int
+    violations: int
+
+
+@dataclass(frozen=True)
+class FuzzViolationFound(RepairEvent):
+    """A fuzz oracle rejected a generated (or corpus) program."""
+
+    type: ClassVar[str] = "fuzz_violation_found"
+    index: int
+    program_seed: int
+    oracle: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class FuzzRunCompleted(RepairEvent):
+    """A fuzz run finished (counters mirror ``FuzzReport``)."""
+
+    type: ClassVar[str] = "fuzz_run_completed"
+    seed: int
+    programs: int
+    checks: int
+    violations: int
+    elapsed_seconds: float
+
+
 #: ``type`` tag → event class, for parsing traces back into events.
 EVENT_TYPES: dict[str, type[RepairEvent]] = {
     cls.type: cls
@@ -176,6 +216,9 @@ EVENT_TYPES: dict[str, type[RepairEvent]] = {
         PlausiblePatchFound,
         PhaseCompleted,
         TrialCompleted,
+        FuzzProgramChecked,
+        FuzzViolationFound,
+        FuzzRunCompleted,
     )
 }
 

@@ -1,0 +1,169 @@
+"""Failure-path coverage for core/minimize.py and core/oracle.py (ISSUE 3).
+
+The happy paths are exercised throughout the suite; these tests pin the
+degenerate inputs the fuzz harness leans on: oracle generation that
+cannot produce a usable trace, fitness scoring against empty / all-x /
+truncated traces, and patch minimization under tight or hostile budgets.
+"""
+
+import pytest
+
+from repro.core.fitness import evaluate_fitness, fitness_score
+from repro.core.minimize import ddmin, minimize_patch
+from repro.core.oracle import OracleError, degrade_oracle, generate_oracle
+from repro.core.patch import Edit, Patch
+from repro.hdl import parse
+from repro.instrument.trace import SimulationTrace
+
+GOLDEN = """
+module dut (clk, q);
+  input clk;
+  output reg q;
+  initial q = 0;
+  always @(posedge clk) q <= ~q;
+endmodule
+"""
+
+RECORDING_TB = """
+module tb;
+  reg clk;
+  wire q;
+  dut d0 (.clk(clk), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0;
+    #40 $finish;
+  end
+  always @(negedge clk) $cirfix_record(q);
+endmodule
+"""
+
+SILENT_TB = """
+module tb;
+  reg clk;
+  wire q;
+  dut d0 (.clk(clk), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    clk = 0;
+    #40 $finish;
+  end
+endmodule
+"""
+
+ENDLESS_TB = """
+module tb;
+  reg clk;
+  wire q;
+  dut d0 (.clk(clk), .q(q));
+  always #5 clk = ~clk;
+  initial clk = 0;
+  always @(negedge clk) $cirfix_record(q);
+endmodule
+"""
+
+
+class TestGenerateOracleFailures:
+    def test_good_pair_yields_trace(self):
+        trace = generate_oracle(parse(GOLDEN), parse(RECORDING_TB))
+        assert len(trace) > 0
+        assert trace.variables() == ["q"]
+
+    def test_empty_trace_is_an_error(self):
+        with pytest.raises(OracleError, match="empty trace"):
+            generate_oracle(parse(GOLDEN), parse(SILENT_TB))
+
+    def test_missing_finish_is_an_error(self):
+        with pytest.raises(OracleError, match=r"\$finish"):
+            generate_oracle(
+                parse(GOLDEN), parse(ENDLESS_TB),
+                max_sim_time=200, max_sim_steps=10_000,
+            )
+
+    def test_missing_finish_allowed_when_not_required(self):
+        trace = generate_oracle(
+            parse(GOLDEN), parse(ENDLESS_TB),
+            max_sim_time=200, max_sim_steps=10_000, require_finish=False,
+        )
+        assert len(trace) > 0
+
+    def test_degrade_oracle_drops_rows(self):
+        trace = generate_oracle(parse(GOLDEN), parse(RECORDING_TB))
+        degraded = degrade_oracle(trace, 0.5)
+        assert 0 < len(degraded) < len(trace)
+
+
+class TestFitnessDegenerateTraces:
+    def _trace(self, csv: str) -> SimulationTrace:
+        return SimulationTrace.from_csv(csv)
+
+    def test_empty_expected_trace_scores_zero(self):
+        empty = SimulationTrace()
+        simulated = self._trace("time,q\n5,1\n")
+        breakdown = evaluate_fitness(simulated, empty)
+        assert breakdown.fitness == 0.0
+        assert breakdown.total == 0.0
+
+    def test_all_x_oracle_matches_all_x_candidate(self):
+        oracle = self._trace("time,q\n5,x\n15,x\n")
+        assert fitness_score(self._trace("time,q\n5,x\n15,x\n"), oracle) == 1.0
+
+    def test_all_x_oracle_penalises_defined_candidate(self):
+        oracle = self._trace("time,q\n5,xx\n")
+        breakdown = evaluate_fitness(self._trace("time,q\n5,10\n"), oracle)
+        assert breakdown.fitness == 0.0
+        assert breakdown.xz_positions == 2
+
+    def test_truncated_candidate_rows_score_as_all_x(self):
+        oracle = self._trace("time,q\n5,1\n15,0\n25,1\n")
+        truncated = self._trace("time,q\n5,1\n")
+        breakdown = evaluate_fitness(truncated, oracle)
+        full = evaluate_fitness(self._trace("time,q\n5,1\n15,0\n25,1\n"), oracle)
+        assert full.fitness == 1.0
+        assert breakdown.fitness < full.fitness
+        assert breakdown.xz_positions == 2  # the two missing observations
+
+    def test_missing_variable_column_scores_as_all_x(self):
+        oracle = self._trace("time,q,r\n5,1,0\n")
+        only_q = self._trace("time,q\n5,1\n")
+        breakdown = evaluate_fitness(only_q, oracle)
+        assert breakdown.xz_positions == 1
+        assert breakdown.matches == 1 and breakdown.mismatches == 1
+        # the phi-weighted x penalty outweighs the single match: clamped to 0
+        assert breakdown.fitness == 0.0 and breakdown.raw_sum < 0
+
+
+class TestMinimizePatch:
+    def _patch(self, n: int) -> Patch:
+        return Patch([Edit("delete", target_id=i) for i in range(n)])
+
+    def test_empty_patch_passthrough(self):
+        patch = Patch.empty()
+        assert minimize_patch(patch, lambda p: True) is patch
+
+    def test_reduces_to_essential_edits(self):
+        patch = self._patch(8)
+
+        def is_plausible(candidate: Patch) -> bool:
+            targets = {e.target_id for e in candidate.edits}
+            return {2, 5} <= targets
+
+        minimized = minimize_patch(patch, is_plausible)
+        assert [e.target_id for e in minimized.edits] == [2, 5]
+
+    def test_budget_zero_keeps_input(self):
+        patch = self._patch(4)
+        minimized = minimize_patch(patch, lambda p: True, max_tests=0)
+        assert len(minimized.edits) == 4
+
+    def test_result_is_always_plausible(self):
+        patch = self._patch(6)
+        probes: list[int] = []
+
+        def is_plausible(candidate: Patch) -> bool:
+            probes.append(len(candidate.edits))
+            return {e.target_id for e in candidate.edits} >= {0}
+
+        minimized = minimize_patch(patch, is_plausible)
+        assert is_plausible(minimized)
+        assert all(n > 0 for n in probes)  # the empty patch is never probed

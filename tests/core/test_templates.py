@@ -143,11 +143,32 @@ class TestNumeric:
 
     def test_increment_identifier_wraps_in_addition(self):
         t = tree()
-        ident = find(
-            t, ast.Identifier, lambda n: n.name == "q"
-        )
+        ident = find(t, ast.Identifier, lambda n: n.name == "en")
         assert apply_template("increment_by_one", t, ident.node_id, 90_000)
-        assert "(q + 1)" in generate(t)
+        assert "(en + 1)" in generate(t)
+
+    def test_lvalue_head_identifier_refused(self):
+        # Wrapping the assignment target would emit ``(q + 1) = ...`` which
+        # no longer parses (fuzz reproducer: tests/fuzz/corpus).
+        t = tree()
+        assign = find(t, ast.BlockingAssign)
+        lhs = assign.lhs
+        assert isinstance(lhs, ast.Identifier)
+        assert not apply_template("increment_by_one", t, lhs.node_id, 90_000)
+        parse(generate(t))  # unchanged, still parses
+
+    def test_indexed_lvalue_head_refused_but_index_expr_allowed(self):
+        t = parse(
+            "module m; reg [3:0] v; reg [1:0] i;\n"
+            "always @(*) v[i] = 1'b0;\nendmodule"
+        )
+        assign = find(t, ast.BlockingAssign)
+        head = assign.lhs.target
+        index = assign.lhs.index
+        assert not apply_template("increment_by_one", t, head.node_id, 90_000)
+        assert apply_template("increment_by_one", t, index.node_id, 91_000)
+        parse(generate(t))
+        assert "v[(i + 1)]" in generate(t)
 
     def test_xz_number_rejected(self):
         t = parse("module m; reg r; initial r = 1'bx; endmodule")

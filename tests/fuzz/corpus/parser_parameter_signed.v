@@ -1,0 +1,12 @@
+// fuzz reproducer: oracle=roundtrip
+// regression: the parser dropped `signed` in parameter declarations, so
+// parse -> codegen lost the keyword and the numbered AST fixpoint broke.
+module fuzz_dut (clk, q);
+  parameter signed [3:0] OFFSET = -4'sd3;
+  parameter signed WIDE = -2;
+  input clk;
+  output reg signed [3:0] q;
+  always @(posedge clk) begin
+    q <= q + OFFSET + WIDE;
+  end
+endmodule

@@ -1,0 +1,17 @@
+// fuzz reproducer: oracle=templates
+// regression: numeric templates incremented assignment left-hand sides,
+// producing `(q + 1) = ...` which no longer parses. The identifier at an
+// LHS head (including through index/part-selects) must be refused while
+// expressions inside the index stay legal targets.
+module fuzz_dut (clk, d, q, v);
+  input clk;
+  input [3:0] d;
+  output reg [3:0] q;
+  output reg [3:0] v;
+  reg [1:0] i;
+  always @(posedge clk) begin
+    q = q + 1;
+    v[i] = d[i];
+    i <= i + 1;
+  end
+endmodule

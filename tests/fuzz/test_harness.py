@@ -1,0 +1,114 @@
+"""End-to-end fuzz runs: clean pass, fault injection, shrink, telemetry."""
+
+import pytest
+
+from repro.fuzz import FAULTS, FuzzConfig, run_fuzz
+from repro.hdl import parse
+from repro.obs import RecordingObserver
+
+#: Seed 2 is the smallest single seed whose program exercises a ternary
+#: deep enough for the planted drop_ternary_parens fault to reassociate.
+FAULT_SEED = 2
+
+
+def _quick(seed=0, count=2, **overrides):
+    defaults = dict(
+        seed=seed, count=count, cross_backend_every=0, max_sim_mutants=1,
+        check_logic=False, shrink=False,
+    )
+    defaults.update(overrides)
+    return FuzzConfig(**defaults)
+
+
+class TestCleanRun:
+    def test_fixed_seed_run_is_clean(self):
+        report = run_fuzz(_quick(count=3))
+        assert report.ok
+        assert report.programs == 3
+        assert report.checks["roundtrip"] == 3
+        assert report.checks["determinism"] == 3
+        assert report.checks["templates"] == 3
+
+    def test_summary_is_byte_stable(self):
+        a = run_fuzz(_quick(count=2))
+        b = run_fuzz(_quick(count=2))
+        assert a.to_text() == b.to_text()
+        assert "violations: 0" in a.to_text()
+
+    def test_summary_identical_across_backends(self):
+        serial = run_fuzz(_quick(count=1))
+        process = run_fuzz(_quick(count=1, backend="process"))
+        assert serial.to_text() == process.to_text()
+
+    def test_logic_sweep_is_counted(self):
+        report = run_fuzz(_quick(count=1, check_logic=True))
+        assert report.ok
+        assert report.checks["logic"] == 1
+
+    def test_cross_backend_stride(self):
+        report = run_fuzz(_quick(count=2, cross_backend_every=2))
+        assert report.ok
+        assert report.checks["backends"] == 1  # only index 0 hits the stride
+
+
+class TestValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_fuzz(_quick(backend="gpu"))
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            run_fuzz(_quick(inject_fault="no_such_fault"))
+
+    def test_fault_registry_is_nonempty(self):
+        assert "drop_ternary_parens" in FAULTS
+
+
+class TestFaultInjection:
+    """The mutation-smoke acceptance gate: a planted codegen fault must
+    be caught by the round-trip oracle and auto-shrunk to a small
+    reproducer (documented in docs/fuzzing.md)."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        corpus = tmp_path_factory.mktemp("corpus")
+        return run_fuzz(
+            _quick(
+                seed=FAULT_SEED, count=1, inject_fault="drop_ternary_parens",
+                shrink=True, corpus_dir=corpus,
+            )
+        )
+
+    def test_fault_is_caught(self, report):
+        assert not report.ok
+        assert any(v.oracle == "roundtrip" for v in report.violations)
+
+    def test_reproducer_is_shrunk_and_small(self, report):
+        violation = next(v for v in report.violations if v.oracle == "roundtrip")
+        assert violation.shrunk_text is not None
+        assert len(violation.reproducer.splitlines()) <= 30
+        assert len(violation.shrunk_text) <= len(violation.program_text)
+
+    def test_reproducer_written_to_corpus(self, report):
+        assert report.corpus_files
+        path = report.corpus_files[0]
+        content = path.read_text()
+        assert content.startswith("// fuzz reproducer:")
+        parse(content)  # reproducers are themselves valid input
+
+
+class TestTelemetry:
+    def test_run_emits_fuzz_events(self):
+        observer = RecordingObserver()
+        run_fuzz(_quick(count=2), observers=[observer])
+        types = observer.types()
+        assert types.count("fuzz_program_checked") == 2
+        assert types[-1] == "fuzz_run_completed"
+
+    def test_violations_are_reported_as_events(self):
+        observer = RecordingObserver()
+        run_fuzz(
+            _quick(seed=FAULT_SEED, count=1, inject_fault="drop_ternary_parens"),
+            observers=[observer],
+        )
+        assert "fuzz_violation_found" in observer.types()

@@ -1,0 +1,94 @@
+"""Decision-trace delta reduction."""
+
+from repro.core.minimize import ddmin
+from repro.fuzz import generate_program, replay_program, shrink_decisions
+
+
+class TestShrinkDecisions:
+    def test_preserves_the_failure_predicate(self):
+        program = generate_program(2)
+        token = "case"
+        if token not in program.text:  # make the predicate seed-proof
+            token = "fuzz_dut"
+        assert token in program.text
+
+        def still_failing(candidate):
+            return token in candidate.text
+
+        shrunk = shrink_decisions(
+            list(program.decisions), still_failing, max_tests=80,
+            seed=program.seed,
+        )
+        assert token in shrunk.text
+        assert len(shrunk.decisions) <= len(program.decisions)
+
+    def test_shrinks_towards_simplest_program(self):
+        """A trivially-true predicate reduces close to the zero trace."""
+        program = generate_program(0)
+        shrunk = shrink_decisions(
+            list(program.decisions), lambda p: True, max_tests=120,
+            seed=program.seed,
+        )
+        baseline = replay_program([0])
+        assert len(shrunk.text) <= len(baseline.text) * 2
+
+    def test_predicate_exceptions_count_as_not_failing(self):
+        program = generate_program(1)
+        calls = {"n": 0}
+
+        def flaky(candidate):
+            calls["n"] += 1
+            if tuple(candidate.decisions) != tuple(program.decisions):
+                raise RuntimeError("probe blew up")
+            return True
+
+        shrunk = shrink_decisions(
+            list(program.decisions), flaky, max_tests=40, seed=program.seed
+        )
+        # every reduction probe raised, so nothing was reduced
+        assert shrunk.text == program.text
+        assert calls["n"] > 0
+
+
+class TestGenericDdmin:
+    def test_finds_minimal_pair(self):
+        items = list(range(20))
+
+        def still_failing(keep):
+            return 3 in keep and 17 in keep
+
+        assert ddmin(items, still_failing) == [3, 17]
+
+    def test_preserves_order(self):
+        items = list("abcdef")
+
+        def still_failing(keep):
+            return "e" in keep and "b" in keep
+
+        assert ddmin(items, still_failing) == ["b", "e"]
+
+    def test_never_proposes_empty(self):
+        probes = []
+
+        def still_failing(keep):
+            probes.append(list(keep))
+            return True
+
+        result = ddmin([1], still_failing)
+        assert result == [1]
+        assert all(probe for probe in probes)
+
+    def test_budget_is_respected(self):
+        items = list(range(64))
+        probes = []
+
+        def still_failing(keep):
+            probes.append(1)
+            return 63 in keep
+
+        result = ddmin(items, still_failing, max_tests=10)
+        assert len(probes) <= 10 + 1  # classic phase may finish its subset
+        assert 63 in result
+
+    def test_empty_input_returns_empty(self):
+        assert ddmin([], lambda keep: True) == []

@@ -8,6 +8,9 @@ from repro.obs.events import (
     EVENT_TYPES,
     WALL_TIME_FIELDS,
     CandidateEvaluated,
+    FuzzProgramChecked,
+    FuzzRunCompleted,
+    FuzzViolationFound,
     GenerationCompleted,
     PhaseCompleted,
     TrialCompleted,
@@ -33,6 +36,11 @@ SAMPLES = [
         plausible=True, fitness=1.0, generations=2, eval_sims=40,
         fitness_evals=52, simulations=44, edits=1, elapsed_seconds=3.2,
     ),
+    FuzzProgramChecked(index=3, program_seed=3, checks=4, violations=0),
+    FuzzViolationFound(
+        index=3, program_seed=3, oracle="roundtrip", detail="AST mismatch at root",
+    ),
+    FuzzRunCompleted(seed=0, programs=25, checks=76, violations=1, elapsed_seconds=4.2),
 ]
 
 
@@ -48,6 +56,7 @@ def test_registry_covers_all_types():
         "trial_started", "candidate_evaluated", "generation_completed",
         "backend_chunk_dispatched", "backend_chunk_completed",
         "plausible_patch_found", "phase_completed", "trial_completed",
+        "fuzz_program_checked", "fuzz_violation_found", "fuzz_run_completed",
     }
     for tag, cls in EVENT_TYPES.items():
         assert cls.type == tag

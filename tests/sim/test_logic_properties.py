@@ -1,0 +1,292 @@
+"""Exhaustive 4-state truth tables for the logic/eval layer (ISSUE 3).
+
+Checks :mod:`repro.sim.logic` + :mod:`repro.sim.eval` against reference
+semantics computed here from the IEEE-1364 tables: bitwise ops via the
+per-bit tables, logical ops via 3-valued truthiness, reductions by
+folding, arithmetic/relational with the all-x-on-undefined rule.  The
+sweeps are exhaustive over all 4-state values at widths 1-4 for the
+unary/bitwise families and over all fully-defined pairs (plus x/z
+injection cases) for arithmetic/relational ops.
+
+The algebraic-property sweeps themselves live in
+:mod:`repro.fuzz.logic_props` (shared with the ``repro fuzz`` oracle
+battery); this file pins them into tier-1 and adds the direct
+truth-table comparisons.
+"""
+
+import pytest
+
+from repro.fuzz.logic_props import (
+    COMMUTATIVE_OPS,
+    MONOTONE_BINARY_OPS,
+    MONOTONE_UNARY_OPS,
+    _binary,
+    _unary,
+    all_values,
+    check_logic_properties,
+    refinements,
+)
+from repro.sim.logic import Value
+
+# ----------------------------------------------------------------------
+# Reference semantics (IEEE 1364-2005 tables, independently re-derived)
+# ----------------------------------------------------------------------
+
+#: IEEE Table 5-1/5-2 style per-bit tables ('x' covers z inputs: any
+#: z participating in a bitwise op behaves as x).
+AND_TABLE = {
+    ("0", "0"): "0", ("0", "1"): "0", ("0", "x"): "0",
+    ("1", "0"): "0", ("1", "1"): "1", ("1", "x"): "x",
+    ("x", "0"): "0", ("x", "1"): "x", ("x", "x"): "x",
+}
+OR_TABLE = {
+    ("0", "0"): "0", ("0", "1"): "1", ("0", "x"): "x",
+    ("1", "0"): "1", ("1", "1"): "1", ("1", "x"): "1",
+    ("x", "0"): "x", ("x", "1"): "1", ("x", "x"): "x",
+}
+XOR_TABLE = {
+    ("0", "0"): "0", ("0", "1"): "1", ("0", "x"): "x",
+    ("1", "0"): "1", ("1", "1"): "0", ("1", "x"): "x",
+    ("x", "0"): "x", ("x", "1"): "x", ("x", "x"): "x",
+}
+
+
+def _norm(bit: str) -> str:
+    """z behaves as x inside logical/bitwise operations."""
+    return "x" if bit in "xz" else bit
+
+
+def _ref_bitwise(table, a: Value, b: Value) -> str:
+    width = max(a.width, b.width)
+    abits = a.to_bit_string().rjust(width, "0")
+    bbits = b.to_bit_string().rjust(width, "0")
+    return "".join(
+        table[(_norm(x), _norm(y))] for x, y in zip(abits, bbits)
+    )
+
+
+def _truthiness(v: Value) -> str:
+    """'1', '0', or 'x' per the conditional-evaluation rules."""
+    bits = [_norm(b) for b in v.to_bit_string()]
+    if "1" in bits:
+        return "1"
+    if all(b == "0" for b in bits):
+        return "0"
+    return "x"
+
+
+WIDTHS = (1, 2, 3, 4)
+
+
+def _values(width):
+    return list(all_values(width))
+
+
+def _defined_values(width):
+    return [v for v in _values(width) if v.bval == 0]
+
+
+def _all_undefined(v: Value) -> bool:
+    return all(bit in "xz" for bit in v.to_bit_string())
+
+
+# ----------------------------------------------------------------------
+# Bitwise ops: exhaustive 4-state at widths 1-4
+# ----------------------------------------------------------------------
+
+
+class TestBitwiseTruthTables:
+    @pytest.mark.parametrize("width", WIDTHS)
+    @pytest.mark.parametrize(
+        "op,table", [("&", AND_TABLE), ("|", OR_TABLE), ("^", XOR_TABLE)]
+    )
+    def test_exhaustive(self, width, op, table):
+        for a in _values(width):
+            for b in _values(width):
+                got = _binary(op, a, b).to_bit_string()
+                assert got == _ref_bitwise(table, a, b), (op, str(a), str(b))
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_xnor_is_negated_xor(self, width):
+        for a in _values(width):
+            for b in _values(width):
+                xor = _binary("^", a, b)
+                xnor = _binary("~^", a, b)
+                expected = "".join(
+                    {"0": "1", "1": "0", "x": "x"}[_norm(bit)]
+                    for bit in xor.to_bit_string()
+                )
+                assert xnor.to_bit_string() == expected
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_complement(self, width):
+        for a in _values(width):
+            got = _unary("~", a).to_bit_string()
+            expected = "".join(
+                {"0": "1", "1": "0", "x": "x"}[_norm(bit)]
+                for bit in a.to_bit_string()
+            )
+            assert got == expected
+
+
+# ----------------------------------------------------------------------
+# Reductions and logical ops
+# ----------------------------------------------------------------------
+
+
+class TestReductions:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_reduction_and_or_xor(self, width):
+        for a in _values(width):
+            bits = [_norm(b) for b in a.to_bit_string()]
+            expect_and = (
+                "0" if "0" in bits else ("1" if all(b == "1" for b in bits) else "x")
+            )
+            expect_or = (
+                "1" if "1" in bits else ("0" if all(b == "0" for b in bits) else "x")
+            )
+            if any(b == "x" for b in bits):
+                expect_xor = "x"
+            else:
+                expect_xor = str(bits.count("1") % 2)
+            assert _unary("&", a).to_bit_string() == expect_and
+            assert _unary("|", a).to_bit_string() == expect_or
+            assert _unary("^", a).to_bit_string() == expect_xor
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_logical_not(self, width):
+        for a in _values(width):
+            expected = {"1": "0", "0": "1", "x": "x"}[_truthiness(a)]
+            assert _unary("!", a).to_bit_string() == expected
+
+    @pytest.mark.parametrize("width", (1, 2, 3))
+    def test_logical_and_or(self, width):
+        for a in _values(width):
+            for b in _values(width):
+                ta, tb = _truthiness(a), _truthiness(b)
+                if ta == "0" or tb == "0":
+                    expect_and = "0"
+                elif ta == "1" and tb == "1":
+                    expect_and = "1"
+                else:
+                    expect_and = "x"
+                if ta == "1" or tb == "1":
+                    expect_or = "1"
+                elif ta == "0" and tb == "0":
+                    expect_or = "0"
+                else:
+                    expect_or = "x"
+                assert _binary("&&", a, b).to_bit_string() == expect_and
+                assert _binary("||", a, b).to_bit_string() == expect_or
+
+
+# ----------------------------------------------------------------------
+# Arithmetic / relational: exhaustive over defined pairs, x-poisoned
+# otherwise
+# ----------------------------------------------------------------------
+
+
+class TestArithmeticAndCompare:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_defined_arithmetic(self, width):
+        mask = (1 << width) - 1
+        for a in _defined_values(width):
+            for b in _defined_values(width):
+                assert _binary("+", a, b).to_int() & mask == (a.aval + b.aval) & mask
+                assert _binary("-", a, b).to_int() & mask == (a.aval - b.aval) & mask
+                assert _binary("*", a, b).to_int() & mask == (a.aval * b.aval) & mask
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_defined_compare(self, width):
+        for a in _defined_values(width):
+            for b in _defined_values(width):
+                assert _binary("==", a, b).to_bit_string() == str(int(a.aval == b.aval))
+                assert _binary("!=", a, b).to_bit_string() == str(int(a.aval != b.aval))
+                assert _binary("<", a, b).to_bit_string() == str(int(a.aval < b.aval))
+                assert _binary(">=", a, b).to_bit_string() == str(int(a.aval >= b.aval))
+
+    @pytest.mark.parametrize("width", (1, 2, 3, 4))
+    def test_undefined_operand_poisons(self, width):
+        """Any x/z operand makes arithmetic all-x and ==/< single-x."""
+        undefined = [v for v in _values(width) if v.bval != 0]
+        defined = _defined_values(width)
+        for a in undefined:
+            for b in (defined[0], defined[-1], a):
+                for op in ("+", "-", "*"):
+                    result = _binary(op, a, b)
+                    assert _all_undefined(result), (op, str(a), str(b))
+                for op in ("==", "<", "<=", ">"):
+                    assert _binary(op, a, b).to_bit_string() == "x"
+
+    def test_case_equality_sees_xz(self):
+        a = Value.from_string("1x0z")
+        assert _binary("===", a, Value.from_string("1x0z")).to_bit_string() == "1"
+        assert _binary("===", a, Value.from_string("1x00")).to_bit_string() == "0"
+        assert _binary("!==", a, Value.from_string("1100")).to_bit_string() == "1"
+
+
+# ----------------------------------------------------------------------
+# x/z propagation edge cases
+# ----------------------------------------------------------------------
+
+
+class TestXZEdgeCases:
+    def test_zero_annihilates_unknown(self):
+        x = Value.from_string("x")
+        z = Value.from_string("z")
+        zero = Value.from_string("0")
+        one = Value.from_string("1")
+        assert _binary("&", x, zero).to_bit_string() == "0"
+        assert _binary("&", z, zero).to_bit_string() == "0"
+        assert _binary("|", x, one).to_bit_string() == "1"
+        assert _binary("|", z, one).to_bit_string() == "1"
+        assert _binary("&&", x, zero).to_bit_string() == "0"
+        assert _binary("||", x, one).to_bit_string() == "1"
+
+    def test_z_behaves_as_x_in_ops(self):
+        for op in ("&", "|", "^"):
+            for other in ("0", "1", "x", "z"):
+                vz = _binary(op, Value.from_string("z"), Value.from_string(other))
+                vx = _binary(op, Value.from_string("x"), Value.from_string(other))
+                assert vz.to_bit_string() == vx.to_bit_string()
+
+    def test_width_extension_of_xz_literal(self):
+        # An x literal extended to a wider context keeps poisoning bits.
+        a = Value.from_string("x").resized(4)
+        assert "x" in a.to_bit_string()
+
+    def test_shift_by_unknown_is_all_x(self):
+        a = Value.from_string("1010")
+        x = Value.from_string("x")
+        assert _all_undefined(_binary("<<", a, x))
+        assert _all_undefined(_binary(">>", a, x))
+
+
+# ----------------------------------------------------------------------
+# Algebraic properties (shared with the fuzz harness)
+# ----------------------------------------------------------------------
+
+
+class TestAlgebraicProperties:
+    def test_sweep_is_clean(self):
+        assert check_logic_properties(max_width=2) == []
+
+    @pytest.mark.parametrize("op", COMMUTATIVE_OPS)
+    def test_commutative_spotchecks_width3(self, op):
+        values = _values(3)[::7]  # strided sample at the wider width
+        for a in values:
+            for b in values:
+                assert _binary(op, a, b) == _binary(op, b, a)
+
+    @pytest.mark.parametrize("op", MONOTONE_UNARY_OPS)
+    def test_unary_monotone_width3(self, op):
+        for a in _values(3):
+            result = _unary(op, a).to_bit_string()
+            for refined in refinements(a):
+                got = _unary(op, refined).to_bit_string()
+                for rb, gb in zip(result, got):
+                    assert not (rb in "01" and gb in "01" and rb != gb)
+
+    def test_monotone_op_list_covers_arith_and_compare(self):
+        assert "+" in MONOTONE_BINARY_OPS
+        assert "<" in MONOTONE_BINARY_OPS

@@ -77,3 +77,43 @@ class TestScenariosCommand:
         assert main(["scenarios"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert len(lines) == 32
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(
+            ["fuzz", "--seed", "0", "--count", "1", "--no-logic",
+             "--cross-backend-every", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "violations: 0" in out
+        assert "programs checked: 1" in out
+
+    def test_planted_fault_exits_nonzero(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        code = main(
+            ["fuzz", "--seed", "2", "--count", "1", "--no-logic",
+             "--cross-backend-every", "0",
+             "--inject-fault", "drop_ternary_parens",
+             "--corpus-dir", str(corpus)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[roundtrip]" in out
+        assert list(corpus.glob("*.v"))
+
+    def test_unknown_fault_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--count", "1", "--inject-fault", "bogus"])
+
+    def test_trace_is_written(self, tmp_path, capsys):
+        trace = tmp_path / "fuzz.jsonl"
+        code = main(
+            ["fuzz", "--seed", "0", "--count", "1", "--no-logic",
+             "--cross-backend-every", "0", "--trace", str(trace)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        lines = trace.read_text().strip().splitlines()
+        assert any('"fuzz_run_completed"' in line for line in lines)
