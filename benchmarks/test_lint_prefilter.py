@@ -1,0 +1,125 @@
+"""Benchmark: the lint candidate gate as a simulation pre-filter.
+
+Runs four scenarios under the SMOKE preset, seed 0, with
+``RepairConfig.lint_gate`` off and on, and writes the raw numbers to
+``BENCH_lint_prefilter.json`` at the repo root:
+
+- per scenario: ``eval_sims`` (unique simulated candidates), pruned
+  count, plausible flag, final fitness, and wall time for both modes;
+- a serial-vs-process check of one gated scenario (the gate prunes
+  engine-side before chunking, so the backend must not change the
+  gated outcome).
+
+Assertions: the gate never flips a scenario's plausible outcome, and at
+least one scenario simulates ≥10% fewer candidates to the same outcome.
+The saving is structural — pruned candidates are charged zero
+``eval_sims`` — so unlike the throughput benchmarks this holds on any
+host.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.benchsuite import load_scenario
+from repro.core.backend import make_backend
+from repro.core.repair import CirFixEngine
+from repro.experiments.common import SMOKE
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SEED = 0
+SCENARIOS = ("dec_numeric", "counter_reset", "lshift_cond", "mux_hex")
+#: At least one scenario must clear this eval_sims saving (ISSUE 4).
+MIN_SAVING_PCT = 10.0
+
+
+def _run(scenario_id, gate, workers=1, backend="serial"):
+    scenario = load_scenario(scenario_id)
+    config = scenario.suggested_config(
+        SMOKE.scaled(lint_gate=gate, workers=workers, backend=backend)
+    )
+    problem = scenario.problem()
+    eval_backend = make_backend(problem, config)
+    try:
+        start = time.monotonic()
+        outcome = CirFixEngine(
+            problem, config, SEED, backend=eval_backend
+        ).run()
+        return outcome, time.monotonic() - start
+    finally:
+        eval_backend.close()
+
+
+def test_lint_prefilter(once):
+    def sweep():
+        rows = {}
+        for scenario_id in SCENARIOS:
+            off, off_s = _run(scenario_id, gate=False)
+            on, on_s = _run(scenario_id, gate=True)
+            saving = (
+                100.0 * (off.eval_sims - on.eval_sims) / off.eval_sims
+                if off.eval_sims
+                else 0.0
+            )
+            rows[scenario_id] = {
+                "gate_off": {
+                    "eval_sims": off.eval_sims,
+                    "plausible": off.plausible,
+                    "fitness": off.fitness,
+                    "seconds": off_s,
+                },
+                "gate_on": {
+                    "eval_sims": on.eval_sims,
+                    "pruned": on.pruned,
+                    "plausible": on.plausible,
+                    "fitness": on.fitness,
+                    "seconds": on_s,
+                },
+                "eval_sims_saving_pct": saving,
+            }
+        # Backend independence of one gated run: serial == process.
+        serial, _ = _run("mux_hex", gate=True)
+        pool, _ = _run("mux_hex", gate=True, workers=2, backend="process")
+        rows["cross_backend_mux_hex"] = {
+            "serial": {"eval_sims": serial.eval_sims, "pruned": serial.pruned,
+                       "fitness": serial.fitness},
+            "process": {"eval_sims": pool.eval_sims, "pruned": pool.pruned,
+                        "fitness": pool.fitness},
+        }
+        assert serial.eval_sims == pool.eval_sims
+        assert serial.pruned == pool.pruned
+        assert serial.fitness == pool.fitness
+        assert serial.plausible == pool.plausible
+        return rows
+
+    rows = once(sweep)
+
+    for scenario_id in SCENARIOS:
+        row = rows[scenario_id]
+        # The gate must never flip an outcome at this budget.
+        assert row["gate_off"]["plausible"] == row["gate_on"]["plausible"], scenario_id
+
+    best = max(
+        (s for s in SCENARIOS
+         if rows[s]["gate_off"]["plausible"] == rows[s]["gate_on"]["plausible"]),
+        key=lambda s: rows[s]["eval_sims_saving_pct"],
+    )
+    results = {
+        "seed": SEED,
+        "preset": "SMOKE",
+        "cpu_count": os.cpu_count(),
+        "scenarios": rows,
+        "best_saving": {
+            "scenario": best,
+            "eval_sims_saving_pct": rows[best]["eval_sims_saving_pct"],
+        },
+    }
+    (_REPO_ROOT / "BENCH_lint_prefilter.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    assert rows[best]["eval_sims_saving_pct"] >= MIN_SAVING_PCT, (
+        f"best gate saving {rows[best]['eval_sims_saving_pct']:.1f}% "
+        f"(on {best}) below the {MIN_SAVING_PCT:.0f}% bar"
+    )

@@ -84,6 +84,63 @@ print(f"telemetry smoke ok: {len(events)} events, "
 EOF
 python -m repro report "$SMOKE_DIR/smoke.jsonl" > /dev/null
 
+echo "== lint smoke (all golden designs clean, bad sample caught) =="
+python - "$SMOKE_DIR" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro.benchsuite import PROJECT_NAMES, load_project
+
+out = Path(sys.argv[1])
+for name in PROJECT_NAMES:
+    (out / f"lint_{name}.v").write_text(load_project(name).design_text)
+(out / "bad_sample.v").write_text(
+    "module bad(input a, input b, output w);\n"
+    "  assign w = a;\n"
+    "  assign w = b;\n"
+    "endmodule\n"
+)
+EOF
+# Error-severity rules are clean on every golden design (sha3 carries a
+# recorded L002 style warning, so the full-catalog exit code is 1 there).
+python -m repro lint --rules L001,L005,L006 "$SMOKE_DIR"/lint_*.v \
+    --json > /dev/null
+if python -m repro lint "$SMOKE_DIR/bad_sample.v" > /dev/null; then
+    echo "lint failed to flag a known-bad design" >&2
+    exit 1
+fi
+
+echo "== gated repair smoke (lint gate telemetry vs engine counters) =="
+python - <<'EOF'
+from repro.benchsuite import load_scenario
+from repro.core.backend import make_backend
+from repro.core.config import RepairConfig
+from repro.core.repair import CirFixEngine
+from repro.obs import MetricsObserver
+
+scenario = load_scenario("dec_numeric")
+config = scenario.suggested_config(RepairConfig(
+    population_size=16, max_generations=2, max_wall_seconds=120.0,
+    max_fitness_evals=150, minimize_budget=32, eval_chunk_size=8,
+    lint_gate=True,
+))
+problem = scenario.problem()
+metrics = MetricsObserver()
+backend = make_backend(problem, config)
+try:
+    outcome = CirFixEngine(
+        problem, config, 0, backend=backend, observers=[metrics]
+    ).run()
+finally:
+    backend.close()
+assert outcome.pruned > 0, "gate smoke pruned nothing"
+assert metrics.candidates_pruned == outcome.pruned, (
+    metrics.candidates_pruned, outcome.pruned)
+assert metrics.candidates == outcome.eval_sims
+print(f"gate smoke ok: {outcome.pruned} pruned, "
+      f"{outcome.eval_sims} simulated")
+EOF
+
 echo "== fuzz smoke (fixed seed, differential oracles) =="
 python -m repro fuzz --seed 0 --count 25 --trace "$SMOKE_DIR/fuzz.jsonl" \
     > "$SMOKE_DIR/fuzz_summary.txt"

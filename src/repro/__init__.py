@@ -9,6 +9,7 @@ the complete system plus every substrate the paper depends on:
 - :mod:`repro.sim` — event-driven 4-state simulator (the VCS stand-in);
 - :mod:`repro.instrument` — testbench instrumentation and traces;
 - :mod:`repro.core` — the CirFix repair engine itself;
+- :mod:`repro.lint` — static analysis and the pre-simulation candidate gate;
 - :mod:`repro.obs` — run telemetry: structured tracing and metrics;
 - :mod:`repro.api` — the stable high-level facade;
 - :mod:`repro.baselines` — the brute-force comparison search;
@@ -37,6 +38,7 @@ from __future__ import annotations
 
 from .api import (
     build_problem,
+    lint,
     localize,
     repair_scenario,
     repair_verilog,
@@ -56,6 +58,7 @@ __all__ = [
     "repair_verilog",
     "localize",
     "simulate",
+    "lint",
     "build_problem",
     # core types
     "ConfigError",

@@ -12,6 +12,8 @@ from behind small functions:
   once and return the implicated node set;
 - :func:`simulate` — run a design (optionally under a testbench, optionally
   instrumented) and return the :class:`~repro.sim.SimResult`;
+- :func:`lint` — static analysis (``repro.lint``) over a design source or
+  AST, returning the :class:`~repro.lint.LintReport`;
 
 plus the supporting constructors :func:`build_problem` (file-based, the
 artifact's ``repair.conf`` workflow) and :func:`repair_verilog`
@@ -38,6 +40,7 @@ from .sim.simulator import SimResult, Simulator
 
 __all__ = [
     "build_problem",
+    "lint",
     "localize",
     "repair_scenario",
     "repair_verilog",
@@ -175,6 +178,26 @@ def localize(
     if not mismatch:
         return FaultLocalization()
     return localize_faults(problem.design, mismatch)
+
+
+def lint(design: "ast.Source | str", rules: "str | None" = None):
+    """Run static analysis over a design and return the report.
+
+    Args:
+        design: Verilog source text or an already-parsed
+            :class:`~repro.hdl.ast.Source`.
+        rules: Optional comma-separated rule codes/slugs (``"L001"``,
+            ``"multi-driver"``, …); ``None`` or ``"all"`` runs the full
+            catalog.  Raises ``ValueError`` for unknown entries.
+
+    Returns:
+        The :class:`~repro.lint.LintReport`; ``report.ok`` is True when
+        there are no findings, and ``report.profile()`` gives per-rule
+        counts (the currency of the repair engine's candidate gate).
+    """
+    from .lint import lint_tree, resolve_rules
+
+    return lint_tree(_as_source(design), resolve_rules(rules))
 
 
 def simulate(

@@ -8,6 +8,7 @@ the GP parameters.  This module reproduces that workflow::
     python -m repro repair faulty.v testbench.v --golden golden.v
     python -m repro repair faulty.v testbench.v --golden golden.v --trace run.jsonl
     python -m repro simulate design.v testbench.v
+    python -m repro lint design.v                 # static analysis (L0xx rules)
     python -m repro scenarios                     # list the benchmark suite
     python -m repro report run.jsonl              # summarise a telemetry trace
 
@@ -184,6 +185,55 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``lint`` subcommand: static analysis over Verilog sources.
+
+    Exit codes are CI-friendly: 0 = clean, 1 = findings reported,
+    2 = a file failed to lex/parse (no lint answer).
+    """
+    import json as json_mod
+
+    from .hdl import LexError, ParseError
+    from .lint import lint_text, resolve_rules
+
+    try:
+        rules = resolve_rules(args.rules)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    reports = {}
+    for path in args.files:
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise SystemExit(f"error: {exc}")
+        try:
+            reports[path] = lint_text(text, rules)
+        except (ParseError, LexError) as exc:
+            print(f"{path}: parse error: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        if len(reports) == 1:
+            print(next(iter(reports.values())).to_json())
+        else:
+            print(
+                json_mod.dumps(
+                    {
+                        "files": {
+                            path: json_mod.loads(report.to_json())
+                            for path, report in reports.items()
+                        }
+                    },
+                    indent=2,
+                )
+            )
+    else:
+        for path, report in reports.items():
+            if len(reports) > 1:
+                print(f"== {path} ==")
+            print(report.to_text(), end="")
+    return 0 if all(report.ok for report in reports.values()) else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """``report`` subcommand: summarise a ``run.jsonl`` telemetry trace."""
     from .obs.report import report_text
@@ -222,6 +272,15 @@ def main(argv: list[str] | None = None) -> int:
     p_repair.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
     p_repair.add_argument(
         "--trace", help="write a repro.obs JSONL telemetry trace to this path"
+    )
+    p_repair.add_argument(
+        "--lint-gate", dest="lint_gate", action="store_true", default=None,
+        help="reject candidates that add lint violations before simulating them",
+    )
+    p_repair.add_argument(
+        "--lint-gate-rules", dest="lint_gate_rules", metavar="SPEC",
+        help="comma-separated rule codes/slugs the gate compares "
+        "(default: multi-driver,inferred-latch,comb-loop; 'all' for every rule)",
     )
     p_repair.add_argument(
         "--log", action="store_true", help="print per-generation progress logs"
@@ -272,6 +331,17 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", help="write a repro.obs JSONL telemetry trace to this path"
     )
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_lint = sub.add_parser("lint", help="static analysis over Verilog sources")
+    p_lint.add_argument("files", nargs="+", help="Verilog source files to lint")
+    p_lint.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    p_lint.add_argument(
+        "--rules", metavar="SPEC",
+        help="comma-separated rule codes/slugs to run (default: all)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_report = sub.add_parser("report", help="summarise a telemetry trace (run.jsonl)")
     p_report.add_argument("trace", help="JSONL trace written by --trace or the experiments")

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..hdl import ast
+from ..hdl.dataflow import condition_expr, expr_names, lhs_names
 
 
 @dataclass
@@ -45,33 +46,17 @@ _ASSIGNMENT_TYPES = (ast.BlockingAssign, ast.NonBlockingAssign, ast.ContinuousAs
 _CONDITIONAL_TYPES = (ast.If, ast.Case, ast.While, ast.Ternary, ast.For)
 
 
+# The name-level queries are shared with repro.lint and live in
+# repro.hdl.dataflow; the aliases keep this module's call sites (and any
+# external users of the historical private names) unchanged.
 def _lhs_names(node: ast.Node) -> set[str]:
     """Identifier names written by an assignment's LHS (through selects
     and concatenations)."""
-    lhs = node.lhs  # type: ignore[attr-defined]
-    names: set[str] = set()
-    stack = [lhs]
-    while stack:
-        expr = stack.pop()
-        if isinstance(expr, ast.Identifier):
-            names.add(expr.name)
-        elif isinstance(expr, (ast.Index, ast.PartSelect)):
-            stack.append(expr.target)
-        elif isinstance(expr, ast.Concat):
-            stack.extend(expr.parts)
-    return names
+    return lhs_names(node.lhs)  # type: ignore[attr-defined]
 
 
-def _condition_expr(node: ast.Node) -> ast.Expr | None:
-    if isinstance(node, (ast.If, ast.While, ast.Ternary, ast.For)):
-        return node.cond
-    if isinstance(node, ast.Case):
-        return node.expr
-    return None
-
-
-def _expr_names(expr: ast.Expr) -> set[str]:
-    return {n.name for n in expr.walk() if isinstance(n, ast.Identifier)}
+_condition_expr = condition_expr
+_expr_names = expr_names
 
 
 def _implicated(node: ast.Node, mismatch: set[str]) -> bool:

@@ -36,10 +36,13 @@ from typing import Sequence
 
 from ..hdl import ast, generate, parse
 from ..instrument.trace import SimulationTrace, output_mismatch
+from ..lint.engine import lint_tree, new_violations
+from ..lint.rules import resolve_rules
 from ..obs.events import (
     BackendChunkCompleted,
     BackendChunkDispatched,
     CandidateEvaluated,
+    CandidatePruned,
     GenerationCompleted,
     PhaseCompleted,
     PlausiblePatchFound,
@@ -109,6 +112,9 @@ class RepairOutcome:
     #: Unique candidate evaluations — the deterministic budget counter
     #: (identical across backends, unlike ``simulations``).
     eval_sims: int = 0
+    #: Unique candidates the lint gate rejected before simulation
+    #: (0 when ``config.lint_gate`` is off).
+    pruned: int = 0
 
     def describe(self) -> str:
         """One-line summary for logs and CLI output."""
@@ -215,6 +221,21 @@ class CirFixEngine:
         }
         #: Monotonic id for backend chunk events.
         self._chunk_counter = 0
+        #: Lint gate (docs/lint.md): with ``config.lint_gate`` on, a
+        #: candidate whose lint profile adds findings under these rules
+        #: over the buggy baseline is rejected before simulation.  The
+        #: empty tuple (gate off) keeps every gate branch dead, so
+        #: outcomes are bit-identical to the ungated engine.
+        self._gate_rules = (
+            resolve_rules(self.config.lint_gate_rules)
+            if self.config.lint_gate
+            else ()
+        )
+        self._gate_rules_spec = ",".join(rule.code for rule in self._gate_rules)
+        self._gate_baseline: dict[str, int] | None = None
+        #: Unique candidates the gate rejected / per-rule breakdown.
+        self.candidates_pruned = 0
+        self.pruned_by_rule: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Candidate evaluation
@@ -228,7 +249,8 @@ class CirFixEngine:
         """Codegen → parse → simulate → fitness, with memoisation."""
         self.fitness_evals += 1
         try:
-            design_text = generate(self.variant_tree(patch))
+            tree = self.variant_tree(patch)
+            design_text = generate(tree)
         except Exception:
             return Evaluation(0.0, None, None, False, "")
         cached = self._cache.get(design_text)
@@ -243,6 +265,10 @@ class CirFixEngine:
                     cached.source_text,
                 )
             return cached
+        if self._gate_rules:
+            added = self._gate_added(tree)
+            if added:
+                return self._prune(design_text, added)
         self.eval_sims += 1
         result = self._score_text(design_text)
         if self.events:
@@ -250,6 +276,51 @@ class CirFixEngine:
         evaluation = Evaluation(
             result.fitness, result.breakdown, result.trace, result.compiled, design_text
         )
+        self._admit(design_text, evaluation)
+        return evaluation
+
+    # ------------------------------------------------------------------
+    # Lint gate (docs/lint.md)
+    # ------------------------------------------------------------------
+
+    def _gate_baseline_profile(self) -> dict[str, int]:
+        """Gated-rule lint profile of the buggy design (computed once)."""
+        if self._gate_baseline is None:
+            self._gate_baseline = lint_tree(
+                self.problem.design, self._gate_rules
+            ).profile()
+        return self._gate_baseline
+
+    def _gate_added(self, tree: ast.Source) -> dict[str, int]:
+        """Gated violations ``tree`` adds over the baseline (empty = pass).
+
+        Lint failures never block evaluation: a candidate the analyser
+        cannot process goes to the simulator like any other, so the gate
+        can only ever skip work, not change which designs are reachable.
+        """
+        try:
+            profile = lint_tree(tree, self._gate_rules).profile()
+        except Exception:
+            return {}
+        return new_violations(profile, self._gate_baseline_profile())
+
+    def _prune(self, design_text: str, added: dict[str, int]) -> Evaluation:
+        """Reject one unique candidate before simulation.
+
+        The pruned evaluation (fitness 0, no trace) is cached like any
+        other, so duplicates of a pruned design are ordinary cache hits;
+        ``eval_sims`` never ticks — pruning is free simulation budget.
+        """
+        self.candidates_pruned += 1
+        for code in added:
+            self.pruned_by_rule[code] = self.pruned_by_rule.get(code, 0) + 1
+        if self.events:
+            self.events.emit(
+                CandidatePruned(
+                    new_violations=dict(added), rules=self._gate_rules_spec
+                )
+            )
+        evaluation = Evaluation(0.0, None, None, False, design_text)
         self._admit(design_text, evaluation)
         return evaluation
 
@@ -338,7 +409,8 @@ class CirFixEngine:
         for i, patch in enumerate(patches):
             self.fitness_evals += 1
             try:
-                text = generate(self.variant_tree(patch))
+                tree = self.variant_tree(patch)
+                text = generate(tree)
             except Exception:
                 results[i] = Evaluation(0.0, None, None, False, "")
                 continue
@@ -346,6 +418,13 @@ class CirFixEngine:
             if cached is not None:
                 results[i] = cached
                 continue
+            if self._gate_rules:
+                added = self._gate_added(tree)
+                if added:
+                    # Pruned engine-side before chunking, so the prune
+                    # schedule (and its events) is backend-independent.
+                    results[i] = self._prune(text, added)
+                    continue
             slots = indices_for_text.setdefault(text, [])
             if not slots:
                 pending.append(text)
@@ -672,6 +751,7 @@ class CirFixEngine:
             best_fitness_history=history,
             seed=self.seed,
             eval_sims=self.eval_sims,
+            pruned=self.candidates_pruned,
         )
         if self.events:
             # Fixed emission order (all four phases, then the trial
@@ -690,6 +770,7 @@ class CirFixEngine:
                     simulations=outcome.simulations,
                     edits=len(outcome.patch),
                     elapsed_seconds=outcome.elapsed_seconds,
+                    pruned=outcome.pruned,
                 )
             )
         return outcome

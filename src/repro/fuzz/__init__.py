@@ -6,6 +6,8 @@ feeds a battery of differential/metamorphic oracles —
 
 - **roundtrip**: parse → codegen → re-parse is a numbered structural
   fixpoint (:func:`check_roundtrip`);
+- **lint**: static analysis never raises on a parseable program and
+  renders byte-stable reports (:func:`check_lint`);
 - **determinism**: simulation is bit-identical run-to-run and the
   evaluation pipeline scores a program 1.0 against its own trace
   (:func:`check_determinism`);
@@ -40,6 +42,7 @@ from .oracles import (
     Violation,
     check_backends,
     check_determinism,
+    check_lint,
     check_roundtrip,
     check_templates,
     split_program,
@@ -58,6 +61,7 @@ __all__ = [
     "Violation",
     "ORACLES",
     "check_roundtrip",
+    "check_lint",
     "check_determinism",
     "check_backends",
     "check_templates",

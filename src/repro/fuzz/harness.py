@@ -32,6 +32,7 @@ from .oracles import (
     Violation,
     check_backends,
     check_determinism,
+    check_lint,
     check_roundtrip,
     check_templates,
 )
@@ -125,6 +126,7 @@ class FuzzReport:
 #: Re-check a single oracle on a replayed program (for shrinking).
 _RECHECKS: dict[str, Callable[[GeneratedProgram], list[Violation]]] = {
     "roundtrip": lambda p: check_roundtrip(p.text, p.source),
+    "lint": lambda p: check_lint(p.text),
     "determinism": lambda p: check_determinism(p)[0],
     "templates": lambda p: check_templates(p, check_determinism(p)[1]),
 }
@@ -135,6 +137,8 @@ def _check_program(program: GeneratedProgram, config: FuzzConfig, index: int):
     checks: dict[str, int] = {}
     violations = list(check_roundtrip(program.text, program.source))
     checks["roundtrip"] = 1
+    violations.extend(check_lint(program.text))
+    checks["lint"] = 1
     det_violations, oracle = check_determinism(
         program, backend=config.backend, workers=config.workers
     )

@@ -7,6 +7,10 @@ the property holds.  The oracle battery (ISSUE 3):
 ``roundtrip``
     parse → codegen → re-parse is a structural fixpoint with stable
     preorder node numbering.
+``lint``
+    static analysis (:mod:`repro.lint`) never raises on a parseable
+    program and renders byte-identical reports across runs — the
+    contract the repair engine's candidate gate depends on.
 ``determinism``
     simulating the same program twice is bit-identical (time, $finish,
     output lines, recorded trace CSV), and the program scores fitness
@@ -40,7 +44,7 @@ from ..sim.simulator import SimResult, Simulator
 from .generator import TB_NAME, GeneratedProgram
 
 #: Names of the per-program oracles, in check order.
-ORACLES = ("roundtrip", "determinism", "backends", "templates")
+ORACLES = ("roundtrip", "lint", "determinism", "backends", "templates")
 
 #: Simulation budgets for fuzz evaluations (programs finish in a few
 #: hundred ticks; anything longer is a runaway worth cutting short).
@@ -332,3 +336,33 @@ def check_templates(
                     )
                 )
     return violations
+
+
+# ----------------------------------------------------------------------
+# (d) lint crash/stability oracle
+# ----------------------------------------------------------------------
+
+
+def check_lint(text: str) -> list[Violation]:
+    """Lint never raises on a parseable program, and is byte-stable.
+
+    The candidate gate runs lint on arbitrary GP mutants, so the
+    analyser must hold two contracts on anything that parses: ``check``
+    must not escape with an exception, and two runs over the same source
+    must render byte-identical reports (text and JSON) — the property
+    that makes gate decisions reproducible and backend-independent.
+    """
+    from ..lint import lint_text
+
+    try:
+        first = lint_text(text)
+    except Exception as exc:
+        return [
+            Violation("lint", f"lint raised on a parseable program: {exc!r}")
+        ]
+    second = lint_text(text)
+    if first.to_text() != second.to_text():
+        return [Violation("lint", "two lint runs rendered different text reports")]
+    if first.to_json() != second.to_json():
+        return [Violation("lint", "two lint runs rendered different JSON reports")]
+    return []

@@ -29,6 +29,12 @@ class Node:
 
     def __init__(self) -> None:
         self.node_id: int | None = None
+        #: 1-based source line of the token that started this node, set by
+        #: the parser for statements and module items (None elsewhere, and
+        #: for synthesised nodes).  Not part of ``_fields``/``_attrs``:
+        #: structural comparison and codegen ignore it; it only anchors
+        #: diagnostics (:mod:`repro.lint`).
+        self.line: int | None = None
 
     # ------------------------------------------------------------------
     # Generic traversal

@@ -128,6 +128,7 @@ class Parser:
 
     def parse_module(self) -> ast.ModuleDef:
         """Parse one ``module ... endmodule`` definition."""
+        module_line = self._peek().line
         self._expect("module")
         name = self._expect_ident()
         items: list[ast.ModuleItem] = []
@@ -144,7 +145,13 @@ class Parser:
         while not self._check("endmodule"):
             items.extend(self.parse_module_item())
         self._expect("endmodule")
-        return ast.ModuleDef(name, port_names, items)
+        module = ast.ModuleDef(name, port_names, items)
+        module.line = module_line
+        for item in items:
+            # Header parameter/port declarations share the header's line.
+            if item.line is None:
+                item.line = module_line
+        return module
 
     def _parse_header_params(self) -> list[ast.Decl]:
         """Parse ``#(parameter A = 1, parameter [3:0] B = 2)``."""
@@ -194,7 +201,19 @@ class Parser:
     # ------------------------------------------------------------------
 
     def parse_module_item(self) -> list[ast.ModuleItem]:
-        """Parse one module item (may expand to several declarations)."""
+        """Parse one module item (may expand to several declarations).
+
+        Each returned item is stamped with the source line of its leading
+        token (``Node.line``), the anchor used by lint diagnostics.
+        """
+        tok = self._peek()
+        items = self._parse_module_item()
+        for item in items:
+            if item.line is None:
+                item.line = tok.line
+        return items
+
+    def _parse_module_item(self) -> list[ast.ModuleItem]:
         tok = self._peek()
         text = tok.text
         if text in _DECL_KEYWORDS:
@@ -386,7 +405,14 @@ class Parser:
     # ------------------------------------------------------------------
 
     def parse_stmt(self) -> ast.Stmt:
-        """Parse one procedural statement."""
+        """Parse one procedural statement (line-stamped, see above)."""
+        tok = self._peek()
+        stmt = self._parse_stmt()
+        if stmt.line is None:
+            stmt.line = tok.line
+        return stmt
+
+    def _parse_stmt(self) -> ast.Stmt:
         tok = self._peek()
         text = tok.text
         if text == ";":

@@ -1,0 +1,51 @@
+"""repro.lint — static analysis over the Verilog AST.
+
+A rule engine (:class:`LintRule` protocol, :class:`Diagnostic` findings
+with node-id/line anchors and stable ``L0xx`` codes) plus an initial
+eight-rule catalog: multiple drivers, blocking/non-blocking mixes,
+incomplete sensitivity lists, inferred latches, combinational loops,
+undeclared and unused identifiers, and width truncation.
+
+Two consumers:
+
+- ``repro lint file.v`` / :func:`repro.api.lint` — CI-style static
+  checking of design sources;
+- the repair engine's opt-in candidate gate
+  (``RepairConfig.lint_gate``) — candidates whose lint profile adds
+  violations over the buggy baseline are rejected before simulation
+  (see ``docs/lint.md``).
+
+Usage::
+
+    from repro.lint import lint_text
+
+    report = lint_text(Path("design.v").read_text())
+    for diagnostic in report.diagnostics:
+        print(diagnostic.render())
+"""
+
+from __future__ import annotations
+
+from .diagnostics import SEVERITIES, Diagnostic, LintRule
+from .engine import LintReport, lint_module, lint_text, lint_tree, new_violations
+from .model import ModuleModel, ProcessInfo, build_module_model, classify_always
+from .rules import DEFAULT_GATE_RULES, RULES, RULES_BY_KEY, resolve_rules
+
+__all__ = [
+    "Diagnostic",
+    "LintRule",
+    "LintReport",
+    "SEVERITIES",
+    "RULES",
+    "RULES_BY_KEY",
+    "DEFAULT_GATE_RULES",
+    "resolve_rules",
+    "lint_module",
+    "lint_text",
+    "lint_tree",
+    "new_violations",
+    "ModuleModel",
+    "ProcessInfo",
+    "build_module_model",
+    "classify_always",
+]

@@ -1,0 +1,324 @@
+"""Per-module semantic model the lint rules run against.
+
+:func:`build_module_model` walks one :class:`~repro.hdl.ast.ModuleDef`
+once and precomputes everything the rules need: declarations by name,
+parameter values, processes (``always``/``initial``) classified as
+combinational / sequential / timed, each process's reads, writes, and
+assignment styles, continuous assigns, instances, functions and tasks.
+Rules then run as cheap dictionary lookups — the model walk is the only
+full traversal per module, which matters when the repair engine lints
+thousands of candidate mutants.
+
+Classification of ``always`` blocks mirrors common lint practice:
+
+- no sensitivity list at all → ``timed`` (a free-running testbench-style
+  process; combinational rules do not apply);
+- any ``@*`` item → ``comb_star``;
+- every item edge-triggered (``posedge``/``negedge``) → ``seq``;
+- every item level-sensitive → ``comb``;
+- a mix of edges and levels → ``seq`` (asynchronous set/reset style —
+  treating it as sequential keeps the latch/sensitivity rules quiet on
+  the classic ``@(posedge clk or negedge rst_n)`` idiom, where the level
+  name is a misuse the simulator tolerates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl import ast
+from ..hdl.dataflow import expr_names, lhs_names, lhs_read_names
+
+#: Declaration kinds that name a net or variable carrying design state.
+SIGNAL_KINDS = frozenset(
+    {"input", "output", "inout", "wire", "reg", "tri", "supply0", "supply1"}
+)
+#: Kinds excluded from driver/latch analysis (simulation bookkeeping).
+LOOPVAR_KINDS = frozenset({"integer", "real", "genvar", "time"})
+#: Kinds that name compile-time constants.
+CONST_KINDS = frozenset({"parameter", "localparam"})
+
+
+@dataclass
+class ProcessInfo:
+    """One ``always`` or ``initial`` process, pre-digested for the rules."""
+
+    item: ast.Always | ast.Initial
+    #: ``"comb_star"`` | ``"comb"`` | ``"seq"`` | ``"timed"`` | ``"initial"``
+    kind: str
+    #: Names listed in the sensitivity list (edge and level items alike).
+    sens_names: frozenset[str] = frozenset()
+    #: Names this process assigns → the assignment nodes, in body order.
+    assigned: dict[str, list[ast.Stmt]] = field(default_factory=dict)
+    #: Names the process reads anywhere (RHS, guards, subscripts, args).
+    reads: set[str] = field(default_factory=set)
+    #: Names the process reads *before* any dominating blocking write in
+    #: the same activation — the values that actually flow in from the
+    #: previous activation.  A ``@*`` multiplier that does ``p = 0`` and
+    #: then accumulates into ``p`` reads ``p`` internally, not
+    #: externally; only external reads create combinational dependencies
+    #: or belong in a sensitivity list.
+    external_reads: set[str] = field(default_factory=set)
+    blocking: list[ast.BlockingAssign] = field(default_factory=list)
+    nonblocking: list[ast.NonBlockingAssign] = field(default_factory=list)
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.kind in ("comb_star", "comb")
+
+
+@dataclass
+class ModuleModel:
+    """Everything the rules need to know about one module."""
+
+    module: ast.ModuleDef
+    #: Name → declaration kinds (``output reg x`` gives ``{"output"}`` with
+    #: ``reg_flag`` folded in; a separate ``reg x`` decl adds ``"reg"``).
+    decl_kinds: dict[str, set[str]] = field(default_factory=dict)
+    #: Name → first declaration item (anchor for per-decl diagnostics).
+    decl_nodes: dict[str, ast.Decl] = field(default_factory=dict)
+    #: Parameter/localparam name → init expression.
+    params: dict[str, ast.Expr | None] = field(default_factory=dict)
+    continuous: list[ast.ContinuousAssign] = field(default_factory=list)
+    processes: list[ProcessInfo] = field(default_factory=list)
+    functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    tasks: dict[str, ast.TaskDef] = field(default_factory=dict)
+    instances: list[ast.Instance] = field(default_factory=list)
+    #: Named ``begin : label`` blocks (targets of ``disable``).
+    named_blocks: set[str] = field(default_factory=set)
+    #: Every name referenced anywhere in the module → one anchor node.
+    references: dict[str, ast.Node] = field(default_factory=dict)
+
+    def is_signal(self, name: str) -> bool:
+        """Declared as a net/variable (not a parameter or loop counter)."""
+        return bool(self.decl_kinds.get(name, set()) & SIGNAL_KINDS)
+
+    def is_register(self, name: str) -> bool:
+        """Procedurally assignable: ``reg`` or a ``reg``-flagged port."""
+        kinds = self.decl_kinds.get(name, set())
+        if "reg" in kinds:
+            return True
+        decl = self.decl_nodes.get(name)
+        return decl is not None and decl.reg_flag
+
+    def is_loopvar(self, name: str) -> bool:
+        """Declared as a loop counter / simulation variable."""
+        return bool(self.decl_kinds.get(name, set()) & LOOPVAR_KINDS)
+
+    def is_port(self, name: str) -> bool:
+        """Listed in the module's port list."""
+        return name in self.module.port_names
+
+
+def classify_always(always: ast.Always) -> tuple[str, frozenset[str]]:
+    """(kind, sensitivity names) for one ``always`` block."""
+    if always.senslist is None or not always.senslist.items:
+        return "timed", frozenset()
+    items = always.senslist.items
+    if any(item.edge == "all" for item in items):
+        return "comb_star", frozenset()
+    names: set[str] = set()
+    for item in items:
+        names |= expr_names(item.signal)
+    edges = {item.edge for item in items}
+    if "level" not in edges:
+        return "seq", frozenset(names)
+    if edges == {"level"}:
+        return "comb", frozenset(names)
+    return "seq", frozenset(names)  # mixed edge + level: async-reset style
+
+
+def _collect_stmt(stmt: ast.Stmt | None, info: ProcessInfo) -> None:
+    """Fold one statement subtree into a process's reads/writes."""
+    if stmt is None:
+        return
+    if isinstance(stmt, ast.Block):
+        for sub in stmt.stmts:
+            _collect_stmt(sub, info)
+    elif isinstance(stmt, (ast.BlockingAssign, ast.NonBlockingAssign)):
+        for name in lhs_names(stmt.lhs):
+            info.assigned.setdefault(name, []).append(stmt)
+        info.reads |= expr_names(stmt.rhs)
+        info.reads |= lhs_read_names(stmt.lhs)
+        info.reads |= expr_names(stmt.delay)
+        if isinstance(stmt, ast.BlockingAssign):
+            info.blocking.append(stmt)
+        else:
+            info.nonblocking.append(stmt)
+    elif isinstance(stmt, ast.If):
+        info.reads |= expr_names(stmt.cond)
+        _collect_stmt(stmt.then_stmt, info)
+        _collect_stmt(stmt.else_stmt, info)
+    elif isinstance(stmt, ast.Case):
+        info.reads |= expr_names(stmt.expr)
+        for item in stmt.items:
+            for expr in item.exprs:
+                info.reads |= expr_names(expr)
+            _collect_stmt(item.stmt, info)
+    elif isinstance(stmt, ast.For):
+        _collect_stmt(stmt.init, info)
+        info.reads |= expr_names(stmt.cond)
+        _collect_stmt(stmt.step, info)
+        _collect_stmt(stmt.body, info)
+    elif isinstance(stmt, ast.While):
+        info.reads |= expr_names(stmt.cond)
+        _collect_stmt(stmt.body, info)
+    elif isinstance(stmt, ast.RepeatStmt):
+        info.reads |= expr_names(stmt.count)
+        _collect_stmt(stmt.body, info)
+    elif isinstance(stmt, ast.Forever):
+        _collect_stmt(stmt.body, info)
+    elif isinstance(stmt, ast.Wait):
+        info.reads |= expr_names(stmt.cond)
+        _collect_stmt(stmt.body, info)
+    elif isinstance(stmt, ast.DelayStmt):
+        info.reads |= expr_names(stmt.delay)
+        _collect_stmt(stmt.body, info)
+    elif isinstance(stmt, ast.EventControl):
+        if stmt.senslist is not None:
+            for item in stmt.senslist.items:
+                info.reads |= expr_names(item.signal)
+        _collect_stmt(stmt.body, info)
+    elif isinstance(stmt, ast.EventTrigger):
+        info.reads.add(stmt.name)
+    elif isinstance(stmt, (ast.SysTaskCall, ast.TaskCall)):
+        for arg in stmt.args:
+            info.reads |= expr_names(arg)
+    # NullStmt / Disable: nothing to fold (Disable targets a block label,
+    # which the reference collector picks up separately).
+
+
+def _dominated_names(lhs: ast.Expr) -> set[str]:
+    """Names a blocking write to ``lhs`` fully overwrites.
+
+    A plain identifier (or a concat of them) dominates later reads; an
+    indexed or part-selected write only touches a slice, so reads of the
+    base name elsewhere may still see the previous activation's value.
+    """
+    if isinstance(lhs, ast.Identifier):
+        return {lhs.name}
+    if isinstance(lhs, ast.Concat):
+        names: set[str] = set()
+        for part in lhs.parts:
+            names |= _dominated_names(part)
+        return names
+    return set()
+
+
+def _external_reads(stmt: ast.Stmt | None, written: set[str]) -> set[str]:
+    """Names ``stmt`` reads before a dominating blocking write.
+
+    Walks in execution order, tracking the set of names that are
+    *must-written* so far on every path (``written``, mutated in place).
+    A read of a name already in ``written`` sees the value computed in
+    this activation — an internal wire of the process, not a dependency
+    on prior state.  Non-blocking writes never dominate (they land after
+    the activation), and writes inside maybe-skipped bodies (``while``,
+    ``wait`` …) are folded on a copy so they cannot mask later reads.
+    ``for`` bodies are treated as executing, matching the latch rule's
+    handling of the unrolled-loop idiom.
+    """
+    reads: set[str] = set()
+    if stmt is None:
+        return reads
+    if isinstance(stmt, ast.Block):
+        for sub in stmt.stmts:
+            reads |= _external_reads(sub, written)
+    elif isinstance(stmt, (ast.BlockingAssign, ast.NonBlockingAssign)):
+        used = expr_names(stmt.rhs) | lhs_read_names(stmt.lhs)
+        used |= expr_names(stmt.delay)
+        reads |= used - written
+        if isinstance(stmt, ast.BlockingAssign):
+            written |= _dominated_names(stmt.lhs)
+    elif isinstance(stmt, ast.If):
+        reads |= expr_names(stmt.cond) - written
+        then_written = set(written)
+        else_written = set(written)
+        reads |= _external_reads(stmt.then_stmt, then_written)
+        reads |= _external_reads(stmt.else_stmt, else_written)
+        written |= then_written & else_written
+    elif isinstance(stmt, ast.Case):
+        reads |= expr_names(stmt.expr) - written
+        arm_written: list[set[str]] = []
+        has_default = False
+        for item in stmt.items:
+            if not item.exprs:
+                has_default = True
+            for expr in item.exprs:
+                reads |= expr_names(expr) - written
+            arm = set(written)
+            reads |= _external_reads(item.stmt, arm)
+            arm_written.append(arm)
+        if has_default and arm_written:
+            written |= set.intersection(*arm_written)
+    elif isinstance(stmt, ast.For):
+        reads |= _external_reads(stmt.init, written)
+        reads |= expr_names(stmt.cond) - written
+        reads |= _external_reads(stmt.body, written)
+        reads |= _external_reads(stmt.step, written)
+    elif isinstance(stmt, (ast.While, ast.RepeatStmt, ast.Forever, ast.Wait, ast.DelayStmt, ast.EventControl)):
+        if isinstance(stmt, ast.While):
+            reads |= expr_names(stmt.cond) - written
+        elif isinstance(stmt, ast.RepeatStmt):
+            reads |= expr_names(stmt.count) - written
+        elif isinstance(stmt, ast.Wait):
+            reads |= expr_names(stmt.cond) - written
+        elif isinstance(stmt, ast.DelayStmt):
+            reads |= expr_names(stmt.delay) - written
+        elif isinstance(stmt, ast.EventControl) and stmt.senslist is not None:
+            for item in stmt.senslist.items:
+                reads |= expr_names(item.signal) - written
+        body_written = set(written)
+        reads |= _external_reads(stmt.body, body_written)
+    elif isinstance(stmt, ast.EventTrigger):
+        if stmt.name not in written:
+            reads.add(stmt.name)
+    elif isinstance(stmt, (ast.SysTaskCall, ast.TaskCall)):
+        for arg in stmt.args:
+            reads |= expr_names(arg) - written
+    return reads
+
+
+def build_module_model(module: ast.ModuleDef) -> ModuleModel:
+    """Pre-digest one module for the rule set (single AST walk)."""
+    model = ModuleModel(module=module)
+    for item in module.items:
+        if isinstance(item, ast.Decl):
+            model.decl_kinds.setdefault(item.name, set()).add(item.kind)
+            model.decl_nodes.setdefault(item.name, item)
+            if item.kind in CONST_KINDS:
+                model.params[item.name] = item.init
+        elif isinstance(item, ast.ContinuousAssign):
+            model.continuous.append(item)
+        elif isinstance(item, ast.Always):
+            kind, sens = classify_always(item)
+            info = ProcessInfo(item=item, kind=kind, sens_names=sens)
+            _collect_stmt(item.body, info)
+            info.external_reads = _external_reads(item.body, set())
+            model.processes.append(info)
+        elif isinstance(item, ast.Initial):
+            info = ProcessInfo(item=item, kind="initial")
+            _collect_stmt(item.body, info)
+            info.external_reads = _external_reads(item.body, set())
+            model.processes.append(info)
+        elif isinstance(item, ast.Instance):
+            model.instances.append(item)
+        elif isinstance(item, ast.FunctionDef):
+            model.functions[item.name] = item
+        elif isinstance(item, ast.TaskDef):
+            model.tasks[item.name] = item
+    for node in module.walk():
+        if isinstance(node, ast.Block) and node.name:
+            model.named_blocks.add(node.name)
+        elif isinstance(node, ast.Identifier):
+            model.references.setdefault(node.name, node)
+        elif isinstance(node, (ast.EventTrigger, ast.Disable, ast.TaskCall)):
+            model.references.setdefault(node.name, node)
+        elif isinstance(node, ast.FunctionCall):
+            model.references.setdefault(node.name, node)
+    return model
+
+
+def anchor_line(node: ast.Node | None) -> int:
+    """Best-effort line anchor for a diagnostic (0 when unknown)."""
+    return getattr(node, "line", None) or 0

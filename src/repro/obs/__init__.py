@@ -25,6 +25,7 @@ from .events import (
     BackendChunkCompleted,
     BackendChunkDispatched,
     CandidateEvaluated,
+    CandidatePruned,
     FuzzProgramChecked,
     FuzzRunCompleted,
     FuzzViolationFound,
@@ -46,6 +47,7 @@ __all__ = [
     "TrialStarted",
     "TrialCompleted",
     "CandidateEvaluated",
+    "CandidatePruned",
     "GenerationCompleted",
     "BackendChunkDispatched",
     "BackendChunkCompleted",

@@ -59,6 +59,20 @@ def render_report(events: list[RepairEvent], source: str = "run.jsonl") -> str:
             ["Metric", "Value"],
             [
                 ["unique evaluations (eval_sims)", str(metrics.candidates)],
+                # Lint-gate rows appear only on gated runs, so reports
+                # (and their golden files) from ungated traces are
+                # unchanged.
+                *(
+                    [["pruned by lint gate", str(metrics.candidates_pruned)]]
+                    if metrics.candidates_pruned
+                    else []
+                ),
+                *(
+                    [[f"pruned under {code}", str(count)]
+                     for code, count in sorted(metrics.pruned_by_rule.items())]
+                    if metrics.candidates_pruned
+                    else []
+                ),
                 ["compile failures", str(metrics.compile_failures)],
                 ["fitness evals (incl. cached)", str(metrics.fitness_evals)],
                 ["simulations", str(metrics.simulations)],
@@ -137,20 +151,58 @@ def render_report(events: list[RepairEvent], source: str = "run.jsonl") -> str:
     return "\n\n".join(sections)
 
 
+def _load_known_events(
+    records: list[dict[str, Any]],
+) -> tuple[list[RepairEvent], int]:
+    """Parse trace records, skipping event types this version doesn't know.
+
+    Traces written by newer schema versions may contain extra event
+    types; a report over the events we do understand beats a crash.
+    (:func:`~repro.obs.jsonl.read_events` stays strict — programmatic
+    consumers should see the mismatch.)  Returns the events plus how
+    many records were skipped.
+    """
+    events: list[RepairEvent] = []
+    skipped = 0
+    for record in records:
+        try:
+            events.append(event_from_dict(record))
+        except ValueError:
+            skipped += 1
+    return events, skipped
+
+
 def report_text(path: str | Path) -> str:
     """Load a ``run.jsonl`` and render its report.
 
-    Raises ``ValueError`` when the file is not a valid trace.
+    Raises ``ValueError`` when the file is not a valid trace.  Records
+    with unknown event types are skipped (with a note in the report),
+    so traces from newer schema versions still render.
     """
     records = read_trace(path)
     if not records:
         raise ValueError(f"{path}: trace contains no events")
-    events = [event_from_dict(record) for record in records]
-    return render_report(events, source=str(path))
+    events, skipped = _load_known_events(records)
+    if not events:
+        raise ValueError(f"{path}: trace contains no recognised events")
+    report = render_report(events, source=str(path))
+    if skipped:
+        report += (
+            f"\n\n({skipped} record{'s' if skipped != 1 else ''} of unknown "
+            "event types skipped)"
+        )
+    return report
 
 
 def summary_dict(path: str | Path) -> dict[str, Any]:
-    """Load a trace and return the machine-readable metrics summary."""
-    return MetricsObserver.replay(
-        event_from_dict(record) for record in read_trace(path)
-    ).summary()
+    """Load a trace and return the machine-readable metrics summary.
+
+    Like :func:`report_text`, unknown event types are tolerated: they
+    are skipped and counted under the ``"skipped_records"`` key (absent
+    when everything parsed).
+    """
+    events, skipped = _load_known_events(read_trace(path))
+    summary = MetricsObserver.replay(events).summary()
+    if skipped:
+        summary["skipped_records"] = skipped
+    return summary

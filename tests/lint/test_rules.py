@@ -1,0 +1,456 @@
+"""Unit tests for each lint rule (L001–L008) on small designs."""
+
+import pytest
+
+from repro.lint import lint_text
+
+
+def codes(text):
+    return [d.code for d in lint_text(text).diagnostics]
+
+
+def diags_for(text, code):
+    return [d for d in lint_text(text).diagnostics if d.code == code]
+
+
+# ----------------------------------------------------------------------
+# L001 multi-driver
+# ----------------------------------------------------------------------
+
+
+def test_multi_driver_two_continuous():
+    text = """
+    module m(input a, input b, output w);
+      assign w = a;
+      assign w = b;
+    endmodule
+    """
+    found = diags_for(text, "L001")
+    assert len(found) == 1
+    assert "'w'" in found[0].message
+    assert found[0].severity == "error"
+
+
+def test_multi_driver_assign_vs_always():
+    text = """
+    module m(input clk, input a, output reg q);
+      assign q = a;
+      always @(posedge clk) q <= a;
+    endmodule
+    """
+    assert [d.code for d in diags_for(text, "L001")] == ["L001"]
+
+
+def test_multi_driver_cross_always():
+    text = """
+    module m(input clk, input rst, output reg q);
+      always @(posedge clk) q <= 1'b1;
+      always @(posedge rst) q <= 1'b0;
+    endmodule
+    """
+    assert len(diags_for(text, "L001")) == 1
+
+
+def test_multi_driver_ignores_initial_and_single_block():
+    text = """
+    module m(input clk, input a, output reg q);
+      initial q = 0;
+      always @(posedge clk) begin
+        q <= a;
+        if (a) q <= ~a;
+      end
+    endmodule
+    """
+    assert diags_for(text, "L001") == []
+
+
+def test_multi_driver_loopvar_exempt():
+    text = """
+    module m(input clk, output reg [3:0] q);
+      integer i;
+      always @(posedge clk) for (i = 0; i < 4; i = i + 1) q[i] <= 1'b0;
+      always @(negedge clk) for (i = 0; i < 4; i = i + 1) q[i] <= 1'b1;
+    endmodule
+    """
+    found = diags_for(text, "L001")
+    assert [d.message.split("'")[1] for d in found] == ["q"]
+
+
+def test_multi_driver_line_anchor_points_at_second_driver():
+    text = (
+        "module m(input a, input b, output w);\n"
+        "  assign w = a;\n"
+        "  assign w = b;\n"
+        "endmodule\n"
+    )
+    found = diags_for(text, "L001")
+    assert found[0].line == 3
+    assert found[0].node_id is not None
+
+
+# ----------------------------------------------------------------------
+# L002 blocking/non-blocking mix
+# ----------------------------------------------------------------------
+
+
+def test_blocking_mix_flagged():
+    text = """
+    module m(input clk, input a, output reg q);
+      reg tmp;
+      always @(posedge clk) begin
+        tmp = a;
+        q <= tmp;
+      end
+    endmodule
+    """
+    found = diags_for(text, "L002")
+    assert len(found) == 1
+    assert "1 blocking and 1 non-blocking" in found[0].message
+
+
+def test_blocking_mix_loopvar_assigns_exempt():
+    text = """
+    module m(input clk, output reg [3:0] q);
+      integer i;
+      always @(posedge clk) begin
+        for (i = 0; i < 4; i = i + 1) q[i] <= 1'b0;
+      end
+    endmodule
+    """
+    assert diags_for(text, "L002") == []
+
+
+def test_pure_styles_not_flagged():
+    text = """
+    module m(input clk, input a, output reg q, output w);
+      reg t;
+      assign w = a;
+      always @(posedge clk) begin q <= a; t <= ~a; end
+      always @(*) ;
+    endmodule
+    """
+    assert diags_for(text, "L002") == []
+
+
+# ----------------------------------------------------------------------
+# L003 incomplete sensitivity
+# ----------------------------------------------------------------------
+
+
+def test_incomplete_sensitivity_missing_signal():
+    text = """
+    module m(input a, input b, output reg q);
+      always @(a) q = a & b;
+    endmodule
+    """
+    found = diags_for(text, "L003")
+    assert len(found) == 1
+    assert "b" in found[0].message
+
+
+def test_star_sensitivity_is_complete():
+    text = """
+    module m(input a, input b, output reg q);
+      always @(*) q = a & b;
+    endmodule
+    """
+    assert diags_for(text, "L003") == []
+
+
+def test_edge_triggered_exempt():
+    text = """
+    module m(input clk, input a, input b, output reg q);
+      always @(posedge clk) q <= a & b;
+    endmodule
+    """
+    assert diags_for(text, "L003") == []
+
+
+def test_internal_temporary_not_required_in_senslist():
+    # t is written before it is read: not an external input of the block.
+    text = """
+    module m(input a, input b, output reg q);
+      reg t;
+      always @(a or b) begin
+        t = a & b;
+        q = t;
+      end
+    endmodule
+    """
+    assert diags_for(text, "L003") == []
+
+
+# ----------------------------------------------------------------------
+# L004 inferred latch
+# ----------------------------------------------------------------------
+
+
+def test_latch_from_if_without_else():
+    text = """
+    module m(input en, input d, output reg q);
+      always @(*) if (en) q = d;
+    endmodule
+    """
+    found = diags_for(text, "L004")
+    assert len(found) == 1
+    assert "'q'" in found[0].message
+
+
+def test_no_latch_with_else():
+    text = """
+    module m(input en, input d, output reg q);
+      always @(*) if (en) q = d; else q = 1'b0;
+    endmodule
+    """
+    assert diags_for(text, "L004") == []
+
+
+def test_latch_from_case_without_default():
+    text = """
+    module m(input [1:0] s, output reg q);
+      always @(*) case (s)
+        2'b00: q = 1'b0;
+        2'b01: q = 1'b1;
+      endcase
+    endmodule
+    """
+    assert len(diags_for(text, "L004")) == 1
+
+
+def test_no_latch_with_default_arm():
+    text = """
+    module m(input [1:0] s, output reg q);
+      always @(*) case (s)
+        2'b00: q = 1'b0;
+        default: q = 1'b1;
+      endcase
+    endmodule
+    """
+    assert diags_for(text, "L004") == []
+
+
+def test_no_latch_with_preassignment():
+    text = """
+    module m(input en, input d, output reg q);
+      always @(*) begin
+        q = 1'b0;
+        if (en) q = d;
+      end
+    endmodule
+    """
+    assert diags_for(text, "L004") == []
+
+
+def test_sequential_incomplete_if_is_not_a_latch():
+    text = """
+    module m(input clk, input en, input d, output reg q);
+      always @(posedge clk) if (en) q <= d;
+    endmodule
+    """
+    assert diags_for(text, "L004") == []
+
+
+# ----------------------------------------------------------------------
+# L005 combinational loop
+# ----------------------------------------------------------------------
+
+
+def test_comb_loop_continuous_pair():
+    text = """
+    module m(input a, output x);
+      wire y;
+      assign x = y | a;
+      assign y = x & a;
+    endmodule
+    """
+    found = diags_for(text, "L005")
+    assert len(found) == 1
+    assert "x" in found[0].message and "y" in found[0].message
+
+
+def test_comb_loop_self_edge():
+    text = """
+    module m(input a, output x);
+      assign x = x ^ a;
+    endmodule
+    """
+    assert len(diags_for(text, "L005")) == 1
+
+
+def test_comb_loop_through_always_star():
+    text = """
+    module m(input a, output reg x);
+      wire y;
+      assign y = x;
+      always @(*) x = y & a;
+    endmodule
+    """
+    assert len(diags_for(text, "L005")) == 1
+
+
+def test_register_breaks_the_loop():
+    text = """
+    module m(input clk, input a, output reg x);
+      wire y;
+      assign y = x;
+      always @(posedge clk) x <= y & a;
+    endmodule
+    """
+    assert diags_for(text, "L005") == []
+
+
+def test_accumulator_idiom_is_not_a_loop():
+    # p and aa are overwritten before any read in the same activation —
+    # the gf8_mul pattern from the tate_pairing benchmark.
+    text = """
+    module m(input [7:0] a, input [7:0] b, output reg [7:0] p);
+      reg [7:0] aa;
+      integer i;
+      always @(*) begin
+        p = 8'h00;
+        aa = a;
+        for (i = 0; i < 8; i = i + 1) begin
+          if (b[i]) p = p ^ aa;
+          aa = aa << 1;
+        end
+      end
+    endmodule
+    """
+    assert diags_for(text, "L005") == []
+
+
+def test_read_before_overwrite_is_still_a_loop():
+    text = """
+    module m(input a, output reg x);
+      always @(*) begin
+        x = x ^ a;
+        x = x & a;
+      end
+    endmodule
+    """
+    assert len(diags_for(text, "L005")) == 1
+
+
+# ----------------------------------------------------------------------
+# L006 undeclared identifier
+# ----------------------------------------------------------------------
+
+
+def test_undeclared_identifier():
+    text = """
+    module m(input a, output w);
+      assign w = a & ghost;
+    endmodule
+    """
+    found = diags_for(text, "L006")
+    assert [d.message.split("'")[1] for d in found] == ["ghost"]
+
+
+def test_declared_names_not_flagged():
+    text = """
+    module m(input a, output w);
+      wire t;
+      assign t = a;
+      assign w = t;
+    endmodule
+    """
+    assert diags_for(text, "L006") == []
+
+
+def test_function_locals_known():
+    text = """
+    module m(input [3:0] a, output [3:0] w);
+      function [3:0] inc;
+        input [3:0] v;
+        begin
+          inc = v + 1;
+        end
+      endfunction
+      assign w = inc(a);
+    endmodule
+    """
+    assert diags_for(text, "L006") == []
+
+
+# ----------------------------------------------------------------------
+# L007 unused declaration
+# ----------------------------------------------------------------------
+
+
+def test_unused_reg_flagged_as_info():
+    text = """
+    module m(input a, output w);
+      reg dead;
+      assign w = a;
+    endmodule
+    """
+    found = diags_for(text, "L007")
+    assert [d.message.split("'")[1] for d in found] == ["dead"]
+    assert found[0].severity == "info"
+
+
+def test_ports_and_params_never_unused():
+    text = """
+    module m(input a, input unused_port, output w);
+      parameter P = 4;
+      assign w = a;
+    endmodule
+    """
+    assert diags_for(text, "L007") == []
+
+
+# ----------------------------------------------------------------------
+# L008 width mismatch
+# ----------------------------------------------------------------------
+
+
+def test_truncating_assign_flagged():
+    text = """
+    module m(input [7:0] a, output [3:0] w);
+      assign w = a;
+    endmodule
+    """
+    found = diags_for(text, "L008")
+    assert len(found) == 1
+    assert "8-bit" in found[0].message and "4-bit" in found[0].message
+
+
+def test_widening_assign_not_flagged():
+    text = """
+    module m(input [3:0] a, output [7:0] w);
+      assign w = a;
+    endmodule
+    """
+    assert diags_for(text, "L008") == []
+
+
+def test_unsized_literal_is_conservative():
+    text = """
+    module m(input [3:0] a, output [3:0] w);
+      assign w = a + 1;
+    endmodule
+    """
+    assert diags_for(text, "L008") == []
+
+
+def test_parameterised_widths_resolve():
+    text = """
+    module m(input [7:0] a, output [3:0] w);
+      parameter W = 4;
+      reg [W-1:0] t;
+      always @(*) t = a;
+      assign w = t;
+    endmodule
+    """
+    found = diags_for(text, "L008")
+    assert len(found) == 1
+    assert "'t'" in found[0].message
+
+
+def test_comparison_is_one_bit():
+    text = """
+    module m(input [7:0] a, input [7:0] b, output w);
+      assign w = a == b;
+    endmodule
+    """
+    assert diags_for(text, "L008") == []

@@ -82,3 +82,56 @@ def test_empty_trace_rejected(tmp_path):
     path.write_text("")
     with pytest.raises(ValueError, match="no events"):
         report_text(path)
+
+
+def _write_trace(path, events, extra_lines=()):
+    with JsonlTraceObserver(path) as observer:
+        for event in events:
+            observer.on_event(event)
+    if extra_lines:
+        with path.open("a") as fh:
+            for line in extra_lines:
+                fh.write(line + "\n")
+    return path
+
+
+def test_unknown_event_types_skipped_with_note(tmp_path):
+    path = _write_trace(
+        tmp_path / "future.jsonl",
+        _stream(),
+        extra_lines=[
+            '{"type": "from_the_future", "payload": 1}',
+            '{"type": "also_unknown"}',
+        ],
+    )
+    text = report_text(path)
+    assert "counter_reset" in text
+    assert "(2 records of unknown event types skipped)" in text
+    summary = summary_dict(path)
+    assert summary["skipped_records"] == 2
+    assert summary["scenarios"] == ["counter_reset"]
+
+
+def test_fully_unknown_trace_rejected(tmp_path):
+    path = tmp_path / "alien.jsonl"
+    path.write_text('{"type": "from_the_future"}\n')
+    with pytest.raises(ValueError, match="no recognised events"):
+        report_text(path)
+
+
+def test_skipped_records_key_absent_when_clean(tmp_path):
+    path = _write_trace(tmp_path / "clean.jsonl", _stream())
+    assert "skipped_records" not in summary_dict(path)
+    assert "unknown event types skipped" not in report_text(path)
+
+
+def test_pruned_rows_render_only_on_gated_traces():
+    from repro.obs.events import CandidatePruned
+
+    base = render_report(_stream())
+    assert "pruned by lint gate" not in base
+    events = _stream()
+    events.insert(3, CandidatePruned(new_violations={"L004": 1}, rules="L001,L004,L005"))
+    gated = render_report(events)
+    assert "pruned by lint gate" in gated
+    assert "pruned under L004" in gated

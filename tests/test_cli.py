@@ -117,3 +117,103 @@ class TestFuzzCommand:
         capsys.readouterr()
         lines = trace.read_text().strip().splitlines()
         assert any('"fuzz_run_completed"' in line for line in lines)
+
+
+DIRTY_DESIGN = """
+module m(input a, input b, output w, output reg q);
+  assign w = a;
+  assign w = b;
+  always @(*) if (a) q = b;
+endmodule
+"""
+
+
+class TestLintCommand:
+    @pytest.fixture()
+    def dirty_file(self, tmp_path):
+        path = tmp_path / "dirty.v"
+        path.write_text(DIRTY_DESIGN)
+        return path
+
+    def test_clean_file_exits_zero(self, ff_files, capsys):
+        assert main(["lint", str(ff_files / "golden.v")]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_findings_exit_one(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 1
+        out = capsys.readouterr().out
+        assert "[L001/multi-driver]" in out
+        assert "[L004/inferred-latch]" in out
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.v"
+        path.write_text("module broken(")
+        assert main(["lint", str(path)]) == 2
+        assert "broken.v" in capsys.readouterr().err
+
+    def test_json_output_schema(self, dirty_file, capsys):
+        import json
+
+        assert main(["lint", "--json", str(dirty_file)]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["profile"] == {"L001": 1, "L004": 1}
+        assert {d["code"] for d in data["diagnostics"]} == {"L001", "L004"}
+
+    def test_rule_selection(self, dirty_file, capsys):
+        assert main(["lint", "--rules", "multi-driver", str(dirty_file)]) == 1
+        out = capsys.readouterr().out
+        assert "L001" in out and "L004" not in out
+
+    def test_unknown_rule_is_a_usage_error(self, dirty_file):
+        with pytest.raises(SystemExit):
+            main(["lint", "--rules", "L999", str(dirty_file)])
+
+    def test_multiple_files_json(self, ff_files, dirty_file, capsys):
+        import json
+
+        code = main(
+            ["lint", "--json", str(ff_files / "golden.v"), str(dirty_file)]
+        )
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert set(data["files"]) == {str(ff_files / "golden.v"), str(dirty_file)}
+        assert data["files"][str(dirty_file)]["findings"] == 2
+
+    def test_multiple_files_text_headers(self, ff_files, dirty_file, capsys):
+        main(["lint", str(ff_files / "golden.v"), str(dirty_file)])
+        out = capsys.readouterr().out
+        assert f"== {ff_files / 'golden.v'} ==" in out
+        assert f"== {dirty_file} ==" in out
+
+
+class TestRepairLintGateFlags:
+    def test_gate_flag_accepted(self, ff_files, capsys):
+        code = main(
+            [
+                "repair",
+                str(ff_files / "faulty.v"),
+                str(ff_files / "tb.v"),
+                "--golden",
+                str(ff_files / "golden.v"),
+                "--population",
+                "120",
+                "--budget",
+                "60",
+                "--seeds",
+                "0",
+                "--lint-gate",
+                "--output",
+                str(ff_files / "out3.v"),
+            ]
+        )
+        assert code == 0
+        assert "PLAUSIBLE" in capsys.readouterr().out
+
+    def test_bad_gate_rules_usage_error(self, ff_files):
+        with pytest.raises(SystemExit):
+            main(
+                ["repair", str(ff_files / "faulty.v"), str(ff_files / "tb.v"),
+                 "--golden", str(ff_files / "golden.v"),
+                 "--lint-gate", "--lint-gate-rules", "L999"]
+            )
