@@ -126,19 +126,51 @@ config = scenario.suggested_config(RepairConfig(
 ))
 problem = scenario.problem()
 metrics = MetricsObserver()
-backend = make_backend(problem, config)
-try:
+with make_backend(problem, config) as backend:
     outcome = CirFixEngine(
         problem, config, 0, backend=backend, observers=[metrics]
     ).run()
-finally:
-    backend.close()
 assert outcome.pruned > 0, "gate smoke pruned nothing"
 assert metrics.candidates_pruned == outcome.pruned, (
     metrics.candidates_pruned, outcome.pruned)
 assert metrics.candidates == outcome.eval_sims
 print(f"gate smoke ok: {outcome.pruned} pruned, "
       f"{outcome.eval_sims} simulated")
+EOF
+
+echo "== chaos smoke (supervised pool quarantines planted faults) =="
+REPRO_EVAL_CHAOS="hang@27,exit@28" python - <<'EOF'
+from repro.benchsuite import load_scenario
+from repro.core.backend import make_backend
+from repro.core.config import RepairConfig
+from repro.core.repair import CirFixEngine
+from repro.obs import MetricsObserver
+
+# One hang-mutant and one hard-exit-mutant are planted (via the
+# REPRO_EVAL_CHAOS dispatch ordinals above) into a --workers 2 repair.
+# The supervisor must time out the hang, notice the dead worker, and
+# quarantine both — and the run must still find the repair.
+scenario = load_scenario("ff_cond")
+config = scenario.suggested_config(RepairConfig(
+    population_size=24, max_generations=6, max_wall_seconds=120.0,
+    max_fitness_evals=600, minimize_budget=64,
+    workers=2, backend="process",
+    eval_deadline_seconds=5.0, eval_max_retries=0, worker_mem_mb=512,
+))
+problem = scenario.problem()
+metrics = MetricsObserver()
+with make_backend(problem, config) as backend:
+    outcome = CirFixEngine(
+        problem, config, 0, backend=backend, observers=[metrics]
+    ).run()
+assert outcome.plausible, "chaos smoke lost the repair"
+assert outcome.quarantined == 2, outcome.quarantined
+assert metrics.quarantined_by_kind == {"crash": 1, "timeout": 1}, (
+    metrics.quarantined_by_kind)
+assert metrics.candidates_timed_out == 1
+assert metrics.worker_failures == {"crash": 1}
+print(f"chaos smoke ok: repaired with {outcome.quarantined} quarantined "
+      f"({metrics.quarantined_by_kind})")
 EOF
 
 echo "== fuzz smoke (fixed seed, differential oracles) =="

@@ -274,6 +274,15 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", help="write a repro.obs JSONL telemetry trace to this path"
     )
     p_repair.add_argument(
+        "--eval-deadline", dest="eval_deadline_seconds", type=float, metavar="SECONDS",
+        help="per-candidate wall-clock deadline enforced by the supervised "
+        "pool (0 disables; default 600)",
+    )
+    p_repair.add_argument(
+        "--worker-mem-mb", dest="worker_mem_mb", type=int, metavar="MIB",
+        help="per-worker address-space cap in MiB (RLIMIT_AS; 0 = no cap)",
+    )
+    p_repair.add_argument(
         "--lint-gate", dest="lint_gate", action="store_true", default=None,
         help="reject candidates that add lint violations before simulating them",
     )

@@ -11,9 +11,11 @@ The paper's primary contribution.  Public entry points:
 
 from .backend import (
     CandidateResult,
+    EvalFailure,
     EvaluationBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SupervisionIncident,
     TraceSummary,
     evaluate_design_text,
     make_backend,
@@ -44,6 +46,8 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "CandidateResult",
+    "EvalFailure",
+    "SupervisionIncident",
     "TraceSummary",
     "make_backend",
     "evaluate_design_text",

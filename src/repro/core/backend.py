@@ -8,24 +8,65 @@ engine and puts an :class:`EvaluationBackend` interface in front of it:
 
 - :class:`SerialBackend` evaluates candidates inline in the engine's
   process — the paper's original behaviour and the default;
-- :class:`ProcessPoolBackend` keeps a persistent ``multiprocessing`` pool
-  whose workers parse the instrumented testbench and load the oracle
-  **once** at initialisation, then score batches of candidate design
-  texts, returning compact ``(fitness, breakdown, compiled, summary)``
-  results (full traces never cross the process boundary).
+- :class:`ProcessPoolBackend` keeps a persistent pool of **supervised**
+  worker processes: each worker parses the instrumented testbench and
+  loads the oracle **once** at initialisation, then scores candidate
+  design texts one task at a time, returning compact
+  ``(fitness, breakdown, compiled, summary)`` results (full traces never
+  cross the process boundary).
 
 Both backends run the identical pipeline on the identical inputs, so a
 batch submitted in child-index order produces identical results either
 way — the engine's determinism guarantee does not depend on the backend
 (see ``docs/repair_engine.md``).
+
+Fault tolerance
+---------------
+
+The engine's never-raises contract ("the search must survive arbitrary
+mutants") extends to the pool: a pathological candidate that hangs,
+hard-exits, or exhausts a worker's memory must cost *one population
+slot*, never the run.  The supervised pool therefore
+
+- dispatches **per task** and tracks each in-flight candidate against a
+  wall-clock deadline (:attr:`~repro.core.config.RepairConfig.eval_deadline_seconds`);
+- detects worker death (closed pipe / process sentinel), classifies it
+  (``crash`` vs ``oom``), respawns the worker, and requeues the affected
+  candidate with a bounded retry count
+  (:attr:`~repro.core.config.RepairConfig.eval_max_retries`);
+- after the retries are spent, **quarantines** the candidate as a
+  deterministic :class:`EvalFailure` result (fitness 0.0,
+  ``compiled=False``, kind ``timeout`` / ``crash`` / ``oom``);
+- sandboxes workers at init: a bounded recursion limit plus an optional
+  ``RLIMIT_AS`` address-space cap
+  (:attr:`~repro.core.config.RepairConfig.worker_mem_mb`).
+
+Supervision incidents are buffered on the backend and drained by the
+engine (:meth:`ProcessPoolBackend.take_incidents`), which turns them
+into ``repro.obs`` events.  With no faults and deadlines unhit the
+supervised pool returns bit-identical results in bit-identical order to
+the old blocking ``pool.map`` — and emits nothing new.
+
+Chaos testing
+-------------
+
+``REPRO_EVAL_CHAOS`` (or :func:`repro.fuzz.faults.plant_eval_chaos`)
+installs a *test-only* chaos plan mapping dispatch ordinals to planted
+faults (``hang`` / ``exit`` / ``balloon``), so the recovery machinery is
+exercised by deliberately planted degenerate mutants — see
+``docs/fuzzing.md`` and ``tests/core/test_fault_tolerance.py``.
 """
 
 from __future__ import annotations
 
 import logging
 import multiprocessing
-import multiprocessing.pool
+import multiprocessing.connection
+import os
+import sys
 import time
+from collections import deque
+from pathlib import Path
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence
 
@@ -67,6 +108,45 @@ class TraceSummary:
     mismatched_vars: tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class EvalFailure:
+    """Why a candidate was quarantined by the supervised pool.
+
+    A quarantined candidate scores a deterministic failure (fitness 0.0,
+    ``compiled=False``) after exhausting its retries, so one poison
+    mutant costs one population slot instead of wedging the run.
+    """
+
+    #: ``"timeout"`` (deadline exceeded), ``"crash"`` (worker died or
+    #: raised), or ``"oom"`` (memory exhaustion — worker ``MemoryError``
+    #: under the ``RLIMIT_AS`` sandbox, or a SIGKILL'd worker).
+    kind: str
+    #: How many dispatch attempts were made before quarantining.
+    attempts: int
+
+
+@dataclass(frozen=True)
+class SupervisionIncident:
+    """One supervision event observed by the pool (for telemetry).
+
+    Buffered on the backend and drained by the engine via
+    :meth:`ProcessPoolBackend.take_incidents`; the engine converts them
+    into ``candidate_timed_out`` / ``worker_crashed`` / ``chunk_retried``
+    events so observers see the fault-tolerance machinery at work.
+    """
+
+    #: ``"timeout"``, ``"crash"``, or ``"oom"`` (see :class:`EvalFailure`).
+    kind: str
+    #: 1-based dispatch attempt that failed.
+    attempt: int
+    #: True when the failure exhausted the retry budget (the candidate
+    #: was quarantined); False when the candidate was requeued.
+    quarantined: bool
+    #: Worker exit code when the worker died (negative = killed by
+    #: signal); None for worker-reported failures and timeouts.
+    exitcode: int | None = None
+
+
 @dataclass
 class CandidateResult:
     """What a backend reports for one candidate design text.
@@ -76,7 +156,8 @@ class CandidateResult:
     the :class:`TraceSummary`.  The trailing stats fields are the
     telemetry payload (repro.obs): measured where the evaluation actually
     ran, so pool workers batch them back with the chunk results instead
-    of emitting events across the process boundary.
+    of emitting events across the process boundary.  ``failure`` is set
+    only for candidates the supervised pool quarantined.
     """
 
     fitness: float
@@ -94,6 +175,8 @@ class CandidateResult:
     sim_events: int = 0
     #: Statements the candidate's simulation executed.
     sim_steps: int = 0
+    #: Set when the supervised pool quarantined this candidate.
+    failure: EvalFailure | None = None
 
     def without_trace(self) -> "CandidateResult":
         """A copy safe to ship across a process boundary (no trace)."""
@@ -108,7 +191,15 @@ class CandidateResult:
             sim_seconds=self.sim_seconds,
             sim_events=self.sim_events,
             sim_steps=self.sim_steps,
+            failure=self.failure,
         )
+
+
+def _quarantine_result(kind: str, attempts: int) -> CandidateResult:
+    """The deterministic result a quarantined candidate scores."""
+    return CandidateResult(
+        0.0, None, False, None, None, failure=EvalFailure(kind, attempts)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -142,7 +233,8 @@ def evaluate_design_text(
     """Score one candidate design: parse → splice → simulate → fitness.
 
     Never raises: a candidate that fails to parse or elaborate scores 0.0
-    with ``compiled=False``; one that crashes at runtime scores 0.0 with
+    with ``compiled=False``; one that crashes at runtime — anywhere in
+    the simulate / trace-decode / fitness span — scores 0.0 with
     ``compiled=True`` (the search must survive arbitrary mutants).
 
     Each result carries its telemetry stats (phase wall-clock and the
@@ -154,7 +246,7 @@ def evaluate_design_text(
         design = parse(design_text)
         combined = splice_testbench(design, testbench)
         sim = Simulator(combined, max_steps=config.max_sim_steps)
-    except (ParseError, LexError, ElaborationError, RecursionError):
+    except (ParseError, LexError, ElaborationError, RecursionError, MemoryError):
         elapsed = time.perf_counter() - started
         return CandidateResult(
             0.0, None, False, None, None,
@@ -175,13 +267,27 @@ def evaluate_design_text(
             sim_events=sim.scheduler.events_executed,
             sim_steps=sim.steps_used,
         )
-    trace = SimulationTrace.from_records(result.trace)
-    breakdown = evaluate_fitness(trace, oracle, config.phi)
-    summary = TraceSummary(
-        rows=len(trace),
-        recorded_vars=len(trace.variables()),
-        mismatched_vars=tuple(sorted(output_mismatch(oracle, trace))),
-    )
+    try:
+        trace = SimulationTrace.from_records(result.trace)
+        breakdown = evaluate_fitness(trace, oracle, config.phi)
+        summary = TraceSummary(
+            rows=len(trace),
+            recorded_vars=len(trace.variables()),
+            mismatched_vars=tuple(sorted(output_mismatch(oracle, trace))),
+        )
+    except Exception:
+        # Trace decoding / fitness scoring can blow up on degenerate
+        # recorded values (or run out of memory on a pathological trace);
+        # that too is the candidate's fault, never the engine's problem.
+        elapsed = time.perf_counter() - started
+        return CandidateResult(
+            0.0, None, True, None, None,
+            eval_seconds=elapsed,
+            parse_seconds=parse_seconds,
+            sim_seconds=elapsed - parse_seconds,
+            sim_events=result.events_executed,
+            sim_steps=result.steps_used,
+        )
     elapsed = time.perf_counter() - started
     return CandidateResult(
         breakdown.fitness, breakdown, True, trace, summary,
@@ -203,15 +309,29 @@ class EvaluationBackend(Protocol):
 
     Implementations must preserve input order: ``evaluate_batch(texts)[i]``
     is the result for ``texts[i]``.  The engine relies on this (plus its
-    own child-index-ordered submission) for seed determinism.
+    own child-index-ordered submission) for seed determinism.  Backends
+    are context managers (``with make_backend(...) as backend:``) whose
+    exit calls :meth:`close`.
     """
 
     def evaluate_batch(self, design_texts: Sequence[str]) -> list[CandidateResult]:
         """Evaluate every design text and return results in input order."""
         ...  # pragma: no cover - protocol
 
+    def take_incidents(self) -> list[SupervisionIncident]:
+        """Drain and return supervision incidents since the last drain."""
+        ...  # pragma: no cover - protocol
+
     def close(self) -> None:
         """Release any resources (worker processes) held by the backend."""
+        ...  # pragma: no cover - protocol
+
+    def __enter__(self) -> "EvaluationBackend":
+        """Enter the backend's lifecycle scope."""
+        ...  # pragma: no cover - protocol
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close the backend on scope exit."""
         ...  # pragma: no cover - protocol
 
 
@@ -240,12 +360,583 @@ class SerialBackend:
             for text in design_texts
         ]
 
+    def take_incidents(self) -> list[SupervisionIncident]:
+        """Serial evaluation is unsupervised: there are never incidents."""
+        return []
+
     def close(self) -> None:
         """No resources to release."""
 
+    def __enter__(self) -> "SerialBackend":
+        """Support ``with SerialBackend(...) as backend:``."""
+        return self
 
-#: Per-worker state installed by :func:`_pool_initializer` (each worker
-#: parses the testbench and keeps the oracle exactly once).
+    def __exit__(self, *exc_info: object) -> None:
+        """Nothing to release."""
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Test-only chaos faults (docs/fuzzing.md "chaos smoke")
+# ----------------------------------------------------------------------
+
+#: Environment variable carrying a chaos spec (e.g. ``hang@3,exit@7:once``).
+CHAOS_ENV = "REPRO_EVAL_CHAOS"
+
+#: Plantable chaos fault kinds (see :func:`parse_chaos_spec`).
+CHAOS_KINDS = ("hang", "exit", "balloon")
+
+#: In-process chaos plan override, installed by
+#: :func:`repro.fuzz.faults.plant_eval_chaos` (None = consult the env var).
+_CHAOS_PLAN_OVERRIDE: dict[int, tuple[str, bool]] | None = None
+
+#: Bytes the chaos balloon allocates per step / max steps without an
+#: ``RLIMIT_AS`` sandbox (a ~2 GiB backstop before self-reporting OOM).
+_BALLOON_STEP_BYTES = 32 << 20
+_BALLOON_MAX_STEPS = 64
+
+
+def parse_chaos_spec(spec: str) -> dict[int, tuple[str, bool]]:
+    """Parse ``"hang@3,exit@7:once"`` into ``{ordinal: (kind, once)}``.
+
+    Ordinals count the supervised pool's task dispatches (0-based, per
+    backend instance, first attempts only) — a deterministic position in
+    the engine's chunk schedule.  A ``:once`` suffix plants the fault on
+    the first attempt only, so the retry succeeds (for testing the
+    requeue path); without it every retry re-triggers the fault and the
+    candidate is quarantined.
+    """
+    plan: dict[int, tuple[str, bool]] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        once = part.endswith(":once")
+        if once:
+            part = part[: -len(":once")]
+        kind, sep, ordinal = part.partition("@")
+        if not sep or kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"bad chaos spec entry {part!r} "
+                f"(expected kind@ordinal with kind in {', '.join(CHAOS_KINDS)})"
+            )
+        plan[int(ordinal)] = (kind, once)
+    return plan
+
+
+def set_chaos_plan(
+    plan: dict[int, tuple[str, bool]] | None,
+) -> dict[int, tuple[str, bool]] | None:
+    """Install (or clear, with None) the chaos plan; returns the old one.
+
+    Test-only: prefer the :func:`repro.fuzz.faults.plant_eval_chaos`
+    context manager, which restores the previous plan on exit.  The plan
+    is snapshotted by :class:`ProcessPoolBackend` at construction.
+    """
+    global _CHAOS_PLAN_OVERRIDE
+    previous = _CHAOS_PLAN_OVERRIDE
+    _CHAOS_PLAN_OVERRIDE = plan
+    return previous
+
+
+def _active_chaos_plan() -> dict[int, tuple[str, bool]]:
+    """The chaos plan in force (override, else env var, else empty)."""
+    if _CHAOS_PLAN_OVERRIDE is not None:
+        return dict(_CHAOS_PLAN_OVERRIDE)
+    spec = os.environ.get(CHAOS_ENV, "")
+    if not spec:
+        return {}
+    try:
+        return parse_chaos_spec(spec)
+    except ValueError as exc:
+        logger.warning("ignoring malformed %s (%s)", CHAOS_ENV, exc)
+        return {}
+
+
+def _trigger_chaos(kind: str) -> None:
+    """Worker-side: misbehave like a pathological mutant (test-only)."""
+    if kind == "hang":
+        while True:  # killed by the supervisor's deadline
+            time.sleep(0.1)
+    elif kind == "exit":
+        os._exit(43)  # hard worker death, bypassing all cleanup
+    elif kind == "balloon":
+        hog = []
+        while len(hog) < _BALLOON_MAX_STEPS:  # RLIMIT_AS usually trips first
+            hog.append(bytearray(_BALLOON_STEP_BYTES))
+        raise MemoryError("chaos balloon reached its allocation backstop")
+
+
+# ----------------------------------------------------------------------
+# Supervised worker processes
+# ----------------------------------------------------------------------
+
+#: Recursion-limit ceiling applied in workers (sandbox: a runaway-deep
+#: mutant raises RecursionError instead of exhausting the C stack).
+_WORKER_RECURSION_LIMIT = 20_000
+
+#: Seconds close() waits for a graceful worker shutdown before escalating
+#: to terminate()/kill().
+_CLOSE_GRACE_SECONDS = 2.0
+
+#: Seconds to wait for a killed worker to be reaped.
+_REAP_TIMEOUT_SECONDS = 2.0
+
+
+def _sandbox_worker(config: RepairConfig) -> None:
+    """Apply per-worker resource limits (worker-side, at init).
+
+    Bounds the recursion limit, and with ``config.worker_mem_mb > 0``
+    caps the worker's address-space *growth* via ``RLIMIT_AS`` so a
+    memory-ballooning mutant raises ``MemoryError`` inside the worker
+    (reported as a contained ``oom`` failure) instead of taking down the
+    host.  The cap is relative — current address space at worker init
+    plus ``worker_mem_mb`` of headroom — because a forked worker inherits
+    the parent's full image: an absolute cap smaller than that image
+    would make ordinary allocations fail, with the effective budget
+    depending on how much memory the *parent* happened to be using.
+    Best-effort: platforms without ``resource`` (or ``/proc/self/statm``)
+    skip or approximate the cap.
+    """
+    sys.setrecursionlimit(min(sys.getrecursionlimit(), _WORKER_RECURSION_LIMIT))
+    if config.worker_mem_mb > 0:
+        try:
+            import resource
+
+            limit = _current_address_space() + (int(config.worker_mem_mb) << 20)
+            resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+        except (ImportError, ValueError, OSError):  # pragma: no cover - platform
+            logger.warning("worker_mem_mb set but RLIMIT_AS unavailable; skipping")
+
+
+def _current_address_space() -> int:
+    """This process's mapped address space in bytes (0 if unknown)."""
+    try:
+        pages = int(Path("/proc/self/statm").read_text().split()[0])
+        return pages * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, ValueError, IndexError):  # pragma: no cover - platform
+        return 0
+
+
+def _worker_main(
+    conn: multiprocessing.connection.Connection,
+    testbench_text: str,
+    oracle: SimulationTrace,
+    config: RepairConfig,
+) -> None:
+    """Supervised worker loop: recv one task, evaluate, send one result.
+
+    Messages in: ``None`` (shutdown) or ``(design_text, chaos_kind)``.
+    Messages out: ``("ok", CandidateResult)`` or ``("fail", kind)`` for
+    failures contained inside the worker (``oom`` for ``MemoryError``,
+    ``crash`` for anything else that escapes the pipeline's guards).
+    """
+    _sandbox_worker(config)
+    testbench = parse(testbench_text)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if task is None:
+            break
+        text, chaos = task
+        try:
+            if chaos is not None:
+                _trigger_chaos(chaos)
+            result = evaluate_design_text(text, testbench, oracle, config)
+            conn.send(("ok", result.without_trace()))
+        except MemoryError:
+            _report_failure(conn, "oom")
+        except Exception:
+            _report_failure(conn, "crash")
+
+
+def _report_failure(conn: multiprocessing.connection.Connection, kind: str) -> None:
+    """Worker-side: report a contained failure, or die visibly trying."""
+    try:
+        conn.send(("fail", kind))
+    except Exception:  # pragma: no cover - pipe already broken
+        os._exit(1)  # the supervisor will see the death instead
+
+
+@dataclass
+class _Task:
+    """One candidate queued for supervised evaluation."""
+
+    #: Position in the batch (``results[index]`` receives the outcome).
+    index: int
+    #: The candidate design text to score.
+    text: str
+    #: Planted chaos fault ``(kind, once)``, or None (the normal case).
+    chaos: tuple[str, bool] | None = None
+    #: Dispatch attempts made so far (incremented on assignment).
+    attempts: int = 0
+
+
+class _Worker:
+    """One supervised worker process plus its duplex task pipe."""
+
+    __slots__ = ("conn", "process", "task", "deadline")
+
+    def __init__(self, ctx: multiprocessing.context.BaseContext, init_args: tuple):
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn, *init_args), daemon=True
+        )
+        self.process.start()
+        # Close the child's end in the parent so a dead worker surfaces
+        # as EOF on our end of the pipe.
+        child_conn.close()
+        #: The in-flight :class:`_Task`, or None when idle.
+        self.task: _Task | None = None
+        #: Monotonic deadline for the in-flight task (None = no deadline).
+        self.deadline: float | None = None
+
+    @property
+    def idle(self) -> bool:
+        """True when no task is in flight on this worker."""
+        return self.task is None
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """The preferred multiprocessing context (fork where available)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ProcessPoolBackend:
+    """A supervised pool of worker processes scoring candidates in parallel.
+
+    Workers parse the instrumented testbench and load the oracle once at
+    initialisation; each task ships only a candidate design text and each
+    result only ``(fitness, breakdown, compiled, trace summary)``.  The
+    pool persists across generations (and across seeds, when shared via
+    :func:`repro.core.repair.repair`), so the per-candidate overhead is
+    one pickle round-trip, not a process spawn.
+
+    Unlike a blocking ``pool.map``, dispatch is per task under a
+    supervisor: deadlines, crash detection, respawn, bounded retries,
+    and quarantine (module docstring, "Fault tolerance").  Results are
+    keyed by batch index, so input order is preserved regardless of
+    completion order — with no faults the output is bit-identical to the
+    serial backend's.
+    """
+
+    def __init__(
+        self,
+        testbench_text: str,
+        oracle: SimulationTrace,
+        config: RepairConfig,
+        workers: int = 2,
+    ):
+        self.workers = max(1, int(workers))
+        self.config = config
+        self.oracle = oracle
+        self._testbench_text = testbench_text
+        self._testbench_tree: ast.Source | None = None  # for inline fallback
+        self._init_args = (testbench_text, oracle, config)
+        self._ctx = _mp_context()
+        self._incidents: list[SupervisionIncident] = []
+        #: Task dispatch counter (first attempts only) — the ordinal the
+        #: chaos plan keys on; deterministic given the engine's schedule.
+        self._dispatch_ordinal = 0
+        self._chaos_plan = _active_chaos_plan()
+        self._workers: list[_Worker] | None = None
+        spawned: list[_Worker] = []
+        try:
+            for _ in range(self.workers):
+                spawned.append(_Worker(self._ctx, self._init_args))
+        except BaseException:
+            for worker in spawned:
+                _discard_worker(worker)
+            raise
+        self._workers = spawned
+
+    @staticmethod
+    def for_problem(
+        problem: "RepairProblem", config: RepairConfig, workers: int | None = None
+    ) -> "ProcessPoolBackend":
+        """Build a pool backend for a :class:`RepairProblem`."""
+        return ProcessPoolBackend(
+            problem.testbench_text,
+            problem.oracle,
+            config,
+            workers if workers is not None else config.workers,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch evaluation under supervision
+    # ------------------------------------------------------------------
+
+    def evaluate_batch(self, design_texts: Sequence[str]) -> list[CandidateResult]:
+        """Fan the batch out over the pool; results come back in order.
+
+        Each candidate is dispatched as its own task (workers are
+        load-balanced — a non-compiling mutant is ~100x cheaper than a
+        full simulation, so larger chunks would serialise behind
+        stragglers) and supervised against the configured deadline and
+        retry budget.  Every input slot is always filled: a candidate
+        that exhausts its retries comes back as a quarantined
+        :class:`EvalFailure` result.
+        """
+        if self._workers is None:
+            raise RuntimeError("ProcessPoolBackend used after close()")
+        texts = list(design_texts)
+        if not texts:
+            return []
+        pending: deque[_Task] = deque()
+        for i, text in enumerate(texts):
+            chaos = self._chaos_plan.get(self._dispatch_ordinal)
+            self._dispatch_ordinal += 1
+            pending.append(_Task(i, text, chaos))
+        results: list[CandidateResult | None] = [None] * len(texts)
+        self._supervise(pending, results)
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def take_incidents(self) -> list[SupervisionIncident]:
+        """Drain the supervision incidents recorded since the last drain."""
+        incidents, self._incidents = self._incidents, []
+        return incidents
+
+    # -- supervisor internals ------------------------------------------
+
+    def _supervise(
+        self, pending: deque[_Task], results: list[CandidateResult | None]
+    ) -> None:
+        """Drive tasks to completion: assign, wait, collect, recover."""
+        workers = self._workers
+        assert workers is not None
+        while pending or any(not w.idle for w in workers):
+            if not workers:
+                # Could not respawn a single worker: never wedge — finish
+                # the batch inline (no sandbox/deadline, but no faults
+                # either outside deliberate chaos runs).
+                self._evaluate_inline(pending, results)
+                return
+            for worker in workers:
+                if not pending:
+                    break
+                if worker.idle:
+                    task = pending.popleft()
+                    if not self._assign(worker, task):
+                        self._recover(worker, task, "crash", pending, results)
+            busy = [w for w in workers if not w.idle]
+            if not busy:
+                continue
+            ready = self._wait_on(busy)
+            now = time.monotonic()
+            for worker in busy:
+                if worker.conn in ready:
+                    self._collect(worker, pending, results)
+                elif worker.process.sentinel in ready or not worker.process.is_alive():
+                    task = worker.task
+                    assert task is not None
+                    self._recover(worker, task, None, pending, results)
+                elif worker.deadline is not None and now >= worker.deadline:
+                    task = worker.task
+                    assert task is not None
+                    worker.process.kill()
+                    self._recover(worker, task, "timeout", pending, results)
+
+    def _assign(self, worker: _Worker, task: _Task) -> bool:
+        """Send one task to an idle worker; False if the pipe is broken."""
+        task.attempts += 1
+        chaos_kind: str | None = None
+        if task.chaos is not None:
+            kind, once = task.chaos
+            if not once or task.attempts == 1:
+                chaos_kind = kind
+        try:
+            worker.conn.send((task.text, chaos_kind))
+        except (OSError, ValueError):
+            return False
+        worker.task = task
+        deadline_s = self.config.eval_deadline_seconds
+        worker.deadline = (
+            time.monotonic() + deadline_s if deadline_s > 0 else None
+        )
+        return True
+
+    def _wait_on(self, busy: list[_Worker]) -> set[object]:
+        """Block until a result, a worker death, or the nearest deadline."""
+        timeout: float | None = None
+        deadlines = [w.deadline for w in busy if w.deadline is not None]
+        if deadlines:
+            timeout = max(0.0, min(deadlines) - time.monotonic())
+        handles = [w.conn for w in busy] + [w.process.sentinel for w in busy]
+        return set(multiprocessing.connection.wait(handles, timeout))
+
+    def _collect(
+        self,
+        worker: _Worker,
+        pending: deque[_Task],
+        results: list[CandidateResult | None],
+    ) -> None:
+        """Read one worker message (result or contained failure)."""
+        task = worker.task
+        assert task is not None
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            self._recover(worker, task, None, pending, results)
+            return
+        worker.task = None
+        worker.deadline = None
+        status, payload = message
+        if status == "ok":
+            results[task.index] = payload
+        else:
+            # Contained worker-side failure ("oom"/"crash"): the worker
+            # survives, only the candidate is retried or quarantined.
+            self._fail_task(task, payload, None, pending, results)
+
+    def _recover(
+        self,
+        worker: _Worker,
+        task: _Task,
+        kind: str | None,
+        pending: deque[_Task],
+        results: list[CandidateResult | None],
+    ) -> None:
+        """Replace a dead/killed worker and retry or quarantine its task.
+
+        ``kind`` is ``"timeout"`` / ``"crash"`` when the supervisor knows
+        why; None classifies from the exit code (SIGKILL without a
+        deadline expiry reads as the OOM killer → ``"oom"``).
+        """
+        workers = self._workers
+        assert workers is not None
+        exitcode = _reap(worker)
+        if worker in workers:
+            workers.remove(worker)
+        if kind is None:
+            kind = "oom" if exitcode == -9 else "crash"
+        try:
+            workers.append(_Worker(self._ctx, self._init_args))
+        except (OSError, ValueError):
+            logger.warning(
+                "could not respawn an evaluation worker (%d left)", len(workers)
+            )
+        self._fail_task(task, kind, exitcode, pending, results)
+
+    def _fail_task(
+        self,
+        task: _Task,
+        kind: str,
+        exitcode: int | None,
+        pending: deque[_Task],
+        results: list[CandidateResult | None],
+    ) -> None:
+        """Requeue a failed task, or quarantine it when retries are spent."""
+        quarantined = task.attempts > self.config.eval_max_retries
+        self._incidents.append(
+            SupervisionIncident(kind, task.attempts, quarantined, exitcode)
+        )
+        logger.warning(
+            "candidate evaluation %s (attempt %d): %s",
+            kind, task.attempts,
+            "quarantined" if quarantined else "requeued",
+        )
+        if quarantined:
+            results[task.index] = _quarantine_result(kind, task.attempts)
+        else:
+            pending.append(task)
+
+    def _evaluate_inline(
+        self, pending: deque[_Task], results: list[CandidateResult | None]
+    ) -> None:
+        """Last-resort serial fallback when no worker can be spawned."""
+        logger.warning(
+            "no evaluation workers available; finishing the batch inline"
+        )
+        if self._testbench_tree is None:
+            self._testbench_tree = parse(self._testbench_text)
+        while pending:
+            task = pending.popleft()
+            results[task.index] = evaluate_design_text(
+                task.text, self._testbench_tree, self.oracle, self.config
+            ).without_trace()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down gracefully, escalating only on a timeout.
+
+        Workers receive a shutdown sentinel and get a short grace period
+        to drain and exit on their own (so a normal shutdown never
+        discards in-flight state); stragglers are terminated, then
+        killed.  Idempotent.
+        """
+        workers, self._workers = self._workers, None
+        if workers is None:
+            return
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + _CLOSE_GRACE_SECONDS
+        for worker in workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+        for worker in workers:
+            _discard_worker(worker)
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        """Support ``with ProcessPoolBackend(...) as backend:``."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close the pool on scope exit."""
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _reap(worker: _Worker) -> int | None:
+    """Join (escalating to kill) one worker and close its pipe."""
+    process = worker.process
+    if process.is_alive():
+        process.join(_REAP_TIMEOUT_SECONDS)
+        if process.is_alive():
+            process.kill()
+            process.join(_REAP_TIMEOUT_SECONDS)
+    try:
+        worker.conn.close()
+    except (OSError, ValueError):  # pragma: no cover - already closed
+        pass
+    return process.exitcode
+
+
+def _discard_worker(worker: _Worker) -> None:
+    """Terminate-then-kill one worker during shutdown (best-effort)."""
+    process = worker.process
+    if process.is_alive():
+        process.terminate()
+        process.join(_REAP_TIMEOUT_SECONDS)
+        if process.is_alive():  # pragma: no cover - stubborn worker
+            process.kill()
+            process.join(_REAP_TIMEOUT_SECONDS)
+    try:
+        worker.conn.close()
+    except (OSError, ValueError):  # pragma: no cover - already closed
+        pass
+
+
+# ----------------------------------------------------------------------
+# Unsupervised baseline (benchmarks only)
+# ----------------------------------------------------------------------
+
+#: Per-worker state installed by :func:`_pool_initializer` — the retained
+#: pre-supervision ``multiprocessing.Pool`` path, kept as the baseline
+#: that ``benchmarks/test_supervised_eval.py`` measures overhead against.
 _WORKER_STATE: dict[str, object] = {}
 
 
@@ -265,74 +956,6 @@ def _pool_evaluate(design_text: str) -> CandidateResult:
         _WORKER_STATE["config"],  # type: ignore[arg-type]
     )
     return result.without_trace()
-
-
-def _mp_context() -> multiprocessing.context.BaseContext:
-    """The preferred multiprocessing context (fork where available)."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
-class ProcessPoolBackend:
-    """A persistent worker pool evaluating candidate batches in parallel.
-
-    Workers parse the instrumented testbench and load the oracle once at
-    initialisation; each task ships only a candidate design text and each
-    result only ``(fitness, breakdown, compiled, trace summary)``.  The
-    pool persists across generations (and across seeds, when shared via
-    :func:`repro.core.repair.repair`), so the per-candidate overhead is
-    one pickle round-trip, not a process spawn.
-    """
-
-    def __init__(
-        self,
-        testbench_text: str,
-        oracle: SimulationTrace,
-        config: RepairConfig,
-        workers: int = 2,
-    ):
-        self.workers = max(1, int(workers))
-        self._pool: multiprocessing.pool.Pool | None = _mp_context().Pool(
-            processes=self.workers,
-            initializer=_pool_initializer,
-            initargs=(testbench_text, oracle, config),
-        )
-
-    @staticmethod
-    def for_problem(
-        problem: "RepairProblem", config: RepairConfig, workers: int | None = None
-    ) -> "ProcessPoolBackend":
-        """Build a pool backend for a :class:`RepairProblem`."""
-        return ProcessPoolBackend(
-            problem.testbench_text,
-            problem.oracle,
-            config,
-            workers if workers is not None else config.workers,
-        )
-
-    def evaluate_batch(self, design_texts: Sequence[str]) -> list[CandidateResult]:
-        """Fan the batch out over the pool; results come back in order."""
-        if self._pool is None:
-            raise RuntimeError("ProcessPoolBackend used after close()")
-        if not design_texts:
-            return []
-        # chunksize=1 keeps workers load-balanced: candidate costs vary
-        # wildly (a non-compiling mutant is ~100x cheaper than a full
-        # simulation), so large chunks would serialise behind stragglers.
-        return self._pool.map(_pool_evaluate, list(design_texts), chunksize=1)
-
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-
-    def __del__(self):  # pragma: no cover - GC safety net
-        try:
-            self.close()
-        except Exception:
-            pass
 
 
 def make_backend(problem: "RepairProblem", config: RepairConfig) -> EvaluationBackend:

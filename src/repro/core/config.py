@@ -88,6 +88,22 @@ class RepairConfig:
     #: the full catalog).  The default is the structurally-doomed trio —
     #: multi-driver, inferred-latch, comb-loop.
     lint_gate_rules: str = DEFAULT_GATE_RULES
+    #: Per-candidate wall-clock deadline (seconds) enforced by the
+    #: supervised process pool; 0 disables it.  The default is a generous
+    #: multiple of any realistic simulation budget, so the deterministic
+    #: ``max_sim_steps`` cutoff stays the canonical bound and the
+    #: deadline only fires on candidates that are truly wedged (infinite
+    #: loops outside the simulator's step accounting).
+    eval_deadline_seconds: float = 600.0
+    #: How many times a failed (timed-out / crashed / OOM'd) candidate is
+    #: re-dispatched before the pool quarantines it as an
+    #: :class:`~repro.core.backend.EvalFailure` result.
+    eval_max_retries: int = 1
+    #: Per-worker address-space *headroom* in MiB (``RLIMIT_AS``, set to
+    #: the worker's inherited image plus this much); 0 = no cap.  A
+    #: ballooning candidate then raises ``MemoryError`` inside its
+    #: worker instead of invoking the host's OOM killer.
+    worker_mem_mb: int = 0
 
     def scaled(self, **overrides: object) -> "RepairConfig":
         """A copy with some fields replaced (for laptop-scale runs)."""
@@ -144,6 +160,15 @@ class RepairConfig:
             resolve_rules(self.lint_gate_rules)
         except ValueError as exc:
             fail(f"bad lint_gate_rules: {exc}")
+        if self.eval_deadline_seconds < 0:
+            fail(
+                "eval_deadline_seconds must be >= 0 "
+                f"(got {self.eval_deadline_seconds})"
+            )
+        if self.eval_max_retries < 0:
+            fail(f"eval_max_retries must be >= 0 (got {self.eval_max_retries})")
+        if self.worker_mem_mb < 0:
+            fail(f"worker_mem_mb must be >= 0 (got {self.worker_mem_mb})")
         return self
 
     @classmethod

@@ -27,6 +27,7 @@ regardless of backend (see ``docs/repair_engine.md``).
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import random
 import time as time_mod
@@ -43,11 +44,14 @@ from ..obs.events import (
     BackendChunkDispatched,
     CandidateEvaluated,
     CandidatePruned,
+    CandidateTimedOut,
+    ChunkRetried,
     GenerationCompleted,
     PhaseCompleted,
     PlausiblePatchFound,
     TrialCompleted,
     TrialStarted,
+    WorkerCrashed,
 )
 from ..obs.observer import ObserverSet, RepairObserver
 from .backend import (
@@ -115,6 +119,9 @@ class RepairOutcome:
     #: Unique candidates the lint gate rejected before simulation
     #: (0 when ``config.lint_gate`` is off).
     pruned: int = 0
+    #: Candidates the supervised pool quarantined after exhausting their
+    #: retries (0 on healthy runs and on the serial backend).
+    quarantined: int = 0
 
     def describe(self) -> str:
         """One-line summary for logs and CLI output."""
@@ -236,6 +243,10 @@ class CirFixEngine:
         #: Unique candidates the gate rejected / per-rule breakdown.
         self.candidates_pruned = 0
         self.pruned_by_rule: dict[str, int] = {}
+        #: Candidates the supervised pool quarantined / per-kind breakdown
+        #: (see ``docs/repair_engine.md``, "Fault tolerance").
+        self.candidates_quarantined = 0
+        self.quarantined_by_kind: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Candidate evaluation
@@ -451,11 +462,20 @@ class CirFixEngine:
                         chunk=chunk_id, size=len(chunk), wall_seconds=chunk_seconds
                     )
                 )
+            self._note_incidents(chunk_id, backend)
             for text, result in zip(chunk, chunk_results):
                 self.simulations += 1
                 self.eval_sims += 1
                 self.mutants_generated += 1
-                if not result.compiled:
+                if result.failure is not None:
+                    # Quarantined by the supervisor — not a compile
+                    # verdict, so keep it out of the compile-failure
+                    # ablation statistics.
+                    self.candidates_quarantined += 1
+                    self.quarantined_by_kind[result.failure.kind] = (
+                        self.quarantined_by_kind.get(result.failure.kind, 0) + 1
+                    )
+                elif not result.compiled:
                     self.mutants_compile_failed += 1
                 self.phase_seconds["parse"] += result.parse_seconds
                 if self.events:
@@ -469,6 +489,45 @@ class CirFixEngine:
                 if evaluation.fitness >= 1.0:
                     found_winner = True
         return results
+
+    def _note_incidents(self, chunk_id: int, backend: EvaluationBackend) -> None:
+        """Drain supervision incidents for one chunk into events.
+
+        Healthy runs never have incidents, so this is a no-op on the
+        deterministic schedule — golden event sequences are untouched.
+        Quarantine *counters* are tallied from the results themselves
+        (which also covers externally-owned backends); this method only
+        produces the per-incident telemetry.
+        """
+        take = getattr(backend, "take_incidents", None)
+        if take is None:
+            return
+        incidents = take()
+        if not incidents or not self.events:
+            return
+        requeued = 0
+        for incident in incidents:
+            if not incident.quarantined:
+                requeued += 1
+            if incident.kind == "timeout":
+                self.events.emit(
+                    CandidateTimedOut(
+                        deadline_seconds=self.config.eval_deadline_seconds,
+                        attempt=incident.attempt,
+                        quarantined=incident.quarantined,
+                    )
+                )
+            else:
+                self.events.emit(
+                    WorkerCrashed(
+                        kind=incident.kind,
+                        exitcode=incident.exitcode,
+                        attempt=incident.attempt,
+                        quarantined=incident.quarantined,
+                    )
+                )
+        if requeued:
+            self.events.emit(ChunkRetried(chunk=chunk_id, requeued=requeued))
 
     # ------------------------------------------------------------------
     # Fault localization per parent (paper: re-localize per reproduction)
@@ -752,6 +811,7 @@ class CirFixEngine:
             seed=self.seed,
             eval_sims=self.eval_sims,
             pruned=self.candidates_pruned,
+            quarantined=self.candidates_quarantined,
         )
         if self.events:
             # Fixed emission order (all four phases, then the trial
@@ -771,6 +831,7 @@ class CirFixEngine:
                     edits=len(outcome.patch),
                     elapsed_seconds=outcome.elapsed_seconds,
                     pruned=outcome.pruned,
+                    quarantined=outcome.quarantined,
                 )
             )
         return outcome
@@ -814,10 +875,13 @@ def repair(
         if outcome is not None:
             return outcome
         # Pool unavailable on this host: fall through to the serial sweep.
-    owns_backend = backend is None
-    if owns_backend:
+    scope: contextlib.AbstractContextManager
+    if backend is None:
         backend = make_backend(problem, config)
-    try:
+        scope = backend  # backends are context managers; exit closes
+    else:
+        scope = contextlib.nullcontext()  # caller owns the backend
+    with scope:
         best: RepairOutcome | None = None
         for seed in seeds:
             outcome = CirFixEngine(
@@ -829,9 +893,6 @@ def repair(
                 best = outcome
         assert best is not None
         return best
-    finally:
-        if owns_backend and backend is not None:
-            backend.close()
 
 
 def _trial_payload(problem: RepairProblem, config: RepairConfig, seed: int) -> tuple:

@@ -101,6 +101,7 @@ def outcome_to_json(outcome: RepairOutcome, scenario_id: str = "") -> str:
             "fitness_evals": outcome.fitness_evals,
             "eval_sims": outcome.eval_sims,
             "pruned": outcome.pruned,
+            "quarantined": outcome.quarantined,
             "simulations": outcome.simulations,
             "elapsed_seconds": round(outcome.elapsed_seconds, 3),
             "seed": outcome.seed,

@@ -8,6 +8,7 @@ records which preset produced the committed numbers.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import time
 from dataclasses import dataclass, field
@@ -111,7 +112,8 @@ def run_scenario(
     backend: EvaluationBackend | None = (
         make_backend(problem, scaled) if scaled.workers > 1 else None
     )
-    try:
+    # Backends are context managers; a serial run needs no scope at all.
+    with backend if backend is not None else contextlib.nullcontext():
         for seed in seeds:
             outcome = CirFixEngine(
                 problem, scaled, seed, backend=backend, observers=events
@@ -122,9 +124,6 @@ def run_scenario(
             if outcome.plausible:
                 winner = outcome
                 break
-    finally:
-        if backend is not None:
-            backend.close()
     assert best is not None
     chosen = winner if winner is not None else best
     correct = False

@@ -94,7 +94,34 @@ def swap_case_labels() -> Iterator[None]:
         yield
 
 
+@contextmanager
+def plant_eval_chaos(spec: str) -> Iterator[None]:
+    """Plant supervised-pool chaos faults while the context is active.
+
+    ``spec`` is a chaos plan like ``"hang@3,exit@7:once"`` — each entry
+    plants one fault (``hang`` / ``exit`` / ``balloon``) on the Nth task
+    the pool dispatches (see
+    :func:`repro.core.backend.parse_chaos_spec`).  The plan is installed
+    process-wide and snapshotted by each
+    :class:`~repro.core.backend.ProcessPoolBackend` at construction, so
+    build the backend *inside* the context; the previous plan (normally
+    none) is restored on exit.  This is the test-only hook behind the
+    fault-tolerance acceptance tests and the ``check_all.sh`` chaos
+    smoke — the same faults can be planted without code via the
+    ``REPRO_EVAL_CHAOS`` environment variable.
+    """
+    from ..core import backend as backend_mod
+
+    previous = backend_mod.set_chaos_plan(backend_mod.parse_chaos_spec(spec))
+    try:
+        yield
+    finally:
+        backend_mod.set_chaos_plan(previous)
+
+
 #: name → context-manager factory, the ``--inject-fault`` registry.
+#: (Codegen faults only: :func:`plant_eval_chaos` targets the evaluation
+#: pool, not the fuzz oracles, and takes a spec argument.)
 FAULTS: dict[str, Callable] = {
     "drop_ternary_parens": drop_ternary_parens,
     "drop_binary_parens": drop_binary_parens,

@@ -26,6 +26,8 @@ from .events import (
     BackendChunkDispatched,
     CandidateEvaluated,
     CandidatePruned,
+    CandidateTimedOut,
+    ChunkRetried,
     FuzzProgramChecked,
     FuzzRunCompleted,
     FuzzViolationFound,
@@ -35,6 +37,7 @@ from .events import (
     RepairEvent,
     TrialCompleted,
     TrialStarted,
+    WorkerCrashed,
     event_from_dict,
 )
 from .jsonl import JsonlTraceObserver, read_events, read_trace
@@ -48,6 +51,9 @@ __all__ = [
     "TrialCompleted",
     "CandidateEvaluated",
     "CandidatePruned",
+    "CandidateTimedOut",
+    "WorkerCrashed",
+    "ChunkRetried",
     "GenerationCompleted",
     "BackendChunkDispatched",
     "BackendChunkCompleted",

@@ -141,6 +141,57 @@ class BackendChunkCompleted(RepairEvent):
 
 
 @dataclass(frozen=True)
+class CandidateTimedOut(RepairEvent):
+    """The supervised pool killed a candidate that exceeded its deadline.
+
+    Emitted (via the engine, which drains backend incidents at chunk
+    boundaries) once per timed-out dispatch attempt.  ``quarantined``
+    marks the final attempt — the candidate scored a deterministic
+    :class:`~repro.core.backend.EvalFailure`; otherwise it was requeued.
+    Fault-path only: a run with no deadline hits emits none of these, so
+    golden traces are unaffected.
+    """
+
+    type: ClassVar[str] = "candidate_timed_out"
+    deadline_seconds: float
+    attempt: int
+    quarantined: bool
+
+
+@dataclass(frozen=True)
+class WorkerCrashed(RepairEvent):
+    """An evaluation worker died (or contained a fatal candidate failure).
+
+    ``kind`` is ``"crash"`` or ``"oom"``; ``exitcode`` is the worker's
+    exit code when the process died (negative = killed by that signal),
+    or None when the worker survived and reported the failure itself.
+    The pool respawned the worker; the candidate was requeued or, when
+    ``quarantined``, scored as an :class:`~repro.core.backend.EvalFailure`.
+    Fault-path only — never emitted by a healthy run.
+    """
+
+    type: ClassVar[str] = "worker_crashed"
+    kind: str
+    exitcode: int | None
+    attempt: int
+    quarantined: bool
+
+
+@dataclass(frozen=True)
+class ChunkRetried(RepairEvent):
+    """A chunk needed supervised re-dispatches to complete.
+
+    Emitted after the chunk's ``backend_chunk_completed`` when any of its
+    candidates were requeued (``requeued`` counts the re-dispatches).
+    Quarantined-only failures do not emit this.  Fault-path only.
+    """
+
+    type: ClassVar[str] = "chunk_retried"
+    chunk: int
+    requeued: int
+
+
+@dataclass(frozen=True)
 class PlausiblePatchFound(RepairEvent):
     """A candidate reached fitness 1.0 (before minimization)."""
 
@@ -181,6 +232,8 @@ class TrialCompleted(RepairEvent):
     elapsed_seconds: float
     #: Unique candidates the lint gate rejected (0 when the gate is off).
     pruned: int = 0
+    #: Candidates the supervised pool quarantined (0 on healthy runs).
+    quarantined: int = 0
 
 
 @dataclass(frozen=True)
@@ -233,6 +286,9 @@ EVENT_TYPES: dict[str, type[RepairEvent]] = {
         GenerationCompleted,
         BackendChunkDispatched,
         BackendChunkCompleted,
+        CandidateTimedOut,
+        WorkerCrashed,
+        ChunkRetried,
         PlausiblePatchFound,
         PhaseCompleted,
         TrialCompleted,

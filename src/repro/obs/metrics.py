@@ -23,12 +23,15 @@ from .events import (
     BackendChunkDispatched,
     CandidateEvaluated,
     CandidatePruned,
+    CandidateTimedOut,
+    ChunkRetried,
     GenerationCompleted,
     PhaseCompleted,
     PlausiblePatchFound,
     RepairEvent,
     TrialCompleted,
     TrialStarted,
+    WorkerCrashed,
 )
 
 #: Phase keys in canonical display order.
@@ -98,6 +101,19 @@ class MetricsObserver:
     chunks_completed: int = 0
     chunk_candidates: int = 0
     chunk_seconds: Summary = field(default_factory=Summary)
+    # -- supervision (fault-path only; all zero on healthy runs) --------
+    #: Dispatch attempts the supervised pool killed at the deadline.
+    candidates_timed_out: int = 0
+    #: Worker-death kind (``crash``/``oom``) → observed count.
+    worker_failures: dict[str, int] = field(default_factory=dict)
+    #: Candidates quarantined as deterministic ``EvalFailure`` results.
+    candidates_quarantined: int = 0
+    #: Quarantine kind (``timeout``/``crash``/``oom``) → count.
+    quarantined_by_kind: dict[str, int] = field(default_factory=dict)
+    #: Chunks that needed supervised re-dispatches to complete.
+    chunks_retried: int = 0
+    #: Total candidate re-dispatches across those chunks.
+    candidates_requeued: int = 0
     # -- phases ---------------------------------------------------------
     phase_seconds: dict[str, float] = field(default_factory=dict)
     # -- search shape ---------------------------------------------------
@@ -131,6 +147,25 @@ class MetricsObserver:
         elif isinstance(event, BackendChunkCompleted):
             self.chunks_completed += 1
             self.chunk_seconds.add(event.wall_seconds)
+        elif isinstance(event, CandidateTimedOut):
+            self.candidates_timed_out += 1
+            if event.quarantined:
+                self.candidates_quarantined += 1
+                self.quarantined_by_kind["timeout"] = (
+                    self.quarantined_by_kind.get("timeout", 0) + 1
+                )
+        elif isinstance(event, WorkerCrashed):
+            self.worker_failures[event.kind] = (
+                self.worker_failures.get(event.kind, 0) + 1
+            )
+            if event.quarantined:
+                self.candidates_quarantined += 1
+                self.quarantined_by_kind[event.kind] = (
+                    self.quarantined_by_kind.get(event.kind, 0) + 1
+                )
+        elif isinstance(event, ChunkRetried):
+            self.chunks_retried += 1
+            self.candidates_requeued += event.requeued
         elif isinstance(event, PhaseCompleted):
             self.phase_seconds[event.phase] = (
                 self.phase_seconds.get(event.phase, 0.0) + event.seconds
@@ -213,6 +248,16 @@ class MetricsObserver:
                 "completed": self.chunks_completed,
                 "candidates": self.chunk_candidates,
                 "seconds": self.chunk_seconds.to_dict(),
+            },
+            "supervision": {
+                "timed_out": self.candidates_timed_out,
+                "worker_failures": dict(sorted(self.worker_failures.items())),
+                "quarantined": self.candidates_quarantined,
+                "quarantined_by_kind": dict(
+                    sorted(self.quarantined_by_kind.items())
+                ),
+                "chunks_retried": self.chunks_retried,
+                "requeued": self.candidates_requeued,
             },
             "phases": {
                 phase: round(self.phase_seconds.get(phase, 0.0), 6) for phase in PHASES

@@ -73,6 +73,25 @@ def render_report(events: list[RepairEvent], source: str = "run.jsonl") -> str:
                     if metrics.candidates_pruned
                     else []
                 ),
+                # Supervision rows appear only when the fault-tolerance
+                # machinery actually fired, so healthy-run reports are
+                # unchanged.
+                *(
+                    [["quarantined by supervisor", str(metrics.candidates_quarantined)]]
+                    if metrics.candidates_quarantined
+                    else []
+                ),
+                *(
+                    [[f"quarantined as {kind}", str(count)]
+                     for kind, count in sorted(metrics.quarantined_by_kind.items())]
+                    if metrics.candidates_quarantined
+                    else []
+                ),
+                *(
+                    [["requeued after worker faults", str(metrics.candidates_requeued)]]
+                    if metrics.candidates_requeued
+                    else []
+                ),
                 ["compile failures", str(metrics.compile_failures)],
                 ["fitness evals (incl. cached)", str(metrics.fitness_evals)],
                 ["simulations", str(metrics.simulations)],

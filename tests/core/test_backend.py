@@ -1,24 +1,33 @@
 """Evaluation-backend tests: splice correctness, serial/pool batch parity,
-and cross-backend determinism of whole repair runs.
+supervised fault recovery, and cross-backend determinism of whole repair
+runs.
 
 The parallel backend must be an implementation detail: same scenario, same
 seed, same outcome — whether candidates are scored in-process or by a pool
 of worker processes.  Simulation *counts* may differ (pool results carry no
 traces, so the engine occasionally re-simulates a parent for localization);
-everything the search decides on must not.
+everything the search decides on must not.  And under deliberately planted
+faults (hangs, hard exits, memory balloons — the chaos plan), the pool must
+quarantine exactly the poisoned candidates and keep going.
 """
+
+import logging
 
 import pytest
 
 from repro.core import TEST_CONFIG, CirFixEngine, RepairProblem
 from repro.core.backend import (
+    EvalFailure,
     ProcessPoolBackend,
     SerialBackend,
+    evaluate_design_text,
     make_backend,
+    parse_chaos_spec,
     splice_testbench,
 )
 from repro.core.oracle import combine_sources, ensure_instrumented, generate_oracle
 from repro.core.repair import repair
+from repro.fuzz.faults import plant_eval_chaos
 from repro.hdl import generate, parse
 
 GOLDEN_FF = """
@@ -132,6 +141,221 @@ class TestBatchParity:
     def test_repair_unknown_backend_lists_valid_backends(self, problem):
         with pytest.raises(ValueError, match="valid backends: auto, serial, process"):
             repair(problem, TEST_CONFIG.scaled(backend="cluster"))
+
+
+#: Supervision-friendly config: short deadline, capped worker memory.
+SUPERVISED = TEST_CONFIG.scaled(
+    eval_deadline_seconds=5.0, eval_max_retries=0, worker_mem_mb=512
+)
+
+
+class TestChaosSpec:
+    def test_parse_spec(self):
+        assert parse_chaos_spec("hang@3, exit@7:once") == {
+            3: ("hang", False),
+            7: ("exit", True),
+        }
+
+    def test_parse_spec_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="bad chaos spec"):
+            parse_chaos_spec("segfault@1")
+
+    def test_parse_spec_rejects_missing_ordinal(self):
+        with pytest.raises(ValueError, match="bad chaos spec"):
+            parse_chaos_spec("hang")
+
+    def test_env_spec_malformed_is_ignored(self, problem, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_EVAL_CHAOS", "not a spec")
+        with caplog.at_level(logging.WARNING, logger="repro.repair"):
+            with ProcessPoolBackend.for_problem(problem, SUPERVISED, workers=1) as pool:
+                assert pool._chaos_plan == {}
+        assert any("REPRO_EVAL_CHAOS" in r.message for r in caplog.records)
+
+    def test_env_spec_plants_faults(self, problem, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_CHAOS", "exit@0")
+        with ProcessPoolBackend.for_problem(problem, SUPERVISED, workers=1) as pool:
+            (result,) = pool.evaluate_batch([GOLDEN_FF])
+        assert result.failure == EvalFailure("crash", 1)
+
+
+class TestSupervisedPool:
+    def test_hang_quarantined_as_timeout(self, problem):
+        config = SUPERVISED.scaled(eval_deadline_seconds=1.0)
+        with plant_eval_chaos("hang@0"):
+            with ProcessPoolBackend.for_problem(problem, config, workers=2) as pool:
+                results = pool.evaluate_batch([BROKEN_TEXT, GOLDEN_FF, FAULTY_FF])
+        assert results[0].failure == EvalFailure("timeout", 1)
+        assert results[0].fitness == 0.0 and not results[0].compiled
+        # The rest of the batch is unaffected by the poisoned slot.
+        assert results[1].compiled and results[1].failure is None
+        assert results[2].compiled and results[2].failure is None
+
+    def test_hard_exit_retried_then_quarantined(self, problem):
+        config = SUPERVISED.scaled(eval_max_retries=1)
+        with plant_eval_chaos("exit@1"):
+            with ProcessPoolBackend.for_problem(problem, config, workers=2) as pool:
+                results = pool.evaluate_batch([GOLDEN_FF, FAULTY_FF])
+                incidents = pool.take_incidents()
+        assert results[0].failure is None
+        assert results[1].failure == EvalFailure("crash", 2)
+        kinds = [(i.kind, i.quarantined) for i in incidents]
+        assert kinds == [("crash", False), ("crash", True)]
+        assert incidents[0].exitcode == 43  # the planted os._exit(43)
+
+    def test_balloon_quarantined_as_oom(self, problem):
+        # A small RLIMIT_AS cap so the balloon trips it quickly, and a
+        # roomy deadline so slow hosts classify this as oom, not timeout.
+        config = SUPERVISED.scaled(eval_deadline_seconds=60.0, worker_mem_mb=192)
+        with plant_eval_chaos("balloon@0"):
+            with ProcessPoolBackend.for_problem(problem, config, workers=2) as pool:
+                results = pool.evaluate_batch([GOLDEN_FF, FAULTY_FF])
+        assert results[0].failure == EvalFailure("oom", 1)
+        assert results[1].failure is None and results[1].compiled
+
+    def test_once_fault_recovers_on_retry(self, problem):
+        config = SUPERVISED.scaled(eval_max_retries=1)
+        with SerialBackend.for_problem(problem, config) as serial:
+            (expected,) = serial.evaluate_batch([GOLDEN_FF])
+        with plant_eval_chaos("exit@0:once"):
+            with ProcessPoolBackend.for_problem(problem, config, workers=2) as pool:
+                (result,) = pool.evaluate_batch([GOLDEN_FF])
+                incidents = pool.take_incidents()
+        # First attempt died, the requeued retry produced the real score.
+        assert result.failure is None
+        assert result.fitness == expected.fitness
+        assert result.summary == expected.summary
+        assert [(i.kind, i.quarantined) for i in incidents] == [("crash", False)]
+
+    def test_pool_keeps_working_after_respawn(self, problem):
+        with plant_eval_chaos("exit@0"):
+            with ProcessPoolBackend.for_problem(problem, SUPERVISED, workers=2) as pool:
+                first = pool.evaluate_batch([GOLDEN_FF, FAULTY_FF])
+                assert first[0].failure is not None
+                # The respawned worker serves later batches normally.
+                second = pool.evaluate_batch([GOLDEN_FF, BROKEN_TEXT, FAULTY_FF])
+        assert [r.failure for r in second] == [None, None, None]
+        assert second[0].compiled and not second[1].compiled
+
+    def test_take_incidents_drains(self, problem):
+        with plant_eval_chaos("exit@0"):
+            with ProcessPoolBackend.for_problem(problem, SUPERVISED, workers=2) as pool:
+                pool.evaluate_batch([GOLDEN_FF])
+                assert len(pool.take_incidents()) == 1
+                assert pool.take_incidents() == []
+
+    def test_no_chaos_no_incidents_bitwise_parity(self, problem):
+        texts = [generate(problem.design), GOLDEN_FF, BROKEN_TEXT, FAULTY_FF]
+        with SerialBackend.for_problem(problem, SUPERVISED) as serial:
+            expected = serial.evaluate_batch(texts)
+        with ProcessPoolBackend.for_problem(problem, SUPERVISED, workers=2) as pool:
+            results = pool.evaluate_batch(texts)
+            assert pool.take_incidents() == []
+        for s, p in zip(expected, results):
+            assert (s.fitness, s.compiled, s.summary, s.breakdown) == (
+                p.fitness, p.compiled, p.summary, p.breakdown
+            )
+            assert p.failure is None
+
+    def test_empty_batch(self, problem):
+        with ProcessPoolBackend.for_problem(problem, SUPERVISED, workers=2) as pool:
+            assert pool.evaluate_batch([]) == []
+
+
+class TestBackendLifecycle:
+    def test_serial_context_manager(self, problem):
+        with SerialBackend.for_problem(problem, TEST_CONFIG) as backend:
+            (result,) = backend.evaluate_batch([GOLDEN_FF])
+        assert result.compiled
+        assert backend.take_incidents() == []
+
+    def test_pool_context_manager_reaps_workers(self, problem):
+        with ProcessPoolBackend.for_problem(problem, TEST_CONFIG, workers=2) as pool:
+            processes = [worker.process for worker in pool._workers]
+            assert pool.evaluate_batch([GOLDEN_FF])[0].compiled
+        for process in processes:
+            assert not process.is_alive()
+
+    def test_pool_close_idempotent_and_use_after_close(self, problem):
+        pool = ProcessPoolBackend.for_problem(problem, TEST_CONFIG, workers=1)
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError, match="after close"):
+            pool.evaluate_batch([GOLDEN_FF])
+
+
+class TestNeverRaises:
+    def test_fitness_crash_scores_zero(self, problem, monkeypatch):
+        import repro.core.backend as backend_mod
+
+        def boom(trace, oracle, phi):
+            raise RuntimeError("fitness scoring blew up")
+
+        monkeypatch.setattr(backend_mod, "evaluate_fitness", boom)
+        result = evaluate_design_text(
+            GOLDEN_FF, problem.testbench, problem.oracle, TEST_CONFIG
+        )
+        assert result.compiled  # the simulation itself succeeded
+        assert result.fitness == 0.0
+        assert result.breakdown is None and result.summary is None
+        assert result.sim_steps > 0  # sim counters survive the guard
+
+    def test_trace_decode_crash_scores_zero(self, problem, monkeypatch):
+        import repro.core.backend as backend_mod
+
+        def boom(records):
+            raise ValueError("degenerate recorded value")
+
+        monkeypatch.setattr(backend_mod.SimulationTrace, "from_records", boom)
+        result = evaluate_design_text(
+            GOLDEN_FF, problem.testbench, problem.oracle, TEST_CONFIG
+        )
+        assert result.compiled and result.fitness == 0.0
+
+    def test_parse_memory_error_scores_zero(self, problem, monkeypatch):
+        import repro.core.backend as backend_mod
+
+        def boom(text):
+            raise MemoryError
+
+        monkeypatch.setattr(backend_mod, "parse", boom)
+        result = evaluate_design_text(
+            GOLDEN_FF, problem.testbench, problem.oracle, TEST_CONFIG
+        )
+        assert not result.compiled
+        assert result.fitness == 0.0
+
+
+class TestMakeBackendDegraded:
+    def test_daemonic_process_falls_back_to_serial(self, problem, monkeypatch, caplog):
+        import repro.core.backend as backend_mod
+
+        class FakeDaemon:
+            daemon = True
+
+        monkeypatch.setattr(
+            backend_mod.multiprocessing, "current_process", lambda: FakeDaemon()
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.repair"):
+            with make_backend(problem, TEST_CONFIG.scaled(workers=2)) as backend:
+                assert isinstance(backend, SerialBackend)
+        assert any("worker process" in r.message for r in caplog.records)
+
+    def test_pool_creation_failure_falls_back_to_serial(
+        self, problem, monkeypatch, caplog
+    ):
+        import repro.core.backend as backend_mod
+
+        def boom(problem, config, workers=None):
+            raise OSError("cannot fork")
+
+        monkeypatch.setattr(
+            backend_mod.ProcessPoolBackend, "for_problem", staticmethod(boom)
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.repair"):
+            with make_backend(problem, TEST_CONFIG.scaled(workers=2)) as backend:
+                assert isinstance(backend, SerialBackend)
+                assert backend.evaluate_batch([GOLDEN_FF])[0].compiled
+        assert any("falling back to serial" in r.message for r in caplog.records)
 
 
 class TestCrossBackendDeterminism:

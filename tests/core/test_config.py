@@ -24,6 +24,18 @@ class TestDefaults:
     def test_extensions_off_by_default(self):
         assert RepairConfig().extended_templates is False
 
+    def test_supervision_defaults(self):
+        """The deadline defaults on (generously), sandboxing defaults off,
+        so ``max_sim_steps`` stays the canonical per-candidate cutoff."""
+        config = RepairConfig()
+        assert config.eval_deadline_seconds == 600.0
+        assert config.eval_max_retries == 1
+        assert config.worker_mem_mb == 0
+
+    def test_deadline_can_be_disabled(self):
+        assert RepairConfig(eval_deadline_seconds=0.0).validate()
+        assert RepairConfig(eval_max_retries=0).validate()
+
     def test_frozen(self):
         config = RepairConfig()
         with pytest.raises(dataclasses.FrozenInstanceError):
@@ -67,6 +79,9 @@ class TestValidate:
             ({"workers": 0}, "workers"),
             ({"backend": "gpu"}, "backend"),
             ({"eval_chunk_size": 0}, "eval_chunk_size"),
+            ({"eval_deadline_seconds": -1.0}, "eval_deadline_seconds"),
+            ({"eval_max_retries": -1}, "eval_max_retries"),
+            ({"worker_mem_mb": -1}, "worker_mem_mb"),
         ],
     )
     def test_out_of_range_rejected(self, overrides, fragment):
@@ -189,3 +204,13 @@ class TestFromCliArgs:
     def test_validation_applies(self):
         with pytest.raises(ConfigError, match="command line"):
             RepairConfig.from_cli_args({"population": 0})
+
+    def test_supervision_flags_reach_config(self):
+        """--eval-deadline / --worker-mem-mb land on their config fields
+        (argparse dests match the field names, so no alias is needed)."""
+        config = RepairConfig.from_cli_args(
+            {"eval_deadline_seconds": 2.5, "eval_max_retries": 0, "worker_mem_mb": 256}
+        )
+        assert config.eval_deadline_seconds == 2.5
+        assert config.eval_max_retries == 0
+        assert config.worker_mem_mb == 256

@@ -9,6 +9,8 @@ from repro.obs.events import (
     WALL_TIME_FIELDS,
     CandidateEvaluated,
     CandidatePruned,
+    CandidateTimedOut,
+    ChunkRetried,
     FuzzProgramChecked,
     FuzzRunCompleted,
     FuzzViolationFound,
@@ -16,6 +18,7 @@ from repro.obs.events import (
     PhaseCompleted,
     TrialCompleted,
     TrialStarted,
+    WorkerCrashed,
     event_from_dict,
 )
 
@@ -33,6 +36,9 @@ SAMPLES = [
         fitness_mean=0.4, fitness_max=0.9, eval_sims=30,
         operator_stats={"mutate": 7, "crossover": 3},
     ),
+    CandidateTimedOut(deadline_seconds=2.0, attempt=1, quarantined=False),
+    WorkerCrashed(kind="oom", exitcode=-9, attempt=2, quarantined=True),
+    ChunkRetried(chunk=3, requeued=2),
     PhaseCompleted(phase="evaluation", seconds=1.25),
     TrialCompleted(
         plausible=True, fitness=1.0, generations=2, eval_sims=40,
@@ -58,6 +64,7 @@ def test_registry_covers_all_types():
         "trial_started", "candidate_evaluated", "candidate_pruned",
         "generation_completed",
         "backend_chunk_dispatched", "backend_chunk_completed",
+        "candidate_timed_out", "worker_crashed", "chunk_retried",
         "plausible_patch_found", "phase_completed", "trial_completed",
         "fuzz_program_checked", "fuzz_violation_found", "fuzz_run_completed",
     }

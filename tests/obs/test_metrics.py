@@ -4,11 +4,14 @@ from repro.obs.events import (
     BackendChunkCompleted,
     BackendChunkDispatched,
     CandidateEvaluated,
+    CandidateTimedOut,
+    ChunkRetried,
     GenerationCompleted,
     PhaseCompleted,
     PlausiblePatchFound,
     TrialCompleted,
     TrialStarted,
+    WorkerCrashed,
 )
 from repro.obs.metrics import MetricsObserver, Summary
 
@@ -104,3 +107,32 @@ def test_multi_trial_totals_accumulate():
     assert m.eval_sims == 6
     assert m.simulations == 6
     assert m.elapsed_seconds == 4.0
+
+
+def test_supervision_counters():
+    stream = [
+        CandidateTimedOut(deadline_seconds=2.0, attempt=1, quarantined=False),
+        CandidateTimedOut(deadline_seconds=2.0, attempt=2, quarantined=True),
+        WorkerCrashed(kind="crash", exitcode=43, attempt=1, quarantined=False),
+        WorkerCrashed(kind="oom", exitcode=None, attempt=2, quarantined=True),
+        ChunkRetried(chunk=0, requeued=2),
+    ]
+    m = MetricsObserver.replay(stream)
+    assert m.candidates_timed_out == 2
+    assert m.worker_failures == {"crash": 1, "oom": 1}
+    assert m.candidates_quarantined == 2
+    assert m.quarantined_by_kind == {"timeout": 1, "oom": 1}
+    assert m.chunks_retried == 1
+    assert m.candidates_requeued == 2
+    supervision = m.summary()["supervision"]
+    assert supervision["quarantined"] == 2
+    assert supervision["quarantined_by_kind"] == {"oom": 1, "timeout": 1}
+    assert supervision["requeued"] == 2
+
+
+def test_supervision_block_zero_on_healthy_runs():
+    supervision = MetricsObserver.replay(STREAM).summary()["supervision"]
+    assert supervision == {
+        "timed_out": 0, "worker_failures": {}, "quarantined": 0,
+        "quarantined_by_kind": {}, "chunks_retried": 0, "requeued": 0,
+    }

@@ -51,6 +51,10 @@ class TestRepairCommand:
                 "60",
                 "--seeds",
                 "0",
+                "--eval-deadline",
+                "600",
+                "--worker-mem-mb",
+                "0",
                 "--output",
                 str(ff_files / "out2.v"),
             ]
