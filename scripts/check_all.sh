@@ -45,6 +45,36 @@ python -m repro repair "$SMOKE_DIR/faulty.v" "$SMOKE_DIR/tb.v" \
     --budget 120 --seeds 0 1 --output "$SMOKE_DIR/repaired.v" > /dev/null
 test -s "$SMOKE_DIR/repaired.v"
 
+echo "== compiled-engine smoke repair (outcome JSON identical to interp) =="
+python - <<'EOF'
+import dataclasses
+import json
+
+from repro.benchsuite import load_scenario
+from repro.core.backend import make_backend
+from repro.core.repair import CirFixEngine
+from repro.core.serialize import outcome_to_json
+from repro.experiments.common import SMOKE
+
+# Same scenario and seed as the serial smoke above; the only permitted
+# difference between the engines' reports is wall-clock.
+outcomes = {}
+for engine in ("interp", "compiled"):
+    scenario = load_scenario("counter_reset")
+    config = dataclasses.replace(
+        scenario.suggested_config(SMOKE), sim_engine=engine
+    )
+    problem = scenario.problem()
+    with make_backend(problem, config) as backend:
+        outcome = CirFixEngine(problem, config, 0, backend=backend).run()
+    payload = json.loads(outcome_to_json(outcome, "counter_reset"))
+    payload.pop("elapsed_seconds")
+    outcomes[engine] = payload
+assert outcomes["compiled"]["plausible"], "compiled smoke found no repair"
+assert outcomes["interp"] == outcomes["compiled"], "engine outcome divergence"
+print("compiled-engine smoke ok: outcome JSON identical to interp")
+EOF
+
 echo "== telemetry smoke (trace + metrics vs outcome, repro report) =="
 python - "$SMOKE_DIR" <<'EOF'
 import sys
@@ -173,10 +203,12 @@ print(f"chaos smoke ok: repaired with {outcome.quarantined} quarantined "
       f"({metrics.quarantined_by_kind})")
 EOF
 
-echo "== fuzz smoke (fixed seed, differential oracles) =="
+echo "== fuzz smoke (fixed seed, differential oracles incl. interp-vs-compiled) =="
 python -m repro fuzz --seed 0 --count 25 --trace "$SMOKE_DIR/fuzz.jsonl" \
     > "$SMOKE_DIR/fuzz_summary.txt"
 grep -q "violations: 0" "$SMOKE_DIR/fuzz_summary.txt"
+# The engine-parity oracle must have raced interp vs compiled on every program.
+grep -q "engines=25" "$SMOKE_DIR/fuzz_summary.txt"
 python -m repro report "$SMOKE_DIR/fuzz.jsonl" > /dev/null
 
 echo "ALL CHECKS PASSED"

@@ -50,7 +50,7 @@ from pathlib import Path
 
 from .api import build_problem, simulate
 from .benchsuite import DEFECTS
-from .core.config import BACKEND_NAMES, ConfigError, RepairConfig
+from .core.config import BACKEND_NAMES, SIM_ENGINE_NAMES, ConfigError, RepairConfig
 from .core.repair import repair
 from .instrument.trace import SimulationTrace
 
@@ -99,12 +99,22 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
         trace_observer = JsonlTraceObserver(args.trace)
         observers.append(trace_observer)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         outcome = repair(problem, config, seeds, observers=observers)
     finally:
+        if profiler is not None:
+            profiler.disable()
         if trace_observer is not None:
             trace_observer.close()
             print(f"telemetry trace written to {args.trace}", file=sys.stderr)
+    if profiler is not None:
+        _report_profile(profiler, args)
     print(outcome.describe())
     if outcome.plausible and outcome.repaired_source is not None:
         print("repair patchlist:", outcome.patch.describe())
@@ -119,6 +129,37 @@ def cmd_repair(args: argparse.Namespace) -> int:
         return 0
     print("no plausible repair found within the resource bounds")
     return 1
+
+
+#: Rows of the cumulative-time profile printed to stdout by ``--profile``.
+_PROFILE_TOP_N = 25
+
+
+def _report_profile(profiler, args: argparse.Namespace) -> None:
+    """Print the ``--profile`` summary (and write ``profile.txt``).
+
+    Stdout gets the top :data:`_PROFILE_TOP_N` functions by cumulative
+    time — enough to see where a repair run's wall-clock went.  When a
+    telemetry trace is being written (``--trace``), the full unabridged
+    statistics land in ``profile.txt`` next to it.
+
+    Note: with ``--workers``/pool evaluation the profile covers only the
+    engine's process; candidate simulations running in pool workers show
+    up as pipe waits, so profile serial runs to see the simulator itself.
+    """
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
+    print(stream.getvalue(), end="")
+    if args.trace:
+        out_path = Path(args.trace).with_name("profile.txt")
+        full = io.StringIO()
+        pstats.Stats(profiler, stream=full).sort_stats("cumulative").print_stats()
+        out_path.write_text(full.getvalue())
+        print(f"full profile written to {out_path}", file=sys.stderr)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -268,6 +309,16 @@ def main(argv: list[str] | None = None) -> int:
     p_repair.add_argument(
         "--backend", choices=BACKEND_NAMES,
         help="candidate-evaluation backend (default: auto)",
+    )
+    p_repair.add_argument(
+        "--sim-engine", dest="sim_engine", choices=SIM_ENGINE_NAMES,
+        help="candidate simulation engine: 'interp' (tree-walking) or "
+        "'compiled' (AOT closure compiler; bit-identical, faster)",
+    )
+    p_repair.add_argument(
+        "--profile", action="store_true",
+        help="profile the run under cProfile; prints the top cumulative "
+        "functions, and with --trace also writes profile.txt next to it",
     )
     p_repair.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
     p_repair.add_argument(

@@ -20,6 +20,17 @@ batch submitted in child-index order produces identical results either
 way — the engine's determinism guarantee does not depend on the backend
 (see ``docs/repair_engine.md``).
 
+Two orthogonal fast paths (``docs/simulation.md``):
+
+- ``config.sim_engine = "compiled"`` swaps the tree-walking simulator
+  for :class:`repro.sim.CompiledSimulator` and skips the testbench
+  splice entirely — the testbench modules are appended uncloned and
+  their compiled process templates are shared across every candidate
+  scored in the same process (:func:`_testbench_compile_state`);
+- :class:`EvalCache` memoises whole results by candidate source hash,
+  so cross-trial repeats (multi-seed experiments share one backend)
+  replay the recorded result instead of re-simulating.
+
 Fault tolerance
 ---------------
 
@@ -59,13 +70,14 @@ exercised by deliberately planted degenerate mutants — see
 
 from __future__ import annotations
 
+import hashlib
 import logging
 import multiprocessing
 import multiprocessing.connection
 import os
 import sys
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from pathlib import Path
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence
@@ -74,6 +86,7 @@ from ..hdl import ParseError, ast, parse
 from ..hdl.lexer import LexError
 from ..hdl.node_ids import max_node_id, number_nodes
 from ..instrument.trace import SimulationTrace, output_mismatch
+from ..sim.compile import CompiledSimulator
 from ..sim.elaborate import ElaborationError
 from ..sim.simulator import Simulator
 from .config import BACKEND_NAMES, RepairConfig
@@ -224,6 +237,43 @@ def splice_testbench(design: ast.Source, testbench: ast.Source) -> ast.Source:
     return ast.Source(list(design.modules) + clones)
 
 
+#: Cap on retained per-testbench compile caches (LRU).  Each entry pins
+#: one testbench tree plus the compiled process templates for its
+#: modules; a worker or engine process only ever cycles through a
+#: handful of distinct testbenches, so a small cap is plenty.
+_TB_STATE_CAP = 8
+
+#: ``id(testbench)`` → ``(testbench, shared template cache, module ids)``.
+#: The stored testbench reference both validates the ``id()`` key (no
+#: stale hit after garbage collection reuses an address) and keeps the
+#: tree alive so its module ids stay unique for the entry's lifetime.
+_TB_COMPILE_STATE: OrderedDict[int, tuple[ast.Source, dict, frozenset[int]]] = (
+    OrderedDict()
+)
+
+
+def _testbench_compile_state(testbench: ast.Source) -> tuple[dict, frozenset[int]]:
+    """Shared compile state for one testbench tree (compiled engine).
+
+    The compiled engine skips :func:`splice_testbench` — the testbench
+    module objects are appended to every candidate's combined tree
+    as-is, so their compiled process templates can be built once per
+    process and reused for every candidate evaluated against the same
+    testbench (the dominant cost of compilation amortises to zero).
+    """
+    key = id(testbench)
+    entry = _TB_COMPILE_STATE.get(key)
+    if entry is not None and entry[0] is testbench:
+        _TB_COMPILE_STATE.move_to_end(key)
+        return entry[1], entry[2]
+    shared_cache: dict = {}
+    module_ids = frozenset(id(module) for module in testbench.modules)
+    _TB_COMPILE_STATE[key] = (testbench, shared_cache, module_ids)
+    while len(_TB_COMPILE_STATE) > _TB_STATE_CAP:
+        _TB_COMPILE_STATE.popitem(last=False)
+    return shared_cache, module_ids
+
+
 def evaluate_design_text(
     design_text: str,
     testbench: ast.Source,
@@ -244,8 +294,22 @@ def evaluate_design_text(
     started = time.perf_counter()
     try:
         design = parse(design_text)
-        combined = splice_testbench(design, testbench)
-        sim = Simulator(combined, max_steps=config.max_sim_steps)
+        if config.sim_engine == "compiled":
+            # The compiled engine never mutates the combined tree, so the
+            # testbench modules ride along uncloned: no clone, no node-id
+            # renumbering, and their compiled templates are shared across
+            # every candidate scored against this testbench.
+            combined = ast.Source(list(design.modules) + list(testbench.modules))
+            shared_cache, shared_ids = _testbench_compile_state(testbench)
+            sim: Simulator = CompiledSimulator(
+                combined,
+                max_steps=config.max_sim_steps,
+                shared_cache=shared_cache,
+                shared_module_ids=shared_ids,
+            )
+        else:
+            combined = splice_testbench(design, testbench)
+            sim = Simulator(combined, max_steps=config.max_sim_steps)
     except (ParseError, LexError, ElaborationError, RecursionError, MemoryError):
         elapsed = time.perf_counter() - started
         return CandidateResult(
@@ -300,6 +364,76 @@ def evaluate_design_text(
 
 
 # ----------------------------------------------------------------------
+# Content-addressed evaluation cache (cross-generation / cross-trial)
+# ----------------------------------------------------------------------
+
+
+class EvalCache:
+    """LRU cache of :class:`CandidateResult` keyed by candidate source hash.
+
+    The engine already deduplicates within one trial (its per-trial
+    fitness memo), so by the time a repeated design text reaches the
+    backend it is a *cross-trial* repeat: multi-seed experiments share
+    one backend, and every trial re-scores the seed design plus the
+    common early mutants.  The cache replays the recorded result —
+    including the telemetry fields (``eval_seconds`` / ``sim_events`` /
+    ``sim_steps``) measured when the candidate was first evaluated — so
+    observers see a byte-identical event sequence whether a result was
+    computed or replayed.
+
+    Quarantined results (``failure is not None``) are never stored: a
+    timeout or crash under one pool's deadline is not a property of the
+    candidate text alone, and a retry must re-evaluate.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int):
+        #: Maximum retained results; 0 disables the cache entirely.
+        self.capacity = max(0, int(capacity))
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[bytes, CandidateResult] = OrderedDict()
+
+    @staticmethod
+    def key(design_text: str) -> bytes:
+        """Content address: SHA-256 of the candidate source text."""
+        return hashlib.sha256(design_text.encode("utf-8")).digest()
+
+    def get(self, design_text: str) -> CandidateResult | None:
+        """Return the recorded result for ``design_text``, or None."""
+        if self.capacity == 0:
+            return None
+        key = self.key(design_text)
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, design_text: str, result: CandidateResult) -> None:
+        """Record a result (quarantined results are never cached)."""
+        if self.capacity == 0 or result.failure is not None:
+            return
+        key = self.key(design_text)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def info(self) -> dict[str, int]:
+        """Hit/miss counters and occupancy (for benchmarks and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+
+# ----------------------------------------------------------------------
 # Backend interface and implementations
 # ----------------------------------------------------------------------
 
@@ -347,6 +481,7 @@ class SerialBackend:
         self.testbench = testbench
         self.oracle = oracle
         self.config = config
+        self.cache = EvalCache(config.eval_cache_size)
 
     @staticmethod
     def for_problem(problem: "RepairProblem", config: RepairConfig) -> "SerialBackend":
@@ -355,10 +490,16 @@ class SerialBackend:
 
     def evaluate_batch(self, design_texts: Sequence[str]) -> list[CandidateResult]:
         """Evaluate the batch one candidate at a time, in order."""
-        return [
-            evaluate_design_text(text, self.testbench, self.oracle, self.config)
-            for text in design_texts
-        ]
+        results: list[CandidateResult] = []
+        for text in design_texts:
+            cached = self.cache.get(text)
+            if cached is not None:
+                results.append(cached)
+                continue
+            result = evaluate_design_text(text, self.testbench, self.oracle, self.config)
+            self.cache.put(text, result)
+            results.append(result)
+        return results
 
     def take_incidents(self) -> list[SupervisionIncident]:
         """Serial evaluation is unsupervised: there are never incidents."""
@@ -636,6 +777,7 @@ class ProcessPoolBackend:
         self._testbench_text = testbench_text
         self._testbench_tree: ast.Source | None = None  # for inline fallback
         self._init_args = (testbench_text, oracle, config)
+        self.cache = EvalCache(config.eval_cache_size)
         self._ctx = _mp_context()
         self._incidents: list[SupervisionIncident] = []
         #: Task dispatch counter (first attempts only) — the ordinal the
@@ -685,13 +827,24 @@ class ProcessPoolBackend:
         texts = list(design_texts)
         if not texts:
             return []
+        results: list[CandidateResult | None] = [None] * len(texts)
         pending: deque[_Task] = deque()
+        misses: list[int] = []
         for i, text in enumerate(texts):
+            cached = self.cache.get(text)
+            if cached is not None:
+                results[i] = cached
+                continue
+            misses.append(i)
             chaos = self._chaos_plan.get(self._dispatch_ordinal)
             self._dispatch_ordinal += 1
             pending.append(_Task(i, text, chaos))
-        results: list[CandidateResult | None] = [None] * len(texts)
-        self._supervise(pending, results)
+        if pending:
+            self._supervise(pending, results)
+        for i in misses:
+            result = results[i]
+            if result is not None:
+                self.cache.put(texts[i], result)
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 

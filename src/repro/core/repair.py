@@ -165,6 +165,28 @@ class RepairProblem:
         return RepairProblem(parse(faulty_design), parse(testbench), oracle, name)
 
 
+def adaptive_chunk_size(batch: int, eval_chunk_size: int) -> int:
+    """The chunk size to dispatch a ``batch`` of pending candidates with.
+
+    ``eval_chunk_size`` is the *granularity floor*, not a fixed size: a
+    batch that is not an exact multiple would otherwise end in a runt
+    chunk (e.g. 25 pending at size 8 → 8+8+8+1), paying a full dispatch
+    round-trip — and, on the pool backend, idling most workers — for a
+    single candidate.  Instead the batch is split into
+    ``batch // eval_chunk_size`` near-equal chunks (25 → 9+9+7).
+
+    Deterministic in the batch size and configuration alone — NEVER the
+    worker count or backend — so the chunk schedule (and with it the
+    event sequence and early-stop points) stays bit-identical across
+    backends, preserving the engine's determinism guarantee.
+    """
+    base = max(1, eval_chunk_size)
+    if batch <= base:
+        return base
+    chunks = max(1, batch // base)
+    return -(-batch // chunks)
+
+
 class CirFixEngine:
     """Runs Algorithm 1 for one defect scenario and one random seed.
 
@@ -406,7 +428,8 @@ class CirFixEngine:
 
         Returns evaluations aligned with ``patches``.  Unique uncached
         design texts are submitted in first-occurrence (child-index) order
-        in fixed-size chunks (``config.eval_chunk_size``); between chunks
+        in near-equal chunks sized by :func:`adaptive_chunk_size` (with
+        ``config.eval_chunk_size`` as the granularity floor); between chunks
         the engine checks the budget and whether a plausible candidate has
         already appeared, and stops early if so.  Entries that were never
         evaluated because of an early stop are ``None`` — callers only see
@@ -441,7 +464,7 @@ class CirFixEngine:
                 pending.append(text)
             slots.append(i)
         backend = self._ensure_backend()
-        chunk_size = max(1, self.config.eval_chunk_size)
+        chunk_size = adaptive_chunk_size(len(pending), self.config.eval_chunk_size)
         found_winner = False
         for start in range(0, len(pending), chunk_size):
             if found_winner or out_of_budget():
@@ -450,7 +473,11 @@ class CirFixEngine:
             chunk_id = self._chunk_counter
             self._chunk_counter += 1
             if self.events:
-                self.events.emit(BackendChunkDispatched(chunk=chunk_id, size=len(chunk)))
+                self.events.emit(
+                    BackendChunkDispatched(
+                        chunk=chunk_id, size=len(chunk), chunk_size=chunk_size
+                    )
+                )
             started = time_mod.monotonic()
             chunk_results = backend.evaluate_batch(chunk)
             chunk_seconds = time_mod.monotonic() - started

@@ -32,6 +32,7 @@ from .oracles import (
     Violation,
     check_backends,
     check_determinism,
+    check_engines,
     check_lint,
     check_roundtrip,
     check_templates,
@@ -128,6 +129,7 @@ _RECHECKS: dict[str, Callable[[GeneratedProgram], list[Violation]]] = {
     "roundtrip": lambda p: check_roundtrip(p.text, p.source),
     "lint": lambda p: check_lint(p.text),
     "determinism": lambda p: check_determinism(p)[0],
+    "engines": lambda p: check_engines(p.text),
     "templates": lambda p: check_templates(p, check_determinism(p)[1]),
 }
 
@@ -144,6 +146,8 @@ def _check_program(program: GeneratedProgram, config: FuzzConfig, index: int):
     )
     violations.extend(det_violations)
     checks["determinism"] = 1
+    violations.extend(check_engines(program.text))
+    checks["engines"] = 1
     if (
         config.cross_backend_every
         and oracle is not None

@@ -19,6 +19,11 @@ the property holds.  The oracle battery (ISSUE 3):
 ``backends``
     ``SerialBackend`` and ``ProcessPoolBackend`` report identical
     backend-independent results for the same candidate.
+``engines``
+    the tree-walking interpreter and the AOT closure compiler
+    (:class:`repro.sim.CompiledSimulator`) produce bit-identical runs —
+    time, output, trace CSV, errors, *and* the statement/event/slot
+    counters — for the same program (``docs/simulation.md``).
 ``templates``
     every repair template applied to every legal target yields source
     that re-parses (operator closure); a strided subset of mutants is
@@ -40,11 +45,13 @@ from ..core.templates import applicable_templates, apply_template
 from ..core.templates_ext import applicable_extended
 from ..hdl import ast, generate, max_node_id, parse, structural_diff
 from ..instrument.trace import SimulationTrace
+from ..sim.compile import CompiledSimulator
+from ..sim.elaborate import ElaborationError
 from ..sim.simulator import SimResult, Simulator
 from .generator import TB_NAME, GeneratedProgram
 
 #: Names of the per-program oracles, in check order.
-ORACLES = ("roundtrip", "lint", "determinism", "backends", "templates")
+ORACLES = ("roundtrip", "lint", "determinism", "engines", "backends", "templates")
 
 #: Simulation budgets for fuzz evaluations (programs finish in a few
 #: hundred ticks; anything longer is a runaway worth cutting short).
@@ -214,6 +221,67 @@ def check_determinism(
             Violation("determinism", "repeated evaluation not bit-identical")
         )
     return violations, oracle
+
+
+# ----------------------------------------------------------------------
+# (b'') interp vs compiled engine equivalence
+# ----------------------------------------------------------------------
+
+
+def _engine_key(text: str, engine: type[Simulator]) -> tuple:
+    """Run ``text`` under one engine; the full observable fingerprint."""
+    sim = engine(text, max_steps=FUZZ_EVAL_CONFIG.max_sim_steps)
+    result = sim.run(FUZZ_EVAL_CONFIG.max_sim_time)
+    return (
+        _sim_key(result),
+        result.steps_used,
+        result.events_executed,
+        result.slots_advanced,
+    )
+
+
+def check_engines(text: str) -> list[Violation]:
+    """Interpreted and compiled simulation race to bit-identical runs.
+
+    The strongest form of the compiled engine's parity contract: not
+    just the result surface (:func:`_sim_key`) but the execution
+    counters — statements charged against the runaway budget, scheduler
+    callbacks, time slots — must agree, since the repair engine's budget
+    cut-offs (and therefore search outcomes) depend on them.  Programs
+    that fail to elaborate must fail identically under both engines.
+    """
+    try:
+        interp = _engine_key(text, Simulator)
+        interp_error: str | None = None
+    except ElaborationError as exc:
+        interp, interp_error = None, str(exc)
+    except Exception as exc:
+        return [Violation("engines", f"interp simulation raised: {exc!r}")]
+    try:
+        compiled = _engine_key(text, CompiledSimulator)
+        compiled_error: str | None = None
+    except ElaborationError as exc:
+        compiled, compiled_error = None, str(exc)
+    except Exception as exc:
+        return [Violation("engines", f"compiled simulation raised: {exc!r}")]
+    if interp is None or compiled is None:
+        if interp_error != compiled_error:
+            return [
+                Violation(
+                    "engines",
+                    f"elaboration divergence: interp "
+                    f"{interp_error!r} != compiled {compiled_error!r}",
+                )
+            ]
+        return []
+    if interp != compiled:
+        return [
+            Violation(
+                "engines",
+                f"engine divergence: interp {interp} != compiled {compiled}",
+            )
+        ]
+    return []
 
 
 # ----------------------------------------------------------------------

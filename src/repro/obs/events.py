@@ -128,6 +128,10 @@ class BackendChunkDispatched(RepairEvent):
     type: ClassVar[str] = "backend_chunk_dispatched"
     chunk: int
     size: int
+    #: The adaptive chunk size the engine chose for this generation
+    #: (:func:`repro.core.repair.adaptive_chunk_size`); the final chunk
+    #: of a generation may be smaller (``size <= chunk_size``).
+    chunk_size: int = 0
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,7 @@ artifact.  The public surface is :class:`Simulator` plus the value type
 :class:`~repro.sim.logic.Value`.
 """
 
+from .compile import CompiledSimulator
 from .elaborate import ElaborationError
 from .eval import EvalError, eval_expr
 from .logic import Value, truthiness
@@ -14,6 +15,7 @@ from .simulator import SimResult, SimulationError, Simulator, TraceRecord
 
 __all__ = [
     "Simulator",
+    "CompiledSimulator",
     "SimResult",
     "TraceRecord",
     "Value",

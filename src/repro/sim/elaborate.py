@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING
 from ..hdl import ast
 from .eval import EvalError, eval_expr
 from .logic import Value
-from .processes import Env, always_process, apply_to_setters, initial_process
+from .processes import Env, apply_to_setters
 from .runtime import Instance, Memory, NamedEvent, Signal
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -184,12 +184,12 @@ class Elaborator:
         env = Env(self.sim, instance)
         for item in module.items:
             if isinstance(item, ast.ContinuousAssign):
-                assign = ContAssign(self.sim, env, item.lhs, env, item.rhs, item.delay)
+                assign = self.sim.make_cont_assign(env, item.lhs, env, item.rhs, item.delay)
                 self.sim.cont_assigns.append(assign)
             elif isinstance(item, ast.Always):
-                self.sim.processes.append(always_process(self.sim, item, env))
+                self.sim.processes.append(self.sim.make_always(item, env))
             elif isinstance(item, ast.Initial):
-                self.sim.processes.append(initial_process(self.sim, item, env))
+                self.sim.processes.append(self.sim.make_initial(item, env))
             elif isinstance(item, ast.Instance):
                 self._elaborate_child(item, instance, env)
 
@@ -312,9 +312,9 @@ class Elaborator:
                 )
             port_ident = ast.Identifier(port_name)
             if direction == "input":
-                assign = ContAssign(self.sim, child_env, port_ident, parent_env, expr)
+                assign = self.sim.make_cont_assign(child_env, port_ident, parent_env, expr)
             elif direction == "output":
-                assign = ContAssign(self.sim, parent_env, expr, child_env, port_ident)
+                assign = self.sim.make_cont_assign(parent_env, expr, child_env, port_ident)
             else:
                 raise ElaborationError("inout ports are not supported")
             self.sim.cont_assigns.append(assign)

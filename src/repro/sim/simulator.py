@@ -19,10 +19,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..hdl import ast, parse
-from .elaborate import ElaborationError, Elaborator
+from .elaborate import ContAssign, ElaborationError, Elaborator
 from .eval import EvalError, eval_expr
 from .logic import Value
-from .processes import Env, FinishRequest, Process, SimulationBudget, StmtGen
+from .processes import (
+    Env,
+    FinishRequest,
+    Process,
+    SimulationBudget,
+    StmtGen,
+    always_process,
+    initial_process,
+)
 from .runtime import Instance, Signal
 from .scheduler import Scheduler
 from .systasks import Monitor, display_text, system_function
@@ -95,6 +103,29 @@ class Simulator:
             assign.install()
         for process in self.processes:
             process.start()
+
+    # ------------------------------------------------------------------
+    # Behaviour factories (overridden by CompiledSimulator)
+    # ------------------------------------------------------------------
+
+    def make_always(self, item: ast.Always, env: Env) -> Process:
+        """Build the process for an ``always`` construct."""
+        return always_process(self, item, env)
+
+    def make_initial(self, item: ast.Initial, env: Env) -> Process:
+        """Build the process for an ``initial`` construct."""
+        return initial_process(self, item, env)
+
+    def make_cont_assign(
+        self,
+        lhs_env: Env,
+        lhs: ast.Expr,
+        rhs_env: Env,
+        rhs: ast.Expr,
+        delay: ast.Expr | None = None,
+    ):
+        """Build the driver for a continuous assign / port connection."""
+        return ContAssign(self, lhs_env, lhs, rhs_env, rhs, delay)
 
     # ------------------------------------------------------------------
     # Setup helpers

@@ -1,0 +1,64 @@
+"""Engine parity across the full benchmark suite.
+
+The compiled engine's acceptance bar: every benchsuite project's golden
+simulation and every defect scenario's faulty simulation produce a
+bit-identical :class:`~repro.sim.simulator.SimResult` — values *and*
+execution counters — under the interpreter and the closure compiler.
+"""
+
+import pytest
+
+from repro.benchsuite import all_projects, all_scenarios
+from repro.hdl import ast, parse
+from repro.sim import CompiledSimulator, Simulator
+
+MAX_TIME = 1_000_000
+
+
+def full_key(result):
+    """Every observable of a run, including counters and 4-state bits."""
+    return (
+        result.time,
+        result.finished,
+        tuple(result.output),
+        tuple(result.errors),
+        result.steps_used,
+        result.events_executed,
+        result.slots_advanced,
+        tuple(
+            (
+                record.time,
+                tuple(
+                    (name, v.width, v.aval, v.bval, v.signed)
+                    for name, v in record.values.items()
+                ),
+            )
+            for record in result.trace
+        ),
+    )
+
+
+def _run_both(combined):
+    interp = Simulator(combined).run(MAX_TIME)
+    compiled = CompiledSimulator(combined).run(MAX_TIME)
+    return interp, compiled
+
+
+@pytest.mark.parametrize(
+    "project", all_projects(), ids=lambda p: p.name
+)
+def test_project_golden_parity(project):
+    combined = parse(project.design_text + "\n" + project.testbench_text)
+    interp, compiled = _run_both(combined)
+    assert full_key(interp) == full_key(compiled)
+
+
+@pytest.mark.parametrize(
+    "scenario", all_scenarios(), ids=lambda s: s.scenario_id
+)
+def test_scenario_faulty_parity(scenario):
+    design = parse(scenario.faulty_design_text)
+    testbench = scenario.instrumented_testbench()
+    combined = ast.Source(list(design.modules) + list(testbench.modules))
+    interp, compiled = _run_both(combined)
+    assert full_key(interp) == full_key(compiled)

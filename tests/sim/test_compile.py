@@ -1,0 +1,345 @@
+"""Interp-vs-compiled engine parity tests.
+
+The compiled engine (:mod:`repro.sim.compile`) must be *bit-identical*
+to the tree-walking interpreter on every observable: result surface
+(time, output, trace, errors) and execution counters (statements,
+scheduler events, time slots) — the repair engine's budget cut-offs
+depend on the counters, so a drift there silently changes search
+outcomes.  These tests pin that contract on targeted language edges;
+``tests/benchsuite/test_engine_parity.py`` pins it on the full
+benchmark suite and ``repro.fuzz``'s ``engines`` oracle on random
+programs.
+"""
+
+import pytest
+
+from repro.hdl import parse
+from repro.sim import CompiledSimulator, Simulator
+
+
+def full_key(result):
+    """Every observable of a run, including counters and 4-state bits."""
+    return (
+        result.time,
+        result.finished,
+        tuple(result.output),
+        tuple(result.errors),
+        result.steps_used,
+        result.events_executed,
+        result.slots_advanced,
+        tuple(
+            (
+                record.time,
+                tuple(
+                    (name, v.width, v.aval, v.bval, v.signed)
+                    for name, v in record.values.items()
+                ),
+            )
+            for record in result.trace
+        ),
+    )
+
+
+def run_engine(engine, source, max_time=100_000, **kwargs):
+    sim = engine(parse(source), **kwargs)
+    return sim.run(max_time)
+
+
+def assert_parity(source, max_time=100_000, **kwargs):
+    interp = run_engine(Simulator, source, max_time, **kwargs)
+    compiled = run_engine(CompiledSimulator, source, max_time, **kwargs)
+    assert full_key(interp) == full_key(compiled)
+    return interp
+
+
+# Display helper: computed values are assigned to regs first so the
+# expressions go through the *compiled* closures (``$display`` argument
+# evaluation itself is shared interpreter code in both engines).
+def wrap(body):
+    return f"module t;\n{body}\nendmodule\n"
+
+
+class TestEvalEdgePaths:
+    """ISSUE satellite: sim/eval.py edge paths, asserted on both engines."""
+
+    @pytest.mark.parametrize(
+        "decl,expr",
+        [
+            # Part-select straddling x and z bits.
+            ("reg [7:0] src; reg [3:0] r;", "src[5:2]"),
+            ("reg [7:0] src; reg [3:0] r;", "src[7:4]"),
+            # Bit-select by an x index is all-x.
+            ("reg [7:0] src; reg ix; reg r;", "src[ix]"),
+            # Part-select out past the MSB pads with x.
+            ("reg [7:0] src; reg [9:0] r;", "src[9:0]"),
+        ],
+        ids=["xz-mid", "xz-high", "x-index", "oob-pad"],
+    )
+    def test_part_select_on_xz(self, decl, expr):
+        assert_parity(wrap(
+            f"""
+              {decl}
+              initial begin
+                src = 8'b01xz_10xz;
+                r = {expr};
+                $display("%b", r);
+                $finish;
+              end
+            """
+        ))
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "-8'sd5 / 8'sd2",
+            "-8'sd5 % 8'sd3",
+            "8'shF0 >>> 2",
+            "-8'sd1 > 8'sd0",
+            "8'sd3 ** 8'sd2",
+            "$signed(4'b1000) + 0",
+        ],
+        ids=["sdiv", "smod", "ashr", "scmp", "spow", "signed-cast"],
+    )
+    def test_signed_const_eval(self, expr):
+        assert_parity(wrap(
+            f"""
+              integer r;
+              initial begin
+                r = {expr};
+                $display("%0d", r);
+                $finish;
+              end
+            """
+        ))
+
+    def test_zero_repeat_concat_operand(self):
+        """A zero-count replication inside a concat errors identically."""
+        assert_parity(wrap(
+            """
+              reg [7:0] a; reg [15:0] r;
+              initial begin
+                a = 8'hA5;
+                r = {a, {0{a}}};
+                $display("%h", r);
+                $finish;
+              end
+            """
+        ))
+
+    def test_x_repeat_count(self):
+        """An x replication count errors identically under both engines."""
+        assert_parity(wrap(
+            """
+              reg [3:0] n; reg [7:0] r;
+              initial begin
+                r = {n{1'b1}};
+                $display("%b", r);
+                $finish;
+              end
+            """
+        ))
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "&4'b1x11", "&4'b0x11",
+            "|4'b0x00", "|4'b1x00",
+            "^4'bx101", "~^4'b1x01",
+            "~&4'b1111", "~|4'bzzzz",
+        ],
+        ids=["and-x", "and-0", "or-x", "or-1", "xor-x", "xnor-x",
+             "nand", "nor-z"],
+    )
+    def test_reductions_over_4state(self, expr):
+        assert_parity(wrap(
+            f"""
+              reg r;
+              initial begin
+                r = {expr};
+                $display("%b", r);
+                $finish;
+              end
+            """
+        ))
+
+    def test_memory_index_xz(self):
+        """x-indexed memory reads are x; x-indexed writes are dropped."""
+        assert_parity(wrap(
+            """
+              reg [7:0] mem [0:3]; reg [1:0] ix; reg [7:0] r;
+              initial begin
+                mem[0] = 8'h11;
+                mem[ix] = 8'hFF;
+                r = mem[ix];
+                $display("%b %h", r, mem[0]);
+                $finish;
+              end
+            """
+        ))
+
+
+class TestStatementParity:
+    """Control flow, timing, and scheduling parity on both engines."""
+
+    def test_nba_with_delay_and_loops(self):
+        assert_parity(wrap(
+            """
+              reg clk; reg [7:0] q; integer i;
+              initial clk = 0;
+              always #5 clk = !clk;
+              always @(posedge clk) q <= #2 q + 1;
+              initial begin
+                q = 0;
+                for (i = 0; i < 3; i = i + 1) #1;
+                repeat (2) #1;
+                while (i > 0) i = i - 1;
+                #40 $display("q=%0d", q);
+                $finish;
+              end
+            """
+        ))
+
+    def test_case_and_ternary_with_x(self):
+        assert_parity(wrap(
+            """
+              reg [1:0] sel; reg [7:0] r;
+              initial begin
+                casez (sel)
+                  2'b0?: r = 1;
+                  2'b1?: r = 2;
+                  default: r = 3;
+                endcase
+                $display("%0d", r);
+                r = sel[0] ? 8'hAA : 8'h55;
+                $display("%b", r);
+                $finish;
+              end
+            """
+        ))
+
+    def test_forever_disable_and_named_events(self):
+        assert_parity(wrap(
+            """
+              event go; integer n;
+              initial begin : main
+                n = 0;
+                fork_dummy;
+              end
+              task fork_dummy; begin n = n + 1; end endtask
+              initial begin : loop
+                forever begin
+                  @(go) n = n + 1;
+                  if (n > 2) disable loop;
+                end
+              end
+              initial begin
+                #1 -> go; #1 -> go; #1 -> go;
+                #1 $display("n=%0d", n);
+                $finish;
+              end
+            """
+        ))
+
+    def test_cont_assign_with_delay_and_feedback(self):
+        assert_parity(wrap(
+            """
+              reg a; wire b; wire [3:0] w;
+              assign #3 b = !a;
+              assign w = {2{b}} + 1;
+              initial begin
+                a = 0; #10 a = 1;
+                #10 $display("%b %b", b, w);
+                $finish;
+              end
+            """
+        ))
+
+    def test_budget_exhaustion_is_identical(self):
+        """A runaway loop exhausts the statement budget at the same point."""
+        interp = run_engine(
+            Simulator,
+            wrap("reg r; initial forever r = !r;"),
+            max_steps=500,
+        )
+        compiled = run_engine(
+            CompiledSimulator,
+            wrap("reg r; initial forever r = !r;"),
+            max_steps=500,
+        )
+        assert full_key(interp) == full_key(compiled)
+        assert interp.errors  # the budget actually tripped
+
+    def test_hierarchy_and_parameters(self):
+        assert_parity(
+            """
+            module child #(parameter W = 4) (input [W-1:0] i, output [W-1:0] o);
+              assign o = i + 1;
+            endmodule
+            module t;
+              reg [3:0] a; wire [3:0] b; wire [7:0] c;
+              child u0(a, b);
+              child #(8) u1({a, a}, c);
+              initial begin
+                a = 3;
+                #1 $display("%0d %0d", b, c);
+                $finish;
+              end
+            endmodule
+            """
+        )
+
+    def test_functions_and_system_functions(self):
+        assert_parity(wrap(
+            """
+              function [7:0] double; input [7:0] v; double = v * 2; endfunction
+              reg [7:0] r; integer t;
+              initial begin
+                r = double(21);
+                t = $time;
+                #5 t = $time;
+                $display("%0d %0d", r, t);
+                $finish;
+              end
+            """
+        ))
+
+    def test_random_stream_is_shared(self):
+        """$random draws from the same deterministic stream."""
+        src = wrap(
+            """
+              integer a, b;
+              initial begin
+                a = $random; b = $random;
+                $display("%0d %0d", a, b);
+                $finish;
+              end
+            """
+        )
+        assert_parity(src)
+
+
+class TestTemplateSharing:
+    """The shared-cache path reuses testbench templates across candidates."""
+
+    def test_shared_cache_is_populated_and_reused(self):
+        source = parse(wrap(
+            """
+              reg clk; integer n;
+              initial begin n = 0; clk = 0; end
+              always #5 clk = !clk;
+              always @(posedge clk) n = n + 1;
+              initial #42 $finish;
+            """
+        ))
+        shared: dict = {}
+        ids = frozenset(id(m) for m in source.modules)
+        first = CompiledSimulator(
+            source, shared_cache=shared, shared_module_ids=ids
+        ).run(100_000)
+        assert shared, "shared cache was never populated"
+        size_after_first = len(shared)
+        second = CompiledSimulator(
+            source, shared_cache=shared, shared_module_ids=ids
+        ).run(100_000)
+        assert len(shared) == size_after_first  # reused, not recompiled
+        assert full_key(first) == full_key(second)
