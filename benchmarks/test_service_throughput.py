@@ -1,0 +1,164 @@
+"""Benchmark: repair-as-a-service vs direct runs (repro.service).
+
+Measures, on the counter_reset scenario with the SMOKE preset, and
+writes the raw numbers to ``BENCH_service.json`` at the repo root:
+
+1. cold submission — one job through the daemon (admission + socket +
+   thread-pool dispatch + full repair), compared against the same
+   request run directly in-process, giving the service overhead;
+2. warm resubmission — the identical request again, served out of the
+   persistent sharded eval cache (asserting the ≥90% hit-rate contract
+   and reporting the cold/warm speedup);
+3. submission fan-in — N identical in-flight submissions coalescing
+   onto one job (dedup), reporting per-submission wall clock.
+
+The daemon runs on a background thread inside this process (Unix socket
+in a temp dir), so the numbers include real protocol round-trips but no
+container/VM noise.
+"""
+
+import asyncio
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.api import run_request
+from repro.cache import PersistentEvalCache
+from repro.core.config import RepairConfig
+from repro.experiments.common import SMOKE
+from repro.service import RepairDaemon, RepairRequest, ServiceClient
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_RESULTS: dict[str, object] = {"scenario": "counter_reset", "cpu_count": os.cpu_count()}
+
+
+def _request() -> RepairRequest:
+    """The benchmarked job: counter_reset under SMOKE-shaped overrides."""
+    return RepairRequest(
+        scenario="counter_reset",
+        config={
+            "population_size": SMOKE.population_size,
+            "max_generations": SMOKE.max_generations,
+            "max_fitness_evals": SMOKE.max_fitness_evals,
+            "max_wall_seconds": SMOKE.max_wall_seconds,
+            "minimize_budget": SMOKE.minimize_budget,
+        },
+        seeds=(0,),
+    )
+
+
+class _Daemon:
+    """A daemon on a background thread, torn down via the protocol."""
+
+    def __init__(self, cache_dir: str):
+        self.tmp = tempfile.mkdtemp(prefix="repro-bench-service-")
+        self.socket_path = os.path.join(self.tmp, "repro.sock")
+        self.daemon = RepairDaemon(
+            self.socket_path,
+            base_config=RepairConfig(cache_dir=cache_dir),
+            max_jobs=2,
+        )
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.daemon.serve()), daemon=True
+        )
+
+    def start(self) -> ServiceClient:
+        """Start serving and return a ready client."""
+        self.thread.start()
+        client = ServiceClient(self.socket_path, timeout=600)
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                client.ping()
+                return client
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.02)
+
+    def stop(self) -> None:
+        """Drain and join the daemon thread."""
+        try:
+            ServiceClient(self.socket_path, timeout=30).shutdown()
+        except OSError:
+            pass
+        self.thread.join(timeout=120)
+
+
+def test_service_throughput(once):
+    """Cold vs warm vs direct, plus dedup fan-in, in one daemon session."""
+    PersistentEvalCache.reset_shared()
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    request = _request()
+
+    def sweep():
+        timings: dict[str, object] = {}
+
+        start = time.monotonic()
+        direct = run_request(request, base_config=RepairConfig(cache_dir=""))
+        timings["direct_seconds"] = time.monotonic() - start
+        assert direct.plausible, "counter_reset should repair under SMOKE"
+
+        box = _Daemon(cache_dir)
+        client = box.start()
+        try:
+            start = time.monotonic()
+            _, cold = client.submit(request)
+            timings["cold_submit_seconds"] = time.monotonic() - start
+            assert cold.status == "done"
+            assert cold.plausible
+
+            start = time.monotonic()
+            _, warm = client.submit(request)
+            timings["warm_submit_seconds"] = time.monotonic() - start
+            assert warm.status == "done"
+            assert warm.cache["hit_rate"] >= 0.9, warm.cache
+            timings["warm_hit_rate"] = warm.cache["hit_rate"]
+
+            # Fan-in: N identical submissions racing; dedup coalesces the
+            # in-flight ones, the cache serves the rest.
+            fan = 6
+            results: list[float] = []
+
+            def submit_one():
+                t0 = time.monotonic()
+                _, response = client.submit(request)
+                assert response.status == "done"
+                results.append(time.monotonic() - t0)
+
+            threads = [threading.Thread(target=submit_one) for _ in range(fan)]
+            start = time.monotonic()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            timings["fanin"] = {
+                "submissions": fan,
+                "wall_seconds": time.monotonic() - start,
+                "mean_submission_seconds": sum(results) / len(results),
+            }
+        finally:
+            box.stop()
+        return timings
+
+    timings = once(sweep)
+    overhead = timings["cold_submit_seconds"] - timings["direct_seconds"]
+    warm_speedup = (
+        timings["cold_submit_seconds"] / timings["warm_submit_seconds"]
+        if timings["warm_submit_seconds"] > 0
+        else float("inf")
+    )
+    _RESULTS["throughput"] = {
+        **timings,
+        "service_overhead_seconds": overhead,
+        "warm_speedup": warm_speedup,
+    }
+    (_REPO_ROOT / "BENCH_service.json").write_text(
+        json.dumps(_RESULTS, indent=2) + "\n"
+    )
+    # The warm path skips every simulation; it must be clearly faster.
+    assert warm_speedup >= 1.5, f"warm resubmit only {warm_speedup:.2f}x faster"
+    PersistentEvalCache.reset_shared()

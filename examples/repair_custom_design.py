@@ -76,7 +76,7 @@ def main() -> int:
         max_wall_seconds=240.0,
         max_fitness_evals=3000,
     )
-    outcome = repair_verilog(FAULTY, TESTBENCH, GOLDEN, config, seeds=(0, 1, 2, 3))
+    outcome = repair_verilog(FAULTY, TESTBENCH, GOLDEN, config=config, seeds=(0, 1, 2, 3))
     print(outcome.describe())
     if not outcome.plausible:
         return 1

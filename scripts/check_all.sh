@@ -28,7 +28,8 @@ python -m repro.experiments fixloc > /dev/null
 
 echo "== parallel smoke repair (counter_reset, --workers 2) =="
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+SERVE_PID=""
+trap 'rm -rf "$SMOKE_DIR"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 python - "$SMOKE_DIR" <<'EOF'
 import sys
 from pathlib import Path
@@ -92,7 +93,7 @@ config = RepairConfig(
 metrics = MetricsObserver()
 with JsonlTraceObserver(trace_path) as trace:
     outcome = repair_scenario(
-        "counter_reset", config, seeds=(0,), observers=[trace, metrics]
+        "counter_reset", config=config, seeds=(0,), observers=[trace, metrics]
     )
 
 # The JSONL artifact parses back into typed events...
@@ -202,6 +203,74 @@ assert metrics.worker_failures == {"crash": 1}
 print(f"chaos smoke ok: repaired with {outcome.quarantined} quarantined "
       f"({metrics.quarantined_by_kind})")
 EOF
+
+echo "== service smoke (daemon, warm resubmit, parity with direct repair) =="
+python -m repro serve --socket "$SMOKE_DIR/repro.sock" \
+    --cache-dir "$SMOKE_DIR/evalcache" 2> "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+python - "$SMOKE_DIR/repro.sock" <<'EOF'
+import json
+import sys
+import time
+
+from repro.api import run_request
+from repro.core.config import RepairConfig
+from repro.service import RepairRequest, ServiceClient
+
+request = RepairRequest(
+    scenario="counter_reset",
+    config={
+        "population_size": 120, "max_generations": 4,
+        "max_wall_seconds": 90.0, "max_fitness_evals": 600,
+        "minimize_budget": 64,
+    },
+    seeds=(0,),
+)
+client = ServiceClient(sys.argv[1], timeout=300)
+deadline = time.monotonic() + 30
+while True:
+    try:
+        client.ping()
+        break
+    except OSError:
+        if time.monotonic() > deadline:
+            raise SystemExit("service smoke: daemon never came up")
+        time.sleep(0.1)
+
+def report(outcome_json):
+    """Outcome report minus the only wall-clock field."""
+    payload = json.loads(outcome_json)
+    payload.pop("elapsed_seconds")
+    return payload
+
+from repro.core.serialize import outcome_to_json
+direct = report(outcome_to_json(
+    run_request(request, base_config=RepairConfig()), "counter_reset"))
+
+_, cold = client.submit(request)
+assert cold.status == "done" and cold.plausible, cold
+assert report(cold.outcome_json) == direct, "submit diverged from direct run"
+
+_, warm = client.submit(request)
+assert warm.status == "done", warm
+assert report(warm.outcome_json) == direct, "warm resubmit diverged"
+assert warm.cache["hit_rate"] >= 0.9, warm.cache
+print(f"service smoke ok: warm hit rate {warm.cache['hit_rate']:.2f} "
+      f"({warm.cache['store_hits']} hits / {warm.cache['store_misses']} misses)")
+EOF
+# The CLI client path: a third (cached) submission and the job table.
+python -m repro submit --socket "$SMOKE_DIR/repro.sock" counter_reset \
+    --seeds 0 --config population_size=120 --config max_generations=4 \
+    --config max_wall_seconds=90.0 --config max_fitness_evals=600 \
+    --config minimize_budget=64 > /dev/null
+python -m repro jobs --socket "$SMOKE_DIR/repro.sock" > /dev/null
+python - "$SMOKE_DIR/repro.sock" <<'EOF'
+import sys
+from repro.service import ServiceClient
+ServiceClient(sys.argv[1], timeout=30).shutdown()
+EOF
+wait "$SERVE_PID"
+SERVE_PID=""
 
 echo "== fuzz smoke (fixed seed, differential oracles incl. interp-vs-compiled) =="
 python -m repro fuzz --seed 0 --count 25 --trace "$SMOKE_DIR/fuzz.jsonl" \

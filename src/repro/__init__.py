@@ -12,6 +12,8 @@ the complete system plus every substrate the paper depends on:
 - :mod:`repro.lint` — static analysis and the pre-simulation candidate gate;
 - :mod:`repro.obs` — run telemetry: structured tracing and metrics;
 - :mod:`repro.api` — the stable high-level facade;
+- :mod:`repro.cache` — the persistent sharded evaluation store;
+- :mod:`repro.service` — repair-as-a-service: job daemon, typed job API;
 - :mod:`repro.baselines` — the brute-force comparison search;
 - :mod:`repro.benchsuite` — 11 projects / 32 defect scenarios (Table 2/3);
 - :mod:`repro.experiments` — harnesses regenerating every table and figure.
@@ -40,26 +42,40 @@ from .api import (
     build_problem,
     lint,
     localize,
+    materialize_request,
     repair_scenario,
     repair_verilog,
+    run_request,
     simulate,
 )
 from .core.config import ConfigError, RepairConfig
+from .core.engines import engine_names, get_engine, register_engine
 from .core.oracle import ensure_instrumented, generate_oracle
 from .core.repair import CirFixEngine, RepairOutcome, RepairProblem
 from .hdl import generate, parse
+from .service.jobs import JobStatus, RepairRequest, RepairResponse
 from .sim import SimResult, Simulator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # facade (repro.api)
     "repair_scenario",
     "repair_verilog",
+    "run_request",
+    "materialize_request",
     "localize",
     "simulate",
     "lint",
     "build_problem",
+    # typed job API (repro.service.jobs)
+    "RepairRequest",
+    "RepairResponse",
+    "JobStatus",
+    # engine registry (repro.core.engines)
+    "register_engine",
+    "get_engine",
+    "engine_names",
     # core types
     "ConfigError",
     "RepairConfig",

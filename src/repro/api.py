@@ -1,54 +1,69 @@
 """High-level facade over the repro package (the stable entry points).
 
-Callers — the CLI, the experiment drivers, notebooks — should not need to
-know which internal module owns oracles, backends, or fault localization.
-This module collects the three operations the paper's pipeline is built
-from behind small functions:
+Callers — the CLI, the service daemon, the experiment drivers, notebooks
+— should not need to know which internal module owns oracles, backends,
+or fault localization.  This module collects the operations the paper's
+pipeline is built from behind small functions:
 
-- :func:`repair_scenario` — run the CirFix search on a benchmark scenario
-  id, a :class:`~repro.benchsuite.Scenario`, or a prepared
-  :class:`~repro.core.repair.RepairProblem`;
+- :func:`run_request` — execute one typed, versioned
+  :class:`~repro.service.jobs.RepairRequest` (the canonical repair entry
+  point; everything else funnels into it);
+- :func:`repair_scenario` / :func:`repair_verilog` — convenience
+  wrappers building a request from a benchmark scenario id or raw
+  Verilog texts;
 - :func:`localize` — Algorithm 2 on its own: simulate the faulty design
   once and return the implicated node set;
-- :func:`simulate` — run a design (optionally under a testbench, optionally
-  instrumented) and return the :class:`~repro.sim.SimResult`;
-- :func:`lint` — static analysis (``repro.lint``) over a design source or
-  AST, returning the :class:`~repro.lint.LintReport`;
+- :func:`simulate` — run a design (optionally under a testbench,
+  optionally instrumented) and return the :class:`~repro.sim.SimResult`;
+- :func:`lint` — static analysis (``repro.lint``) over a design source
+  or AST, returning the :class:`~repro.lint.LintReport`;
 
 plus the supporting constructors :func:`build_problem` (file-based, the
-artifact's ``repair.conf`` workflow) and :func:`repair_verilog`
-(text-based, the README quick-start).
+artifact's ``repair.conf`` workflow) and :func:`materialize_request`
+(request → ready-to-run problem/config pair).
 
-Every repair entry point accepts ``observers`` — :mod:`repro.obs`
-instances that receive the engine's event stream (tracing, metrics).
-Observers never influence the search; see ``docs/observability.md``.
+Every repair entry point accepts ``observers`` (:mod:`repro.obs`
+instances receiving the engine's event stream — they never influence the
+search), ``engine`` (a name registered in :mod:`repro.core.engines`;
+the built-in is ``"cirfix"``), and ``cancel`` (a zero-argument callable
+polled cooperatively between generations).
+
+Compatibility: ``repair_scenario`` and ``repair_verilog`` historically
+took ``config``/``seeds``/``observers`` positionally.  Those calls still
+work but emit a :class:`DeprecationWarning`; pass them by keyword.
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from .core.config import RepairConfig
+from .core.engines import DEFAULT_ENGINE, get_engine
 from .core.faultloc import FaultLocalization, localize_faults
 from .core.oracle import combine_sources, ensure_instrumented, generate_oracle
-from .core.repair import RepairOutcome, RepairProblem, repair
+from .core.repair import RepairOutcome, RepairProblem
 from .hdl import ast, parse
 from .instrument.trace import SimulationTrace, output_mismatch
 from .obs.observer import RepairObserver
+from .service.jobs import RepairRequest
 from .sim.simulator import SimResult, Simulator
 
 __all__ = [
     "build_problem",
     "lint",
     "localize",
+    "materialize_request",
     "repair_scenario",
     "repair_verilog",
+    "run_request",
     "simulate",
 ]
 
 
 def _as_source(design: "ast.Source | str") -> ast.Source:
+    """Parse ``design`` if it is text; pass an AST through unchanged."""
     return parse(design) if isinstance(design, str) else design
 
 
@@ -77,32 +92,125 @@ def _as_problem(
     return scenario.problem(), scenario.suggested_config(config)
 
 
+def materialize_request(
+    request: RepairRequest,
+    base_config: RepairConfig | None = None,
+) -> tuple[RepairProblem, RepairConfig]:
+    """Turn a typed request into a ready-to-run ``(problem, config)``.
+
+    Validates the request, applies its config overrides on top of
+    ``base_config``, resolves the scenario id or parses the raw texts,
+    and — for benchmark scenarios — applies the per-scenario simulation
+    bounds (``Scenario.suggested_config``), exactly like a direct
+    ``repro repair`` of the same inputs.
+    """
+    request.validate()
+    config = request.resolved_config(base_config)
+    if request.scenario:
+        return _as_problem(request.scenario, config)
+    faulty = parse(request.design)
+    bench = parse(request.testbench)
+    if request.golden:
+        golden = parse(request.golden)
+        bench = ensure_instrumented(bench, golden)
+        oracle = generate_oracle(golden, bench)
+    else:
+        bench = ensure_instrumented(bench, faulty)
+        oracle = SimulationTrace.from_csv(request.oracle_csv)
+    return RepairProblem(faulty, bench, oracle), config
+
+
+def run_request(
+    request: RepairRequest,
+    base_config: RepairConfig | None = None,
+    observers: Sequence[RepairObserver] | None = None,
+    cancel: Callable[[], bool] | None = None,
+) -> RepairOutcome:
+    """Execute one :class:`~repro.service.jobs.RepairRequest`.
+
+    The canonical repair entry point: the service daemon, the CLI, and
+    the convenience wrappers below all funnel through here, so a request
+    submitted over the service protocol and the same request run
+    in-process produce bit-identical outcomes.
+    """
+    problem, config = materialize_request(request, base_config)
+    runner = get_engine(request.engine)
+    return runner(
+        problem,
+        config,
+        request.seeds,
+        observers=observers,
+        cancel=cancel,
+    )
+
+
+def _merge_positional(name: str, extras: tuple, config, seeds, observers):
+    """Map legacy positional ``config, seeds, observers`` onto keywords.
+
+    Emits the :class:`DeprecationWarning` and overlays the positional
+    values in their historical order, leaving keyword-supplied later
+    arguments untouched (matching the old signature's semantics).
+    """
+    warnings.warn(
+        f"passing config/seeds/observers positionally to {name}() is "
+        "deprecated; pass them as keyword arguments",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if len(extras) > 3:
+        raise TypeError(f"{name}() takes at most 3 positional extras")
+    slots = [config, seeds, observers]
+    for index, value in enumerate(extras):
+        slots[index] = value
+    return tuple(slots)
+
+
 def repair_scenario(
     scenario: "str | object",
+    *deprecated,
     config: RepairConfig | None = None,
     seeds: tuple[int, ...] = (0, 1, 2),
     observers: Sequence[RepairObserver] | None = None,
+    engine: str = DEFAULT_ENGINE,
+    cancel: Callable[[], bool] | None = None,
 ) -> RepairOutcome:
-    """Run CirFix trials on a scenario and return the chosen outcome.
+    """Run repair trials on a scenario and return the chosen outcome.
 
     The first plausible trial wins; otherwise the best-fitness trial is
     returned.  Benchmark scenarios get their per-scenario simulation
-    bounds applied via ``Scenario.suggested_config``.
+    bounds applied via ``Scenario.suggested_config``.  ``scenario`` may
+    be a benchmark id (routed through :func:`run_request`), or an
+    in-memory :class:`~repro.benchsuite.Scenario` /
+    :class:`RepairProblem` (the non-serializable escape hatch).
     """
-    config = config or RepairConfig()
-    problem, scaled = _as_problem(scenario, config)
-    return repair(problem, scaled, seeds, observers=observers)
+    if deprecated:
+        config, seeds, observers = _merge_positional(
+            "repair_scenario", deprecated, config, seeds, observers
+        )
+    if isinstance(scenario, str):
+        request = RepairRequest(
+            scenario=scenario, seeds=tuple(seeds), engine=engine
+        )
+        return run_request(
+            request, base_config=config, observers=observers, cancel=cancel
+        )
+    problem, scaled = _as_problem(scenario, config or RepairConfig())
+    runner = get_engine(engine)
+    return runner(problem, scaled, tuple(seeds), observers=observers, cancel=cancel)
 
 
 def repair_verilog(
     faulty_design: str,
     testbench: str,
     golden_design: str,
+    *deprecated,
     config: RepairConfig | None = None,
     seeds: tuple[int, ...] = (0, 1, 2),
     observers: Sequence[RepairObserver] | None = None,
+    engine: str = DEFAULT_ENGINE,
+    cancel: Callable[[], bool] | None = None,
 ) -> RepairOutcome:
-    """One-call repair: oracle from the golden design, then run CirFix.
+    """One-call repair: oracle from the golden design, then run repair.
 
     Args:
         faulty_design: Verilog source of the design to repair.
@@ -116,15 +224,27 @@ def repair_verilog(
         seeds: Independent trial seeds; the first plausible repair wins.
         observers: Optional :mod:`repro.obs` observers receiving the
             engine's event stream.
+        engine: Registered repair engine name (default ``"cirfix"``).
+        cancel: Optional cooperative cancel callable (polled between
+            generations; True stops the search at the next boundary).
 
     Returns:
         The best :class:`RepairOutcome` across trials.
     """
-    golden = parse(golden_design)
-    bench = ensure_instrumented(parse(testbench), golden)
-    oracle = generate_oracle(golden, bench)
-    problem = RepairProblem(parse(faulty_design), bench, oracle)
-    return repair(problem, config, seeds, observers=observers)
+    if deprecated:
+        config, seeds, observers = _merge_positional(
+            "repair_verilog", deprecated, config, seeds, observers
+        )
+    request = RepairRequest(
+        design=faulty_design,
+        testbench=testbench,
+        golden=golden_design,
+        seeds=tuple(seeds),
+        engine=engine,
+    )
+    return run_request(
+        request, base_config=config, observers=observers, cancel=cancel
+    )
 
 
 def build_problem(

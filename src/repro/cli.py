@@ -11,6 +11,9 @@ the GP parameters.  This module reproduces that workflow::
     python -m repro lint design.v                 # static analysis (L0xx rules)
     python -m repro scenarios                     # list the benchmark suite
     python -m repro report run.jsonl              # summarise a telemetry trace
+    python -m repro serve --socket /tmp/repro.sock --cache-dir ~/.cache/repro
+    python -m repro submit --socket /tmp/repro.sock counter_reset --seeds 0
+    python -m repro jobs --socket /tmp/repro.sock # the daemon's job table
 
 ``repair.conf`` uses INI syntax:
 
@@ -275,6 +278,143 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if all(report.ok for report in reports.values()) else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve`` subcommand: run the repair-as-a-service daemon.
+
+    The daemon listens on a Unix socket, executes submitted jobs on the
+    configured backends, and — with ``--cache-dir`` — shares a
+    persistent evaluation cache across every job and restart.  See
+    ``docs/service.md``.
+    """
+    import asyncio
+
+    from .service import RepairDaemon
+
+    config = RepairConfig()
+    if args.conf:
+        config, _ = RepairConfig.from_file(args.conf)
+    config = RepairConfig.from_cli_args(args, base=config)
+    daemon = RepairDaemon(
+        args.socket,
+        base_config=config,
+        max_jobs=args.max_jobs,
+        tenant_quota=args.tenant_quota,
+    )
+
+    async def _main() -> None:
+        """Start the server, announce readiness, serve until shutdown."""
+        ready = asyncio.Event()
+        task = asyncio.ensure_future(daemon.serve(ready))
+        await ready.wait()
+        print(f"repro service listening on {args.socket}", file=sys.stderr)
+        await task
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("interrupted; daemon stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``submit`` subcommand: send one repair job to a running daemon.
+
+    Mirrors ``repair``'s exit codes (0 = plausible repair, 1 = none
+    found, 2 = the job failed or was cancelled) and prints the same
+    outcome report JSON on stdout, so ``submit`` output is directly
+    comparable with a local run.
+    """
+    import json as json_mod
+
+    from .service import RepairRequest, ServiceClient, ServiceError
+
+    overrides: dict[str, object] = {}
+    for item in args.config or []:
+        if "=" not in item:
+            raise SystemExit(f"error: --config expects key=value (got {item!r})")
+        key, value = item.split("=", 1)
+        overrides[key.strip()] = value.strip()
+    if args.scenario:
+        request = RepairRequest(
+            scenario=args.scenario,
+            config=overrides,
+            seeds=tuple(args.seeds),
+            engine=args.engine,
+            tenant=args.tenant,
+        )
+    else:
+        if not args.source or not args.testbench:
+            raise SystemExit("error: provide a SCENARIO id or --source/--testbench")
+        request = RepairRequest(
+            design=Path(args.source).read_text(),
+            testbench=Path(args.testbench).read_text(),
+            golden=Path(args.golden).read_text() if args.golden else "",
+            oracle_csv=Path(args.oracle).read_text() if args.oracle else "",
+            config=overrides,
+            seeds=tuple(args.seeds),
+            engine=args.engine,
+            tenant=args.tenant,
+        )
+    on_event = None
+    if args.stream:
+
+        def on_event(event) -> None:
+            """Echo one streamed telemetry event as NDJSON on stderr."""
+            print(json_mod.dumps(event.to_dict()), file=sys.stderr)
+
+    client = ServiceClient(args.socket, timeout=args.timeout)
+    try:
+        status, response = client.submit(
+            request, wait=not args.no_wait, stream=args.stream, on_event=on_event
+        )
+    except (ServiceError, OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if response is None:
+        print(status.to_json())
+        return 0
+    if response.status != "done":
+        print(response.to_json())
+        print(f"job {response.status}: {response.error}", file=sys.stderr)
+        return 2
+    print(response.outcome_json)
+    cache = response.cache
+    print(
+        f"job {status.job_id}: plausible={response.plausible} "
+        f"fitness={response.fitness:.6f} "
+        f"cache hit rate {cache.get('hit_rate', 0.0):.0%} "
+        f"({cache.get('store_hits', 0)} hits / {cache.get('store_misses', 0)} misses)",
+        file=sys.stderr,
+    )
+    return 0 if response.plausible else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """``jobs`` subcommand: print a running daemon's job table."""
+    import json as json_mod
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.socket, timeout=args.timeout)
+    try:
+        rows = client.jobs()
+    except (ServiceError, OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json_mod.dumps([row.to_dict() for row in rows], indent=2))
+        return 0
+    for row in rows:
+        line = (
+            f"{row.job_id:24s} {row.state:10s} {row.tenant:12s} "
+            f"{row.scenario:20s} x{row.submissions}"
+        )
+        if row.error:
+            line += f"  {row.error}"
+        print(line)
+    if not rows:
+        print("no jobs", file=sys.stderr)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """``report`` subcommand: summarise a ``run.jsonl`` telemetry trace."""
     from .obs.report import report_text
@@ -343,6 +483,15 @@ def main(argv: list[str] | None = None) -> int:
         "(default: multi-driver,inferred-latch,comb-loop; 'all' for every rule)",
     )
     p_repair.add_argument(
+        "--cache-dir", dest="cache_dir", metavar="DIR",
+        help="persistent sharded evaluation cache directory (shared across "
+        "runs and with the service daemon; empty = memory-only)",
+    )
+    p_repair.add_argument(
+        "--cache-max-mb", dest="cache_max_mb", type=int, metavar="MIB",
+        help="LRU byte budget of the persistent cache in MiB (0 = unbounded)",
+    )
+    p_repair.add_argument(
         "--log", action="store_true", help="print per-generation progress logs"
     )
     p_repair.set_defaults(func=cmd_repair)
@@ -406,6 +555,80 @@ def main(argv: list[str] | None = None) -> int:
     p_report = sub.add_parser("report", help="summarise a telemetry trace (run.jsonl)")
     p_report.add_argument("trace", help="JSONL trace written by --trace or the experiments")
     p_report.set_defaults(func=cmd_report)
+
+    p_serve = sub.add_parser("serve", help="run the repair-as-a-service daemon")
+    p_serve.add_argument(
+        "--socket", required=True, help="Unix socket path to listen on"
+    )
+    p_serve.add_argument("--conf", help="repair.conf providing the base [gp] config")
+    p_serve.add_argument(
+        "--max-jobs", dest="max_jobs", type=int, default=2,
+        help="repair jobs executing concurrently (default 2)",
+    )
+    p_serve.add_argument(
+        "--tenant-quota", dest="tenant_quota", type=int, default=2,
+        help="max concurrently running jobs per tenant (default 2)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", dest="cache_dir", metavar="DIR",
+        help="persistent sharded evaluation cache shared by all jobs",
+    )
+    p_serve.add_argument(
+        "--cache-max-mb", dest="cache_max_mb", type=int, metavar="MIB",
+        help="LRU byte budget of the persistent cache in MiB (0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int,
+        help="worker processes per job's evaluation backend",
+    )
+    p_serve.add_argument(
+        "--backend", choices=BACKEND_NAMES,
+        help="candidate-evaluation backend for jobs (default: auto)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser("submit", help="submit a repair job to a daemon")
+    p_submit.add_argument("scenario", nargs="?", help="benchmark scenario id")
+    p_submit.add_argument("--socket", required=True, help="the daemon's Unix socket")
+    p_submit.add_argument("--source", help="faulty design .v (instead of a scenario)")
+    p_submit.add_argument("--testbench", help="testbench .v (with --source)")
+    p_submit.add_argument("--golden", help="previously-functioning design .v")
+    p_submit.add_argument("--oracle", help="expected-behaviour CSV (Figure 2 shape)")
+    p_submit.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
+    p_submit.add_argument(
+        "--engine", default="cirfix", help="registered repair engine (default: cirfix)"
+    )
+    p_submit.add_argument(
+        "--tenant", default="default", help="fair-share scheduling bucket"
+    )
+    p_submit.add_argument(
+        "--config", action="append", metavar="KEY=VALUE",
+        help="config override applied on the server (repeatable)",
+    )
+    p_submit.add_argument(
+        "--stream", action="store_true",
+        help="stream the run's telemetry events to stderr as NDJSON",
+    )
+    p_submit.add_argument(
+        "--no-wait", dest="no_wait", action="store_true",
+        help="return right after admission instead of waiting for the result",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="socket timeout in seconds (default: wait forever)",
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_jobs = sub.add_parser("jobs", help="list a running daemon's jobs")
+    p_jobs.add_argument("--socket", required=True, help="the daemon's Unix socket")
+    p_jobs.add_argument(
+        "--json", action="store_true", help="machine-readable table on stdout"
+    )
+    p_jobs.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="socket timeout in seconds (default 10)",
+    )
+    p_jobs.set_defaults(func=cmd_jobs)
 
     args = parser.parse_args(argv)
     try:

@@ -71,7 +71,9 @@ exercised by deliberately planted degenerate mutants — see
 from __future__ import annotations
 
 import hashlib
+import json
 import logging
+import math
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -82,10 +84,12 @@ from pathlib import Path
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence
 
-from ..hdl import ParseError, ast, parse
+from ..cache import PersistentEvalCache
+from ..hdl import ParseError, ast, generate, parse
 from ..hdl.lexer import LexError
 from ..hdl.node_ids import max_node_id, number_nodes
 from ..instrument.trace import SimulationTrace, output_mismatch
+from ..lint.rules import resolve_rules
 from ..sim.compile import CompiledSimulator
 from ..sim.elaborate import ElaborationError
 from ..sim.simulator import Simulator
@@ -367,6 +371,170 @@ def evaluate_design_text(
 # Content-addressed evaluation cache (cross-generation / cross-trial)
 # ----------------------------------------------------------------------
 
+#: Version tag of persisted evaluation payloads; bump whenever the
+#: encoded field set changes so stale entries decode as misses.
+EVAL_PAYLOAD_VERSION = 1
+
+
+def eval_context_digest(
+    testbench_text: str, oracle: SimulationTrace, config: RepairConfig
+) -> str:
+    """Digest of everything outcome-relevant *besides* the candidate text.
+
+    The persistent cache tier is shared across jobs, configs, and daemon
+    restarts, so its keys must cover the full input of one candidate
+    evaluation — two evaluations whose results could legally differ must
+    never alias.  The audited ingredient list (see ``docs/service.md``):
+
+    - the instrumented **testbench** text and the **oracle** trace (the
+      other two pipeline inputs besides the candidate);
+    - ``phi`` (fitness weighting), ``max_sim_time`` / ``max_sim_steps``
+      (simulation budgets — a budget change can turn a completed
+      simulation into a truncated one);
+    - ``sim_engine`` — the engines are bit-identical by contract, but
+      keying them apart means a parity bug can never hide behind a warm
+      cache;
+    - the ``eval_deadline_seconds`` **bucket** (minutes granularity, 0 =
+      off) and ``worker_mem_mb`` — a tighter deadline or memory sandbox
+      can contain-fail a candidate that a looser one completes;
+    - the **lint-gate ruleset** (resolved to canonical rule codes; empty
+      when the gate is off) — gate configuration is search-schedule
+      state, included so a gated corpus is auditable separately.
+
+    Deliberately excluded: GP schedule knobs (population, generations,
+    thresholds, seeds, chunk size, worker count) — they decide *which*
+    candidates get evaluated, never what one evaluation returns.
+    """
+    deadline = config.eval_deadline_seconds
+    context = {
+        "testbench_sha": hashlib.sha256(testbench_text.encode("utf-8")).hexdigest(),
+        "oracle_sha": hashlib.sha256(oracle.to_csv().encode("utf-8")).hexdigest(),
+        "phi": config.phi,
+        "max_sim_time": config.max_sim_time,
+        "max_sim_steps": config.max_sim_steps,
+        "sim_engine": config.sim_engine,
+        "deadline_bucket": 0 if deadline <= 0 else math.ceil(deadline / 60.0),
+        "worker_mem_mb": config.worker_mem_mb,
+        "lint_gate": (
+            [rule.code for rule in resolve_rules(config.lint_gate_rules)]
+            if config.lint_gate
+            else []
+        ),
+    }
+    blob = json.dumps(context, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def encode_eval_payload(result: CandidateResult) -> dict:
+    """Encode one result as the JSON payload the disk tier persists.
+
+    The payload is a faithful round-trip of every :class:`CandidateResult`
+    field except ``failure`` (quarantined results are never cached) —
+    including the recorded telemetry stats, so replayed hits produce the
+    same event stream the original computation did, and the full trace as
+    CSV when the result carries one (serial evaluations), so a serial
+    replay can skip the localization re-simulation exactly like the
+    original run did.
+    """
+    breakdown = None
+    if result.breakdown is not None:
+        b = result.breakdown
+        breakdown = {
+            "fitness": b.fitness,
+            "raw_sum": b.raw_sum,
+            "total": b.total,
+            "matches": b.matches,
+            "mismatches": b.mismatches,
+            "xz_positions": b.xz_positions,
+        }
+    summary = None
+    if result.summary is not None:
+        s = result.summary
+        summary = {
+            "rows": s.rows,
+            "recorded_vars": s.recorded_vars,
+            "mismatched_vars": list(s.mismatched_vars),
+        }
+    return {
+        "version": EVAL_PAYLOAD_VERSION,
+        "fitness": result.fitness,
+        "compiled": result.compiled,
+        "breakdown": breakdown,
+        "summary": summary,
+        "trace_csv": result.trace.to_csv() if result.trace is not None else None,
+        "eval_seconds": result.eval_seconds,
+        "parse_seconds": result.parse_seconds,
+        "sim_seconds": result.sim_seconds,
+        "sim_events": result.sim_events,
+        "sim_steps": result.sim_steps,
+    }
+
+
+def decode_eval_payload(payload: dict) -> CandidateResult | None:
+    """Decode a persisted payload back into a :class:`CandidateResult`.
+
+    Returns None for payloads of a different version or with missing /
+    malformed fields — the caller treats that as a cache miss (the disk
+    tier is corruption-tolerant end to end).
+    """
+    try:
+        if payload.get("version") != EVAL_PAYLOAD_VERSION:
+            return None
+        breakdown = (
+            FitnessBreakdown(**payload["breakdown"])
+            if payload["breakdown"] is not None
+            else None
+        )
+        summary = None
+        if payload["summary"] is not None:
+            s = payload["summary"]
+            summary = TraceSummary(
+                rows=int(s["rows"]),
+                recorded_vars=int(s["recorded_vars"]),
+                mismatched_vars=tuple(s["mismatched_vars"]),
+            )
+        trace = (
+            SimulationTrace.from_csv(payload["trace_csv"])
+            if payload["trace_csv"] is not None
+            else None
+        )
+        return CandidateResult(
+            float(payload["fitness"]),
+            breakdown,
+            bool(payload["compiled"]),
+            trace,
+            summary,
+            eval_seconds=float(payload["eval_seconds"]),
+            parse_seconds=float(payload["parse_seconds"]),
+            sim_seconds=float(payload["sim_seconds"]),
+            sim_events=int(payload["sim_events"]),
+            sim_steps=int(payload["sim_steps"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def open_eval_store(config: RepairConfig) -> PersistentEvalCache | None:
+    """The persistent cache tier selected by ``config``, or None.
+
+    ``config.cache_dir`` empty disables the tier.  Opening goes through
+    :meth:`PersistentEvalCache.open`, so every backend in the process
+    pointed at the same directory shares one instance (one LRU order,
+    one set of statistics — the service daemon relies on this).  An
+    unusable directory degrades to no disk tier rather than failing the
+    run.
+    """
+    if not config.cache_dir:
+        return None
+    try:
+        return PersistentEvalCache.open(config.cache_dir, config.cache_max_mb << 20)
+    except OSError as exc:
+        logger.warning(
+            "persistent eval cache unavailable at %s (%s); continuing without it",
+            config.cache_dir, exc,
+        )
+        return None
+
 
 class EvalCache:
     """LRU cache of :class:`CandidateResult` keyed by candidate source hash.
@@ -384,21 +552,60 @@ class EvalCache:
     Quarantined results (``failure is not None``) are never stored: a
     timeout or crash under one pool's deadline is not a property of the
     candidate text alone, and a retry must re-evaluate.
+
+    Persistent tier
+    ---------------
+
+    With a ``store`` attached (:class:`repro.cache.PersistentEvalCache`,
+    opened via :func:`open_eval_store`), a memory miss falls through to
+    disk: entries are keyed by the candidate hash *combined with*
+    ``context`` (:func:`eval_context_digest`), so results computed under
+    one testbench/oracle/config can never alias another's.  Disk hits
+    are promoted into the memory tier and counted in ``store_hits``.
+
+    ``keep_traces`` encodes the backend's trace contract: serial
+    backends (True) demand trace-bearing entries — a trace-less disk
+    entry is a *miss*, because replaying it would change the run's
+    localization re-simulation count — while pool backends (False) strip
+    traces from disk hits, exactly as their own compute path would.
+    Either way, replay is bit-identical to what that backend computes.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "_entries")
+    __slots__ = (
+        "capacity", "hits", "misses", "store_hits", "keep_traces",
+        "_entries", "_store", "_context",
+    )
 
-    def __init__(self, capacity: int):
-        #: Maximum retained results; 0 disables the cache entirely.
+    def __init__(
+        self,
+        capacity: int,
+        store: PersistentEvalCache | None = None,
+        context: str = "",
+        keep_traces: bool = True,
+    ):
+        #: Maximum retained results; 0 disables the cache entirely
+        #: (both tiers).
         self.capacity = max(0, int(capacity))
         self.hits = 0
         self.misses = 0
+        #: Hits served from the persistent tier (disjoint from ``hits``).
+        self.store_hits = 0
+        #: Whether this cache's consumer wants full traces (see above).
+        self.keep_traces = keep_traces
         self._entries: OrderedDict[bytes, CandidateResult] = OrderedDict()
+        self._store = store
+        self._context = context
 
     @staticmethod
     def key(design_text: str) -> bytes:
         """Content address: SHA-256 of the candidate source text."""
         return hashlib.sha256(design_text.encode("utf-8")).digest()
+
+    def store_key(self, design_text: str) -> str:
+        """Persistent-tier key: context digest x candidate digest."""
+        return hashlib.sha256(
+            self._context.encode("ascii") + self.key(design_text)
+        ).hexdigest()
 
     def get(self, design_text: str) -> CandidateResult | None:
         """Return the recorded result for ``design_text``, or None."""
@@ -406,31 +613,68 @@ class EvalCache:
             return None
         key = self.key(design_text)
         result = self._entries.get(key)
+        if result is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+        result = self._from_store(design_text)
         if result is None:
             self.misses += 1
             return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        self.store_hits += 1
+        self._insert(key, result)
         return result
 
     def put(self, design_text: str, result: CandidateResult) -> None:
         """Record a result (quarantined results are never cached)."""
         if self.capacity == 0 or result.failure is not None:
             return
-        key = self.key(design_text)
+        self._insert(self.key(design_text), result)
+        if self._store is not None:
+            self._store.put(self.store_key(design_text), encode_eval_payload(result))
+
+    def info(self) -> dict[str, object]:
+        """Hit/miss counters and occupancy (for benchmarks and tests)."""
+        info: dict[str, object] = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_hits": self.store_hits,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+        if self._store is not None:
+            info["store"] = self._store.info()
+        return info
+
+    # -- internals -----------------------------------------------------
+
+    def _insert(self, key: bytes, result: CandidateResult) -> None:
+        """Admit one entry to the memory tier (LRU position: newest)."""
         self._entries[key] = result
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
-    def info(self) -> dict[str, int]:
-        """Hit/miss counters and occupancy (for benchmarks and tests)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+    def _from_store(self, design_text: str) -> CandidateResult | None:
+        """Look one candidate up in the persistent tier (may be absent)."""
+        if self._store is None:
+            return None
+        payload = self._store.get(self.store_key(design_text))
+        if payload is None:
+            return None
+        result = decode_eval_payload(payload)
+        if result is None:
+            return None
+        if self.keep_traces and result.trace is None and result.breakdown is not None:
+            # A stripped *successful* entry (written by a pool run)
+            # replayed into a serial run would change the localization
+            # re-simulation count; recompute (and upgrade the entry).
+            # Failed evaluations carry no trace on any backend, so they
+            # replay as-is.
+            return None
+        if not self.keep_traces and result.trace is not None:
+            result = result.without_trace()
+        return result
 
 
 # ----------------------------------------------------------------------
@@ -477,16 +721,36 @@ class SerialBackend:
     re-localization rarely needs to re-simulate.
     """
 
-    def __init__(self, testbench: ast.Source, oracle: SimulationTrace, config: RepairConfig):
+    def __init__(
+        self,
+        testbench: ast.Source,
+        oracle: SimulationTrace,
+        config: RepairConfig,
+        testbench_text: str | None = None,
+    ):
         self.testbench = testbench
         self.oracle = oracle
         self.config = config
-        self.cache = EvalCache(config.eval_cache_size)
+        store = open_eval_store(config)
+        context = ""
+        if store is not None:
+            # The persistent tier keys on the testbench text; regenerate
+            # it from the tree only when a caller did not hand it over
+            # (and only when the tier is actually enabled).
+            if testbench_text is None:
+                testbench_text = generate(testbench)
+            context = eval_context_digest(testbench_text, oracle, config)
+        self.cache = EvalCache(
+            config.eval_cache_size, store=store, context=context, keep_traces=True
+        )
 
     @staticmethod
     def for_problem(problem: "RepairProblem", config: RepairConfig) -> "SerialBackend":
         """Build a serial backend for a :class:`RepairProblem`."""
-        return SerialBackend(problem.testbench, problem.oracle, config)
+        return SerialBackend(
+            problem.testbench, problem.oracle, config,
+            testbench_text=problem.testbench_text,
+        )
 
     def evaluate_batch(self, design_texts: Sequence[str]) -> list[CandidateResult]:
         """Evaluate the batch one candidate at a time, in order."""
@@ -777,7 +1041,18 @@ class ProcessPoolBackend:
         self._testbench_text = testbench_text
         self._testbench_tree: ast.Source | None = None  # for inline fallback
         self._init_args = (testbench_text, oracle, config)
-        self.cache = EvalCache(config.eval_cache_size)
+        store = open_eval_store(config)
+        context = (
+            eval_context_digest(testbench_text, oracle, config)
+            if store is not None
+            else ""
+        )
+        # keep_traces=False: pool results never carry traces, so disk
+        # hits are stripped to match what this backend's compute path
+        # would have returned.
+        self.cache = EvalCache(
+            config.eval_cache_size, store=store, context=context, keep_traces=False
+        )
         self._ctx = _mp_context()
         self._incidents: list[SupervisionIncident] = []
         #: Task dispatch counter (first attempts only) — the ordinal the

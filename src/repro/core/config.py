@@ -118,6 +118,16 @@ class RepairConfig:
     #: never simulated twice; hits replay the recorded result verbatim so
     #: outcomes and telemetry stay bit-identical.  0 disables the cache.
     eval_cache_size: int = 256
+    #: Root directory of the persistent evaluation-cache tier
+    #: (:class:`repro.cache.PersistentEvalCache`).  Empty (the default)
+    #: disables the disk tier; with it set, evaluation results are keyed
+    #: by candidate hash *and* an outcome-relevant context digest and
+    #: survive across processes and daemon restarts — see
+    #: ``docs/service.md``.
+    cache_dir: str = ""
+    #: Byte budget of the persistent cache tier in MiB (LRU eviction);
+    #: 0 = unbounded.  Ignored when ``cache_dir`` is unset.
+    cache_max_mb: int = 512
 
     def scaled(self, **overrides: object) -> "RepairConfig":
         """A copy with some fields replaced (for laptop-scale runs)."""
@@ -190,6 +200,8 @@ class RepairConfig:
             )
         if self.eval_cache_size < 0:
             fail(f"eval_cache_size must be >= 0 (got {self.eval_cache_size})")
+        if self.cache_max_mb < 0:
+            fail(f"cache_max_mb must be >= 0 (got {self.cache_max_mb})")
         return self
 
     @classmethod

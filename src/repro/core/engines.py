@@ -1,0 +1,83 @@
+"""The repair-engine registry (ROADMAP item 3 groundwork).
+
+``repro.api`` and the service daemon are *engine-neutral*: every repair
+entry point takes ``engine: str = "cirfix"`` and resolves it here, so a
+second repair engine (e.g. a template-enumeration baseline in the
+rtl-repair style) plugs in by registering a runner — no facade, CLI, or
+protocol change required.
+
+A runner is a callable with the signature::
+
+    runner(problem, config, seeds, *,
+           backend=None, observers=None, cancel=None) -> RepairOutcome
+
+mirroring :func:`repro.core.repair.repair` (which is the built-in
+``"cirfix"`` runner).  Runners must honour the package-wide contracts:
+same seed → bit-identical outcome; observers never influence the search;
+``cancel`` polled cooperatively.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.observer import RepairObserver
+    from .backend import EvaluationBackend
+    from .config import RepairConfig
+    from .repair import RepairOutcome, RepairProblem
+
+#: The engine every entry point defaults to.
+DEFAULT_ENGINE = "cirfix"
+
+
+class EngineRunner(Protocol):
+    """The callable contract a registered repair engine satisfies."""
+
+    def __call__(
+        self,
+        problem: "RepairProblem",
+        config: "RepairConfig | None" = None,
+        seeds: tuple[int, ...] = (0,),
+        backend: "EvaluationBackend | None" = None,
+        observers: "Sequence[RepairObserver] | None" = None,
+        cancel: Callable[[], bool] | None = None,
+    ) -> "RepairOutcome":
+        """Run trials on ``problem`` and return the chosen outcome."""
+        ...  # pragma: no cover - protocol
+
+
+_REGISTRY: dict[str, EngineRunner] = {}
+
+
+def register_engine(name: str, runner: EngineRunner) -> None:
+    """Register (or replace) the runner behind an engine name."""
+    if not name or not name.replace("_", "").replace("-", "").isalnum():
+        raise ValueError(f"bad engine name {name!r}")
+    _REGISTRY[name] = runner
+
+
+def engine_names() -> tuple[str, ...]:
+    """The registered engine names, sorted (for messages and --help)."""
+    _ensure_builtin()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_engine(name: str) -> EngineRunner:
+    """Resolve an engine name to its runner; raises ``ValueError``."""
+    _ensure_builtin()
+    runner = _REGISTRY.get(name)
+    if runner is None:
+        raise ValueError(
+            f"unknown repair engine {name!r} "
+            f"(registered: {', '.join(sorted(_REGISTRY))})"
+        )
+    return runner
+
+
+def _ensure_builtin() -> None:
+    """Lazily register the built-in CirFix runner (avoids a hard cycle)."""
+    if DEFAULT_ENGINE not in _REGISTRY:
+        from .repair import repair
+
+        _REGISTRY[DEFAULT_ENGINE] = repair

@@ -33,7 +33,7 @@ import random
 import time as time_mod
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..hdl import ast, generate, parse
 from ..instrument.trace import SimulationTrace, output_mismatch
@@ -203,11 +203,17 @@ class CirFixEngine:
         seed: int = 0,
         backend: EvaluationBackend | None = None,
         observers: Sequence[RepairObserver] | None = None,
+        cancel: Callable[[], bool] | None = None,
     ):
         self.problem = problem
         self.config = config or RepairConfig()
         self.seed = seed
         self.rng = random.Random(seed)
+        #: Cooperative cancellation probe (repair-as-a-service): checked
+        #: wherever the budget is, so a cancelled trial stops at the next
+        #: chunk boundary and returns its best-so-far outcome.  None (the
+        #: default) keeps every cancellation branch dead.
+        self._cancel = cancel
         #: Telemetry fan-out (repro.obs).  Falsy when no observers are
         #: attached, so every emit site costs one branch on unobserved
         #: runs; observers only ever read already-computed values, which
@@ -638,6 +644,8 @@ class CirFixEngine:
             )
 
         def out_of_budget() -> bool:
+            if self._cancel is not None and self._cancel():
+                return True
             if time_mod.monotonic() > deadline:
                 return True
             if (
@@ -870,6 +878,7 @@ def repair(
     seeds: tuple[int, ...] = (0,),
     backend: EvaluationBackend | None = None,
     observers: Sequence[RepairObserver] | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> RepairOutcome:
     """Run independent trials (paper: 5 per scenario) and return the first
     plausible outcome, or the best-fitness outcome if none succeeds.
@@ -887,6 +896,12 @@ def repair(
     still fan out over the pool, but trials are not shipped to workers
     (observers are generally not picklable, and a complete trace beats a
     marginally faster sweep when telemetry was requested).
+
+    ``cancel`` is a cooperative cancellation probe (the service daemon
+    passes one): trials poll it alongside their budget checks, a
+    cancelled sweep stops after the current chunk, and later seeds are
+    never started.  Like observers, a cancel probe keeps multi-seed runs
+    in-process (closures do not cross the trial pool's pickle boundary).
     """
     config = config or RepairConfig()
     events = observers if isinstance(observers, ObserverSet) else ObserverSet(observers)
@@ -897,7 +912,7 @@ def repair(
             f"valid backends: {', '.join(BACKEND_NAMES)}"
         )
     workers = max(1, config.workers)
-    if backend is None and workers > 1 and len(seeds) > 1 and not events:
+    if backend is None and workers > 1 and len(seeds) > 1 and not events and cancel is None:
         outcome = _repair_parallel_trials(problem, config, seeds, workers)
         if outcome is not None:
             return outcome
@@ -911,8 +926,11 @@ def repair(
     with scope:
         best: RepairOutcome | None = None
         for seed in seeds:
+            if best is not None and cancel is not None and cancel():
+                break  # cancelled between trials: stop the sweep early
             outcome = CirFixEngine(
-                problem, config, seed, backend=backend, observers=events
+                problem, config, seed, backend=backend, observers=events,
+                cancel=cancel,
             ).run()
             if outcome.plausible:
                 return outcome

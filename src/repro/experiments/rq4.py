@@ -61,7 +61,7 @@ def _repair_with_degraded_oracle(
     )
     scaled = scenario.suggested_config(config)
     # repair() stops at the first plausible seed, matching the old loop.
-    outcome = repair_scenario(problem, scaled, seeds)
+    outcome = repair_scenario(problem, config=scaled, seeds=seeds)
     if outcome.plausible and outcome.repaired_source is not None:
         return True, scenario.is_correct_repair(outcome.repaired_source)
     return False, False

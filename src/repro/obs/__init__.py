@@ -19,6 +19,7 @@ See ``docs/observability.md`` for the event schema and extension guide.
 
 from __future__ import annotations
 
+from .bridge import AsyncEventBridge
 from .events import (
     EVENT_TYPES,
     WALL_TIME_FIELDS,
@@ -32,6 +33,9 @@ from .events import (
     FuzzRunCompleted,
     FuzzViolationFound,
     GenerationCompleted,
+    JobAdmitted,
+    JobCompleted,
+    JobStarted,
     PhaseCompleted,
     PlausiblePatchFound,
     RepairEvent,
@@ -59,9 +63,13 @@ __all__ = [
     "BackendChunkCompleted",
     "PlausiblePatchFound",
     "PhaseCompleted",
+    "JobAdmitted",
+    "JobStarted",
+    "JobCompleted",
     "FuzzProgramChecked",
     "FuzzViolationFound",
     "FuzzRunCompleted",
+    "AsyncEventBridge",
     "EVENT_TYPES",
     "WALL_TIME_FIELDS",
     "event_from_dict",

@@ -1,0 +1,92 @@
+"""Bridging synchronous telemetry into an asyncio consumer.
+
+Repair runs execute in worker threads (the service daemon offloads the
+blocking engine onto a thread pool), but their observers' ``on_event``
+calls must reach clients sitting on the daemon's asyncio loop.
+:class:`AsyncEventBridge` is the adapter: a :class:`RepairObserver`
+whose ``on_event`` is thread-safe — it hands each event to the loop via
+``call_soon_threadsafe`` — feeding an ``asyncio.Queue`` that the
+streaming side drains with ``async for``.
+
+Backpressure policy: the queue is *lossy at the tail* when bounded.
+Telemetry must never slow the search (the ``repro.obs`` contract), so
+when a slow client lets the queue fill, newest events are dropped and
+counted (``dropped``) instead of blocking the repair thread.  The
+terminal ``None`` sentinel pushed by :meth:`finish` is exempt — closing
+the stream always succeeds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .events import RepairEvent
+
+#: Queue slot budget when the caller does not choose one.  Big enough to
+#: absorb any realistic burst between two scheduler ticks of the
+#: consumer; small enough to bound a dead client's memory.
+DEFAULT_QUEUE_SIZE = 4096
+
+
+class AsyncEventBridge:
+    """A repair observer that feeds an asyncio queue across threads.
+
+    Construct on the event loop thread, attach to a repair run like any
+    other observer, and consume with ``async for event in bridge``.  The
+    iterator terminates after :meth:`finish` is called (typically from a
+    ``finally`` on the producing side).
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, maxsize: int = DEFAULT_QUEUE_SIZE):
+        self._loop = loop
+        #: Events awaiting the consumer; ``None`` terminates the stream.
+        self.queue: asyncio.Queue[RepairEvent | None] = asyncio.Queue(maxsize)
+        #: Events discarded because the queue was full (slow consumer).
+        self.dropped = 0
+        self._finished = False
+
+    def on_event(self, event: RepairEvent) -> None:
+        """Observer hook (any thread): enqueue one event, never block."""
+        self._loop.call_soon_threadsafe(self._offer, event)
+
+    def finish(self) -> None:
+        """Terminate the stream (any thread); idempotent."""
+        self._loop.call_soon_threadsafe(self._close)
+
+    def _offer(self, event: RepairEvent) -> None:
+        """Loop-side: admit one event, dropping it if the queue is full."""
+        if self._finished:
+            return
+        try:
+            self.queue.put_nowait(event)
+        except asyncio.QueueFull:
+            self.dropped += 1
+
+    def _close(self) -> None:
+        """Loop-side: push the terminal sentinel past any full queue."""
+        if self._finished:
+            return
+        self._finished = True
+        while True:
+            try:
+                self.queue.put_nowait(None)
+                return
+            except asyncio.QueueFull:
+                # Sacrifice the oldest queued event to make room — the
+                # stream must always observably end.
+                try:
+                    self.queue.get_nowait()
+                    self.dropped += 1
+                except asyncio.QueueEmpty:  # pragma: no cover - race
+                    continue
+
+    def __aiter__(self) -> "AsyncEventBridge":
+        """Async-iterate the bridged events until :meth:`finish`."""
+        return self
+
+    async def __anext__(self) -> RepairEvent:
+        """The next bridged event; stops on the terminal sentinel."""
+        event = await self.queue.get()
+        if event is None:
+            raise StopAsyncIteration
+        return event

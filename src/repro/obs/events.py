@@ -241,6 +241,56 @@ class TrialCompleted(RepairEvent):
 
 
 @dataclass(frozen=True)
+class JobAdmitted(RepairEvent):
+    """The service daemon accepted (or joined) one repair job.
+
+    ``joined`` is True when an identical job — same
+    ``(design, testbench, config, seeds, engine)`` key — was already
+    queued or running and this submission attached to it instead of
+    enqueuing new work.  ``queue_depth`` counts jobs waiting *after*
+    admission.  Service-path only: batch runs never emit job events.
+    """
+
+    type: ClassVar[str] = "job_admitted"
+    job_id: str
+    tenant: str
+    scenario: str
+    joined: bool
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class JobStarted(RepairEvent):
+    """A queued job was scheduled onto the evaluation backend."""
+
+    type: ClassVar[str] = "job_started"
+    job_id: str
+    tenant: str
+    #: Jobs running daemon-wide the moment this one started (inclusive).
+    running: int
+
+
+@dataclass(frozen=True)
+class JobCompleted(RepairEvent):
+    """One repair job left the running state.
+
+    ``status`` is ``"done"``, ``"failed"`` (the repair raised), or
+    ``"cancelled"``.  ``cache_hit_rate`` is the job's evaluation-cache
+    hit fraction across both tiers (0.0 when no lookups happened) — the
+    service's headline number for warm resubmissions.
+    """
+
+    type: ClassVar[str] = "job_completed"
+    job_id: str
+    tenant: str
+    status: str
+    plausible: bool
+    fitness: float
+    elapsed_seconds: float
+    cache_hit_rate: float
+
+
+@dataclass(frozen=True)
 class FuzzProgramChecked(RepairEvent):
     """One generated program went through the fuzz oracle battery.
 
@@ -296,6 +346,9 @@ EVENT_TYPES: dict[str, type[RepairEvent]] = {
         PlausiblePatchFound,
         PhaseCompleted,
         TrialCompleted,
+        JobAdmitted,
+        JobStarted,
+        JobCompleted,
         FuzzProgramChecked,
         FuzzViolationFound,
         FuzzRunCompleted,

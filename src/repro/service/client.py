@@ -1,0 +1,127 @@
+"""Blocking client for the repair service socket protocol.
+
+:class:`ServiceClient` speaks the daemon's NDJSON protocol
+(:mod:`repro.service.daemon`) over an ``AF_UNIX`` socket with plain
+blocking I/O — no asyncio needed on the client side, which keeps the
+CLI (``repro submit`` / ``repro jobs``) and tests simple.  One
+operation per connection, mirroring the server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable
+
+from ..obs.events import RepairEvent, event_from_dict
+from .jobs import JobStatus, RepairRequest, RepairResponse
+
+
+class ServiceError(Exception):
+    """The daemon answered ``{"ok": false}`` (or spoke garbage)."""
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.daemon.RepairDaemon`.
+
+    Args:
+        socket_path: The daemon's Unix socket path.
+        timeout: Per-connection socket timeout in seconds (None blocks
+            forever — the right choice when waiting on long repairs).
+    """
+
+    def __init__(self, socket_path: str, timeout: "float | None" = None):
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def _call(self, payload: dict[str, Any]):
+        """Open a connection, send one op line, yield reply dicts."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+            stream = sock.makefile("rwb")
+            stream.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+            stream.flush()
+            for line in stream:
+                if line.strip():
+                    yield json.loads(line)
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _check(reply: dict[str, Any]) -> dict[str, Any]:
+        """Raise :class:`ServiceError` on an error reply; pass others."""
+        if reply.get("ok") is False:
+            raise ServiceError(reply.get("error", "unknown service error"))
+        return reply
+
+    def ping(self) -> dict[str, Any]:
+        """Liveness probe; returns the daemon's ping reply."""
+        for reply in self._call({"op": "ping"}):
+            return self._check(reply)
+        raise ServiceError("daemon closed the connection without replying")
+
+    def submit(
+        self,
+        request: RepairRequest,
+        wait: bool = True,
+        stream: bool = False,
+        on_event: "Callable[[RepairEvent], None] | None" = None,
+    ) -> tuple[JobStatus, "RepairResponse | None"]:
+        """Submit one request; returns ``(admission_status, response)``.
+
+        With ``wait=False`` (and no stream) the call returns right after
+        admission with ``response=None`` — poll :meth:`jobs` later.  With
+        ``stream=True`` each telemetry event is decoded and handed to
+        ``on_event`` as it arrives (events with unknown types are
+        skipped), and the call still returns the terminal response.
+        """
+        payload = {
+            "op": "submit",
+            "request": request.to_dict(),
+            "wait": wait,
+            "stream": stream,
+        }
+        admitted: JobStatus | None = None
+        for reply in self._call(payload):
+            self._check(reply)
+            if "job" in reply and admitted is None:
+                admitted = JobStatus.from_dict(reply["job"])
+                if not wait and not stream:
+                    return admitted, None
+            elif "event" in reply and on_event is not None:
+                try:
+                    on_event(event_from_dict(reply["event"]))
+                except ValueError:  # newer daemon, unknown event type
+                    pass
+            elif "response" in reply:
+                if admitted is None:
+                    raise ServiceError("response arrived before admission")
+                return admitted, RepairResponse.from_dict(reply["response"])
+        if admitted is not None and not wait and not stream:
+            return admitted, None
+        raise ServiceError("daemon closed the connection mid-job")
+
+    def jobs(self) -> list[JobStatus]:
+        """The daemon's job table (every job ever admitted)."""
+        for reply in self._call({"op": "jobs"}):
+            self._check(reply)
+            return [JobStatus.from_dict(row) for row in reply.get("jobs", [])]
+        raise ServiceError("daemon closed the connection without replying")
+
+    def cancel(self, job_id: str) -> JobStatus:
+        """Cancel a job by id; returns its (possibly updated) status."""
+        for reply in self._call({"op": "cancel", "job_id": job_id}):
+            self._check(reply)
+            return JobStatus.from_dict(reply["job"])
+        raise ServiceError("daemon closed the connection without replying")
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the daemon to drain and exit; returns its acknowledgement."""
+        for reply in self._call({"op": "shutdown"}):
+            return self._check(reply)
+        raise ServiceError("daemon closed the connection without replying")
+
+
+__all__ = ["ServiceClient", "ServiceError"]

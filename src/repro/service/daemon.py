@@ -1,0 +1,434 @@
+"""The repair-as-a-service daemon (``repro serve``).
+
+An asyncio Unix-domain-socket server that admits typed
+:class:`~repro.service.jobs.RepairRequest` jobs, deduplicates identical
+in-flight work, schedules fairly across tenants
+(:class:`~repro.service.queue.JobQueue`), executes repairs on a thread
+pool (each run uses the engine's own evaluation backend, including the
+supervised process pool and the persistent eval cache configured via
+``cache_dir``), and streams :mod:`repro.obs` telemetry to clients.
+
+Wire protocol (version :data:`PROTOCOL_VERSION`) — newline-delimited
+JSON, one operation per connection:
+
+- ``{"op": "ping"}`` → ``{"ok": true, "pong": true, "protocol": 1}``
+- ``{"op": "submit", "request": {...}, "wait": true, "stream": false}``
+  → an admission line ``{"ok": true, "job": {...}, "joined": bool}``;
+  with ``stream`` also ``{"event": {...}}`` lines as the run emits
+  telemetry; with ``wait`` or ``stream`` a terminal
+  ``{"response": {...}}`` line (a :class:`~repro.service.jobs.RepairResponse`).
+- ``{"op": "jobs"}`` → ``{"ok": true, "jobs": [...]}`` (status rows)
+- ``{"op": "cancel", "job_id": "..."}`` → ``{"ok": true, "job": {...}}``
+- ``{"op": "shutdown"}`` → ``{"ok": true, "stopping": true}``; the
+  daemon cancels queued jobs, flags running ones, drains, and exits.
+
+Every error is ``{"ok": false, "error": "..."}``; malformed requests
+fail the connection, never the daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+from ..core.backend import open_eval_store
+from ..core.config import RepairConfig
+from ..core.serialize import outcome_to_json
+from ..obs.bridge import AsyncEventBridge
+from ..obs.events import JobAdmitted, JobCompleted, JobStarted, RepairEvent
+from ..obs.observer import ObserverSet, RepairObserver
+from .jobs import RepairRequest, RepairResponse
+from .queue import Job, JobQueue
+
+#: Version of the NDJSON socket protocol (echoed by ``ping``).
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request line (a full custom-design request carries
+#: Verilog texts inline; 16 MiB is far above any benchmark's size).
+MAX_LINE_BYTES = 16 << 20
+
+
+class _Broadcast:
+    """Fan one run's observer stream out to dynamically attached bridges.
+
+    The engine calls :meth:`on_event` from the job's worker thread; the
+    daemon attaches/detaches :class:`AsyncEventBridge` consumers from
+    the event loop thread as streaming clients come and go — hence the
+    lock.  After :meth:`close`, attaching finishes the bridge
+    immediately (the job is over; there is nothing left to stream).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._bridges: list[AsyncEventBridge] = []
+        self._closed = False
+
+    def on_event(self, event: RepairEvent) -> None:
+        """Observer hook: replicate one event to every attached bridge."""
+        with self._lock:
+            bridges = list(self._bridges)
+        for bridge in bridges:
+            bridge.on_event(event)
+
+    def attach(self, bridge: AsyncEventBridge) -> None:
+        """Start streaming to ``bridge`` (finishes it at once if closed)."""
+        with self._lock:
+            if self._closed:
+                closed = True
+            else:
+                closed = False
+                self._bridges.append(bridge)
+        if closed:
+            bridge.finish()
+
+    def close(self) -> None:
+        """Terminate every attached bridge; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            bridges, self._bridges = self._bridges, []
+        for bridge in bridges:
+            bridge.finish()
+
+
+class _JobRuntime:
+    """Daemon-side execution state for one admitted job."""
+
+    def __init__(self, config: RepairConfig) -> None:
+        #: The request's fully resolved config (overrides applied).
+        self.config = config
+        #: The persistent eval store this job will hit (None = no disk tier).
+        self.store = open_eval_store(config)
+        #: Fan-out point for the run's telemetry events.
+        self.broadcast = _Broadcast()
+        #: Set (loop-side) when the terminal response is available.
+        self.done = asyncio.Event()
+        #: The terminal :class:`RepairResponse` once ``done`` is set.
+        self.response: RepairResponse | None = None
+
+
+class RepairDaemon:
+    """The asyncio job daemon behind ``repro serve``.
+
+    Args:
+        socket_path: Unix socket to listen on (created, replaced if a
+            stale file exists, and unlinked on exit).
+        base_config: Server-side :class:`RepairConfig` every request's
+            overrides are applied on top of.  Point ``cache_dir`` at a
+            directory to give all jobs a shared persistent eval cache.
+        max_jobs: Repairs executing concurrently (thread-pool width).
+        tenant_quota: Max concurrently running jobs per tenant.
+        observers: Optional :mod:`repro.obs` observers receiving the
+            *job lifecycle* events (admitted/started/completed) — called
+            on the event loop thread only.  Engine telemetry goes to
+            streaming clients, not here.
+    """
+
+    def __init__(
+        self,
+        socket_path: "str | os.PathLike[str]",
+        base_config: RepairConfig | None = None,
+        max_jobs: int = 2,
+        tenant_quota: int = 2,
+        observers: Sequence[RepairObserver] | None = None,
+    ) -> None:
+        self.socket_path = os.fspath(socket_path)
+        self.base_config = base_config or RepairConfig()
+        self.max_jobs = max(1, int(max_jobs))
+        self.queue = JobQueue(tenant_quota=tenant_quota)
+        self._observers = ObserverSet(observers)
+        self._runtimes: dict[str, _JobRuntime] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._pool: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop = asyncio.Event()
+        self._stopping = False
+
+    async def serve(self, ready: "asyncio.Event | None" = None) -> None:
+        """Run the daemon until a ``shutdown`` op (or :meth:`stop`).
+
+        ``ready`` (optional) is set once the socket is listening —
+        handy for tests and for the CLI's "serving on …" message.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_jobs, thread_name_prefix="repro-job"
+        )
+        with contextlib.suppress(OSError):
+            os.unlink(self.socket_path)
+        server = await asyncio.start_unix_server(
+            self._handle, path=self.socket_path, limit=MAX_LINE_BYTES
+        )
+        try:
+            if ready is not None:
+                ready.set()
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self._drain()
+            self._pool.shutdown(wait=True)
+            self._observers.close()
+            with contextlib.suppress(OSError):
+                os.unlink(self.socket_path)
+
+    def stop(self) -> None:
+        """Request shutdown (idempotent; usable from the loop thread)."""
+        self._stopping = True
+        self._stop.set()
+
+    async def _drain(self) -> None:
+        """Cancel queued jobs, flag running ones, await their tasks."""
+        for status in self.queue.statuses():
+            if status.state == "queued":
+                self.queue.cancel(status.job_id)
+                runtime = self._runtimes.get(status.job_id)
+                if runtime is not None and not runtime.done.is_set():
+                    runtime.response = RepairResponse(
+                        job_id=status.job_id,
+                        status="cancelled",
+                        error="daemon shutting down",
+                    )
+                    runtime.done.set()
+                    runtime.broadcast.close()
+            elif status.state == "running":
+                self.queue.cancel(status.job_id)
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one client connection (one operation, then close)."""
+        try:
+            line = await reader.readline()
+            if not line.strip():
+                return
+            try:
+                message = json.loads(line)
+                if not isinstance(message, dict):
+                    raise ValueError("request must be a JSON object")
+                op = message.get("op")
+                if op == "ping":
+                    await self._send(
+                        writer, {"ok": True, "pong": True, "protocol": PROTOCOL_VERSION}
+                    )
+                elif op == "jobs":
+                    rows = [status.to_dict() for status in self.queue.statuses()]
+                    await self._send(writer, {"ok": True, "jobs": rows})
+                elif op == "cancel":
+                    await self._op_cancel(writer, message)
+                elif op == "submit":
+                    await self._op_submit(writer, message)
+                elif op == "shutdown":
+                    await self._send(writer, {"ok": True, "stopping": True})
+                    self.stop()
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+            except (ValueError, TypeError, KeyError) as exc:
+                await self._send(writer, {"ok": False, "error": str(exc)})
+        except (ConnectionResetError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+        """Write one NDJSON line and flush it."""
+        writer.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+        await writer.drain()
+
+    async def _op_cancel(
+        self, writer: asyncio.StreamWriter, message: dict[str, Any]
+    ) -> None:
+        """Handle a ``cancel`` op."""
+        job_id = message.get("job_id", "")
+        job = self.queue.cancel(job_id)
+        if job is None:
+            await self._send(writer, {"ok": False, "error": f"unknown job {job_id!r}"})
+            return
+        runtime = self._runtimes.get(job.job_id)
+        if job.state == "cancelled" and runtime is not None and not runtime.done.is_set():
+            # Was still queued: it will never run, so finalize it here.
+            runtime.response = RepairResponse(
+                job_id=job.job_id, status="cancelled", error=job.error
+            )
+            runtime.done.set()
+            runtime.broadcast.close()
+        await self._send(writer, {"ok": True, "job": job.status().to_dict()})
+
+    async def _op_submit(
+        self, writer: asyncio.StreamWriter, message: dict[str, Any]
+    ) -> None:
+        """Handle a ``submit`` op (admission, optional stream, response)."""
+        if self._stopping:
+            raise ValueError("daemon is shutting down")
+        request = RepairRequest.from_dict(message.get("request") or {})
+        request.validate()
+        config = request.resolved_config(self.base_config)
+        job, joined = self.queue.submit(request)
+        runtime = self._runtimes.get(job.job_id)
+        if runtime is None:
+            runtime = _JobRuntime(config)
+            self._runtimes[job.job_id] = runtime
+        self._emit(
+            runtime,
+            JobAdmitted(
+                job_id=job.job_id,
+                tenant=request.tenant,
+                scenario=request.scenario or "<custom>",
+                joined=joined,
+                queue_depth=self.queue.queued_depth(),
+            ),
+        )
+        stream = bool(message.get("stream", False))
+        wait = bool(message.get("wait", True)) or stream
+        bridge: AsyncEventBridge | None = None
+        if stream:
+            # Attach before replying so no event can slip past us.
+            bridge = AsyncEventBridge(asyncio.get_running_loop())
+            runtime.broadcast.attach(bridge)
+            if runtime.done.is_set():
+                bridge.finish()
+        await self._send(
+            writer, {"ok": True, "job": job.status().to_dict(), "joined": joined}
+        )
+        self._pump()
+        if not wait:
+            return
+        if bridge is not None:
+            async for event in bridge:
+                await self._send(writer, {"event": event.to_dict()})
+        await runtime.done.wait()
+        assert runtime.response is not None
+        await self._send(writer, {"response": runtime.response.to_dict()})
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+
+    def _pump(self) -> None:
+        """Start ready jobs while execution slots are free (loop thread)."""
+        if self._stopping:
+            return
+        while self.queue.running_count() < self.max_jobs:
+            job = self.queue.next_ready()
+            if job is None:
+                return
+            self.queue.mark_running(job)
+            task = asyncio.ensure_future(self._execute(job))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _execute(self, job: Job) -> None:
+        """Run one job on the thread pool and finalize it."""
+        runtime = self._runtimes[job.job_id]
+        self._emit(
+            runtime,
+            JobStarted(
+                job_id=job.job_id,
+                tenant=job.request.tenant,
+                running=self.queue.running_count(),
+            ),
+        )
+        assert self._loop is not None and self._pool is not None
+        status, response, elapsed = await self._loop.run_in_executor(
+            self._pool, self._run_job, job, runtime
+        )
+        self.queue.mark_finished(job, status, response.error)
+        runtime.response = response
+        self._emit(
+            runtime,
+            JobCompleted(
+                job_id=job.job_id,
+                tenant=job.request.tenant,
+                status=status,
+                plausible=response.plausible,
+                fitness=response.fitness,
+                elapsed_seconds=elapsed,
+                cache_hit_rate=float(response.cache.get("hit_rate", 0.0)),
+            ),
+        )
+        runtime.done.set()
+        runtime.broadcast.close()
+        self._pump()
+
+    def _run_job(
+        self, job: Job, runtime: _JobRuntime
+    ) -> tuple[str, RepairResponse, float]:
+        """Worker-thread body: execute the repair, package the response.
+
+        Cache statistics are persistent-tier counter deltas over the
+        job's execution window; with overlapping jobs on one shared
+        store they include the neighbours' lookups, so treat them as
+        daemon-level telemetry, exact only for serialized submissions.
+        """
+        # Lazy import: repro.api imports repro.service.jobs at module
+        # scope, so importing it here (not at module top) keeps
+        # ``repro.service`` importable on its own without a cycle.
+        from ..api import run_request
+
+        store = runtime.store
+        hits0 = store.hits if store is not None else 0
+        misses0 = store.misses if store is not None else 0
+        start = time.monotonic()
+        try:
+            outcome = run_request(
+                job.request,
+                base_config=self.base_config,
+                observers=[runtime.broadcast],
+                cancel=job.cancel_flag.is_set,
+            )
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            elapsed = time.monotonic() - start
+            response = RepairResponse(
+                job_id=job.job_id,
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+                cache=self._cache_stats(store, hits0, misses0),
+            )
+            return "failed", response, elapsed
+        elapsed = time.monotonic() - start
+        status = "cancelled" if job.cancel_flag.is_set() else "done"
+        response = RepairResponse(
+            job_id=job.job_id,
+            status=status,
+            plausible=outcome.plausible,
+            fitness=outcome.fitness,
+            outcome_json=outcome_to_json(outcome, job.request.scenario),
+            cache=self._cache_stats(store, hits0, misses0),
+        )
+        return status, response, elapsed
+
+    @staticmethod
+    def _cache_stats(store, hits0: int, misses0: int) -> dict[str, Any]:
+        """Persistent-store counter deltas → the response ``cache`` dict."""
+        if store is None:
+            return {"store_hits": 0, "store_misses": 0, "hit_rate": 0.0}
+        hits = store.hits - hits0
+        misses = store.misses - misses0
+        total = hits + misses
+        return {
+            "store_hits": hits,
+            "store_misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+        }
+
+    def _emit(self, runtime: _JobRuntime, event: RepairEvent) -> None:
+        """Deliver one lifecycle event to daemon observers + streamers."""
+        if self._observers:
+            self._observers.emit(event)
+        runtime.broadcast.on_event(event)
+
+
+__all__ = ["PROTOCOL_VERSION", "MAX_LINE_BYTES", "RepairDaemon"]

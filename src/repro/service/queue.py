@@ -1,0 +1,200 @@
+"""Deterministic fair-share scheduling for the repair service.
+
+:class:`JobQueue` is the daemon's brain, kept deliberately free of any
+asyncio or I/O so its behaviour is a pure function of the submission
+sequence — which is what the property tests in
+``tests/service/test_queue.py`` exercise:
+
+- **dedup/join** — a submission whose :meth:`~repro.service.jobs.RepairRequest.job_key`
+  matches a queued *or running* job attaches to that job instead of
+  enqueuing duplicate work;
+- **fair share** — ready jobs are picked round-robin across tenants (in
+  first-submission order, with a rotating cursor) and FIFO within a
+  tenant, so one chatty tenant cannot starve the others;
+- **quota** — at most ``tenant_quota`` jobs of one tenant run at once;
+- **cancel** — queued jobs are removed outright; running jobs get their
+  cooperative :class:`threading.Event` cancel flag set.
+
+The queue is thread-safe (the daemon touches it from the event loop and
+from worker-thread completion callbacks) but never blocks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from .jobs import JobStatus, RepairRequest
+
+
+@dataclass
+class Job:
+    """One admitted unit of work (possibly serving several submissions)."""
+
+    #: Short stable id handed to clients (``job-<n>-<key8>``).
+    job_id: str
+    #: Dedup key (:meth:`RepairRequest.job_key` of the first submission).
+    key: str
+    #: The request that will actually run (first submission wins).
+    request: RepairRequest
+    #: Lifecycle state; one of :data:`repro.service.jobs.JOB_STATES`.
+    state: str = "queued"
+    #: How many submissions joined this job (1 = no joins).
+    submissions: int = 1
+    #: Error summary once ``failed``.
+    error: str = ""
+    #: Cooperative cancel flag polled by the engine between generations.
+    cancel_flag: threading.Event = field(default_factory=threading.Event)
+
+    def status(self) -> JobStatus:
+        """Snapshot this job as a wire-ready :class:`JobStatus` row."""
+        return JobStatus(
+            job_id=self.job_id,
+            state=self.state,
+            tenant=self.request.tenant,
+            scenario=self.request.scenario or "<custom>",
+            submissions=self.submissions,
+            error=self.error,
+        )
+
+
+class JobQueue:
+    """Dedup + fair-share + quota scheduling over admitted jobs.
+
+    Pure bookkeeping: the daemon calls :meth:`submit` on arrival,
+    :meth:`next_ready` whenever capacity frees up, :meth:`mark_running` /
+    :meth:`mark_finished` around execution, and :meth:`cancel` on client
+    request.  Given the same call sequence the same decisions come out —
+    there is no clock and no randomness in here.
+    """
+
+    def __init__(self, tenant_quota: int = 2):
+        """``tenant_quota``: max concurrently *running* jobs per tenant
+        (minimum 1)."""
+        self._lock = threading.RLock()
+        self.tenant_quota = max(1, int(tenant_quota))
+        self._ids = itertools.count(1)
+        #: key → job, for every job not yet finished.
+        self._live: dict[str, Job] = {}
+        #: job_id → job, for every job ever admitted (status/history).
+        self._jobs: dict[str, Job] = {}
+        #: tenant → FIFO of queued jobs (insertion-ordered dict as deque).
+        self._queues: dict[str, list[Job]] = {}
+        #: Tenants in first-submission order (the round-robin ring).
+        self._tenant_order: list[str] = []
+        #: Ring index of the tenant to try first on the next pick.
+        self._cursor = 0
+        #: tenant → currently running job count (quota accounting).
+        self._running: dict[str, int] = {}
+
+    def submit(self, request: RepairRequest) -> tuple[Job, bool]:
+        """Admit one request; returns ``(job, joined)``.
+
+        ``joined`` is True when an identical job (same dedup key) was
+        already queued or running and this submission attached to it.
+        """
+        with self._lock:
+            key = request.job_key()
+            existing = self._live.get(key)
+            if existing is not None:
+                existing.submissions += 1
+                return existing, True
+            job = Job(
+                job_id=f"job-{next(self._ids)}-{key[:8]}",
+                key=key,
+                request=request,
+            )
+            self._live[key] = job
+            self._jobs[job.job_id] = job
+            tenant = request.tenant
+            if tenant not in self._queues:
+                self._queues[tenant] = []
+                self._tenant_order.append(tenant)
+            self._queues[tenant].append(job)
+            return job, False
+
+    def next_ready(self) -> Job | None:
+        """Pick the next job to run, honouring fair share and quotas.
+
+        Scans the tenant ring starting at the rotating cursor; the first
+        tenant with a queued job and spare quota yields its oldest job.
+        Returns None when nothing is runnable (empty or all at quota).
+        The picked job is *not* marked running — the daemon does that
+        once it actually starts executing.
+        """
+        with self._lock:
+            n = len(self._tenant_order)
+            for offset in range(n):
+                idx = (self._cursor + offset) % n
+                tenant = self._tenant_order[idx]
+                queue = self._queues.get(tenant, [])
+                if not queue:
+                    continue
+                if self._running.get(tenant, 0) >= self.tenant_quota:
+                    continue
+                job = queue.pop(0)
+                # Next pick starts at the following tenant: round-robin.
+                self._cursor = (idx + 1) % n
+                return job
+            return None
+
+    def mark_running(self, job: Job) -> None:
+        """Transition a picked job to ``running`` (quota accounting)."""
+        with self._lock:
+            job.state = "running"
+            tenant = job.request.tenant
+            self._running[tenant] = self._running.get(tenant, 0) + 1
+
+    def mark_finished(self, job: Job, state: str, error: str = "") -> None:
+        """Terminal transition: ``done`` / ``failed`` / ``cancelled``."""
+        with self._lock:
+            was_running = job.state == "running"
+            job.state = state
+            job.error = error
+            if was_running:
+                tenant = job.request.tenant
+                self._running[tenant] = max(0, self._running.get(tenant, 0) - 1)
+            self._live.pop(job.key, None)
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Cancel by id; returns the job, or None for unknown ids.
+
+        A still-queued job is removed and finished as ``cancelled``
+        immediately; a running job only gets its cancel flag set — the
+        daemon finishes it when the engine comes back.  Finished jobs are
+        returned unchanged (cancel is then a no-op).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == "queued":
+                self._queues.get(job.request.tenant, []).remove(job)
+                self.mark_finished(job, "cancelled", "cancelled while queued")
+            elif job.state == "running":
+                job.cancel_flag.set()
+            return job
+
+    def get(self, job_id: str) -> Job | None:
+        """Look a job up by id (any state); None for unknown ids."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def statuses(self) -> list[JobStatus]:
+        """Status rows for every job ever admitted, in admission order."""
+        with self._lock:
+            return [job.status() for job in self._jobs.values()]
+
+    def queued_depth(self) -> int:
+        """Jobs currently waiting to run."""
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
+
+    def running_count(self) -> int:
+        """Jobs currently executing."""
+        with self._lock:
+            return sum(self._running.values())
+
+
+__all__ = ["Job", "JobQueue"]

@@ -1,0 +1,1 @@
+"""Tests for repro.cache (the persistent sharded evaluation store)."""

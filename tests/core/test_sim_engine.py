@@ -76,7 +76,9 @@ class TestEvalCache:
         result = self._result()
         cache.put("module a; endmodule", result)
         assert cache.get("module a; endmodule") is result
-        assert cache.info() == {"hits": 1, "misses": 0, "size": 1, "capacity": 4}
+        assert cache.info() == {
+            "hits": 1, "misses": 0, "store_hits": 0, "size": 1, "capacity": 4,
+        }
 
     def test_miss_counts(self):
         cache = EvalCache(4)
@@ -87,7 +89,9 @@ class TestEvalCache:
         cache = EvalCache(0)
         cache.put("text", self._result())
         assert cache.get("text") is None
-        assert cache.info() == {"hits": 0, "misses": 0, "size": 0, "capacity": 0}
+        assert cache.info() == {
+            "hits": 0, "misses": 0, "store_hits": 0, "size": 0, "capacity": 0,
+        }
 
     def test_lru_eviction(self):
         cache = EvalCache(2)

@@ -15,6 +15,9 @@ from repro.obs.events import (
     FuzzRunCompleted,
     FuzzViolationFound,
     GenerationCompleted,
+    JobAdmitted,
+    JobCompleted,
+    JobStarted,
     PhaseCompleted,
     TrialCompleted,
     TrialStarted,
@@ -49,6 +52,15 @@ SAMPLES = [
         index=3, program_seed=3, oracle="roundtrip", detail="AST mismatch at root",
     ),
     FuzzRunCompleted(seed=0, programs=25, checks=76, violations=1, elapsed_seconds=4.2),
+    JobAdmitted(
+        job_id="job-1-abcd1234", tenant="default", scenario="counter_reset",
+        joined=False, queue_depth=1,
+    ),
+    JobStarted(job_id="job-1-abcd1234", tenant="default", running=1),
+    JobCompleted(
+        job_id="job-1-abcd1234", tenant="default", status="done",
+        plausible=True, fitness=1.0, elapsed_seconds=2.5, cache_hit_rate=0.95,
+    ),
 ]
 
 
@@ -66,6 +78,7 @@ def test_registry_covers_all_types():
         "backend_chunk_dispatched", "backend_chunk_completed",
         "candidate_timed_out", "worker_crashed", "chunk_retried",
         "plausible_patch_found", "phase_completed", "trial_completed",
+        "job_admitted", "job_started", "job_completed",
         "fuzz_program_checked", "fuzz_violation_found", "fuzz_run_completed",
     }
     for tag, cls in EVENT_TYPES.items():

@@ -1,0 +1,1 @@
+"""Tests for repro.service (job API, queue, daemon, client)."""

@@ -1,0 +1,165 @@
+"""JobQueue properties: determinism, fair share, dedup/join, cancel."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service.jobs import RepairRequest
+from repro.service.queue import JobQueue
+
+
+def request(scenario: str, tenant: str = "default") -> RepairRequest:
+    return RepairRequest(scenario=scenario, tenant=tenant)
+
+
+def drain(queue: JobQueue, run_all: bool = True) -> list[str]:
+    """Pick (and start) jobs until nothing is ready; return scenarios."""
+    order = []
+    while True:
+        job = queue.next_ready()
+        if job is None:
+            return order
+        if run_all:
+            queue.mark_running(job)
+        order.append(job.request.scenario)
+
+
+class TestDedup:
+    def test_identical_submission_joins(self):
+        queue = JobQueue()
+        first, joined_a = queue.submit(request("s1"))
+        second, joined_b = queue.submit(request("s1"))
+        assert not joined_a
+        assert joined_b
+        assert first is second
+        assert first.submissions == 2
+        assert queue.queued_depth() == 1
+
+    def test_join_applies_to_running_jobs(self):
+        queue = JobQueue()
+        job, _ = queue.submit(request("s1"))
+        picked = queue.next_ready()
+        queue.mark_running(picked)
+        again, joined = queue.submit(request("s1"))
+        assert joined
+        assert again is job
+
+    def test_finished_jobs_do_not_absorb_new_work(self):
+        queue = JobQueue()
+        job, _ = queue.submit(request("s1"))
+        queue.mark_running(queue.next_ready())
+        queue.mark_finished(job, "done")
+        fresh, joined = queue.submit(request("s1"))
+        assert not joined
+        assert fresh is not job
+
+    def test_different_tenants_still_join(self):
+        """The dedup key excludes tenancy: identical work coalesces."""
+        queue = JobQueue()
+        a, _ = queue.submit(request("s1", tenant="alpha"))
+        b, joined = queue.submit(request("s1", tenant="beta"))
+        assert joined
+        assert a is b
+
+
+class TestFairShare:
+    def test_round_robin_across_tenants(self):
+        queue = JobQueue(tenant_quota=10)
+        for i in range(3):
+            queue.submit(request(f"a{i}", tenant="alpha"))
+        for i in range(3):
+            queue.submit(request(f"b{i}", tenant="beta"))
+        assert drain(queue) == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_chatty_tenant_cannot_starve_late_arrival(self):
+        queue = JobQueue(tenant_quota=10)
+        for i in range(5):
+            queue.submit(request(f"a{i}", tenant="alpha"))
+        queue.submit(request("b0", tenant="beta"))
+        order = drain(queue)
+        # beta's single job runs second, not sixth.
+        assert order.index("b0") == 1
+
+    def test_quota_caps_concurrent_runs_per_tenant(self):
+        queue = JobQueue(tenant_quota=1)
+        queue.submit(request("a0", tenant="alpha"))
+        queue.submit(request("a1", tenant="alpha"))
+        queue.submit(request("b0", tenant="beta"))
+        first = queue.next_ready()
+        queue.mark_running(first)
+        second = queue.next_ready()
+        queue.mark_running(second)
+        assert {first.request.scenario, second.request.scenario} == {"a0", "b0"}
+        # alpha is at quota: a1 must wait until a0 finishes.
+        assert queue.next_ready() is None
+        queue.mark_finished(first, "done")
+        assert queue.next_ready().request.scenario == "a1"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alpha", "beta", "gamma"]),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=24,
+        )
+    )
+    def test_schedule_is_a_function_of_arrival_order(self, submissions):
+        """Two queues fed the same arrivals pick identical schedules."""
+
+        def run() -> list[str]:
+            queue = JobQueue(tenant_quota=2)
+            for tenant, i in submissions:
+                queue.submit(request(f"{tenant}-{i}", tenant=tenant))
+            order = []
+            while True:
+                job = queue.next_ready()
+                if job is None:
+                    break
+                queue.mark_running(job)
+                order.append(job.job_id)
+                # Finish every other job to exercise quota churn.
+                if len(order) % 2 == 0:
+                    queue.mark_finished(job, "done")
+            return order
+
+        assert run() == run()
+
+
+class TestCancel:
+    def test_cancel_queued_removes_it(self):
+        queue = JobQueue()
+        job, _ = queue.submit(request("s1"))
+        cancelled = queue.cancel(job.job_id)
+        assert cancelled.state == "cancelled"
+        assert queue.queued_depth() == 0
+        assert queue.next_ready() is None
+
+    def test_cancel_running_sets_the_flag_only(self):
+        queue = JobQueue()
+        job, _ = queue.submit(request("s1"))
+        queue.mark_running(queue.next_ready())
+        queue.cancel(job.job_id)
+        assert job.state == "running"  # still running until it notices
+        assert job.cancel_flag.is_set()
+        queue.mark_finished(job, "cancelled")
+        assert job.state == "cancelled"
+        assert queue.running_count() == 0
+
+    def test_cancel_unknown_returns_none(self):
+        assert JobQueue().cancel("job-404") is None
+
+    def test_cancelled_key_is_resubmittable(self):
+        queue = JobQueue()
+        job, _ = queue.submit(request("s1"))
+        queue.cancel(job.job_id)
+        fresh, joined = queue.submit(request("s1"))
+        assert not joined
+        assert fresh.state == "queued"
+
+    def test_statuses_reflect_history(self):
+        queue = JobQueue()
+        a, _ = queue.submit(request("s1"))
+        b, _ = queue.submit(request("s2"))
+        queue.cancel(b.job_id)
+        states = {s.job_id: s.state for s in queue.statuses()}
+        assert states == {a.job_id: "queued", b.job_id: "cancelled"}

@@ -50,7 +50,7 @@ class TestRepairVerilog:
             max_wall_seconds=90.0,
             max_fitness_evals=800,
         )
-        outcome = repair_verilog(FAULTY, TESTBENCH, GOLDEN, config, seeds=(0, 1))
+        outcome = repair_verilog(FAULTY, TESTBENCH, GOLDEN, config=config, seeds=(0, 1))
         assert outcome.plausible
         assert outcome.repaired_source is not None
         assert "module blinker" in outcome.repaired_source
