@@ -1,0 +1,102 @@
+"""Benchmark: the scenario factory and the minted grading harness.
+
+Mints a fixed-seed scenario set, grades the built-in CirFix engine on a
+slice of it (serial and process backends), and writes the raw numbers to
+``BENCH_minted_grading.json`` at the repo root:
+
+- mint yield: admitted/requested, per-mutator and per-source counts,
+  rejection reasons, and mint wall time;
+- grading: per-mutator plausible / correct / ground-truth-match rates,
+  total ``eval_sims``, and wall time per backend.
+
+Assertions pin the factory's contract rather than host speed: the yield
+clears the admission bar across several defect families, every admitted
+defect is observable (fitness < 1.0), and the serial and process
+grading summaries are byte-identical.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.mint import MintConfig, grade_scenarios, mint_scenarios
+from repro.mint.grading import GRADE_CONFIG
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SEED = 0
+MINT_ATTEMPTS = 20
+GRADE_SLICE = 4
+#: Admission bar for the fixed seed: most attempts must survive the
+#: observability gate, across at least this many defect families.
+MIN_ADMITTED = 12
+MIN_FAMILIES = 4
+
+
+def test_minted_grading(once):
+    def sweep():
+        started = time.monotonic()
+        report = mint_scenarios(
+            MintConfig(seed=SEED, count=MINT_ATTEMPTS, shrink_rejected=False)
+        )
+        mint_seconds = time.monotonic() - started
+
+        sliced = report.admitted[:GRADE_SLICE]
+        started = time.monotonic()
+        serial = grade_scenarios(sliced, seed=SEED, seeds=(0,))
+        serial_seconds = time.monotonic() - started
+
+        started = time.monotonic()
+        process = grade_scenarios(
+            sliced,
+            seed=SEED,
+            seeds=(0,),
+            config=GRADE_CONFIG.scaled(workers=2, backend="process"),
+        )
+        process_seconds = time.monotonic() - started
+
+        assert serial.to_text() == process.to_text(), "grading diverged by backend"
+        assert serial.to_json() == process.to_json()
+        return {
+            "mint": {
+                "requested": report.requested,
+                "admitted": len(report.admitted),
+                "by_mutator": report.by_mutator(),
+                "by_source": report.by_source(),
+                "rejected": report.by_reason(),
+                "families": len(report.by_label()),
+                "seconds": mint_seconds,
+            },
+            "grading": {
+                "scenarios": len(sliced),
+                "engine": serial.engine,
+                "plausible": serial.plausible,
+                "correct": serial.correct,
+                "ground_truth_matches": serial.ground_truth_matches,
+                "by_mutator": {
+                    mutator: {
+                        "scenarios": t, "plausible": p,
+                        "correct": c, "ground_truth_matches": g,
+                    }
+                    for mutator, (t, p, c, g) in serial.by_mutator().items()
+                },
+                "eval_sims": sum(r.eval_sims for r in serial.results),
+                "serial_seconds": serial_seconds,
+                "process_seconds": process_seconds,
+            },
+            "observable": all(
+                s.faulty_fitness < 1.0 for s in report.admitted
+            ),
+        }
+
+    results = once(sweep)
+    results = {"seed": SEED, "cpu_count": os.cpu_count(), **results}
+    (_REPO_ROOT / "BENCH_minted_grading.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+    assert results["observable"], "an admitted defect scored fitness >= 1.0"
+    assert results["mint"]["admitted"] >= MIN_ADMITTED, results["mint"]
+    assert results["mint"]["families"] >= MIN_FAMILIES, results["mint"]
+    assert results["grading"]["plausible"] >= 1, results["grading"]

@@ -280,4 +280,21 @@ grep -q "violations: 0" "$SMOKE_DIR/fuzz_summary.txt"
 grep -q "engines=25" "$SMOKE_DIR/fuzz_summary.txt"
 python -m repro report "$SMOKE_DIR/fuzz.jsonl" > /dev/null
 
+echo "== minted smoke (scenario factory + cross-backend grading parity) =="
+# Mint at a fixed seed: enough attempts must survive the observability gate.
+python -m repro mint --seed 0 --count 8 --no-shrink \
+    > "$SMOKE_DIR/mint_summary.txt"
+ADMITTED=$(grep -oP '(?<=^  admitted: )\d+' "$SMOKE_DIR/mint_summary.txt")
+[ "$ADMITTED" -ge 5 ] || {
+    echo "minted smoke: only $ADMITTED/8 admitted"; exit 1; }
+# Grade the same minted set serially and on the process backend: the
+# summary must be byte-identical (the determinism contract for grading).
+python -m repro grade --seed 0 --count 5 --max-scenarios 3 \
+    --out "$SMOKE_DIR/grade_serial.txt" > /dev/null
+python -m repro grade --seed 0 --count 5 --max-scenarios 3 \
+    --backend process --workers 2 \
+    --out "$SMOKE_DIR/grade_process.txt" > /dev/null
+cmp "$SMOKE_DIR/grade_serial.txt" "$SMOKE_DIR/grade_process.txt" || {
+    echo "minted smoke: serial vs process grading diverged"; exit 1; }
+
 echo "ALL CHECKS PASSED"

@@ -96,6 +96,46 @@ class Scenario:
     def category(self) -> int:
         return self.defect.category
 
+    @classmethod
+    def from_texts(
+        cls,
+        scenario_id: str,
+        *,
+        golden_text: str,
+        testbench_text: str,
+        faulty_text: str,
+        description: str = "",
+        category: int = 1,
+        project_name: str | None = None,
+        validate_text: str | None = None,
+    ) -> "Scenario":
+        """Build a scenario directly from source texts.
+
+        This is the adapter the scenario factory (:mod:`repro.mint`) and
+        other synthetic suppliers use: any (golden, testbench, faulty)
+        triple becomes a full :class:`Scenario` — oracle generation,
+        ``suggested_config`` scaling, and correctness assessment all work
+        exactly as for the 32 transplanted benchmark defects, so synthetic
+        scenarios flow through ``run_scenario`` unchanged.  The defect's
+        ``replacements`` are empty (the faulty text is supplied directly,
+        not derived by string substitution).
+        """
+        project = Project(
+            name=project_name or scenario_id,
+            description=description or f"synthetic project for {scenario_id}",
+            design_text=golden_text,
+            testbench_text=testbench_text,
+            validate_text=validate_text,
+        )
+        defect = Defect(
+            scenario_id=scenario_id,
+            project=project.name,
+            description=description or scenario_id,
+            category=category,
+            replacements=(),
+        )
+        return cls(defect, project, faulty_text)
+
     # ------------------------------------------------------------------
     # Lazily built artefacts (oracle generation simulates the golden design)
     # ------------------------------------------------------------------

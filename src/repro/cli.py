@@ -229,6 +229,107 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_mint(args: argparse.Namespace) -> int:
+    """``mint`` subcommand: mint ground-truth defect scenarios."""
+    from .mint import MUTATORS, MintConfig, mint_scenarios
+
+    config = MintConfig(
+        seed=args.seed,
+        count=args.count,
+        sources=tuple(args.sources.split(",")) if args.sources else ("fuzz", "bench"),
+        bench_percent=args.bench_percent,
+        mutators=(
+            tuple(args.mutators.split(",")) if args.mutators else tuple(MUTATORS)
+        ),
+        shrink_rejected=args.shrink,
+        shrink_budget=args.shrink_budget,
+    )
+    observers = []
+    trace_observer = None
+    if args.trace:
+        from .obs import JsonlTraceObserver
+
+        trace_observer = JsonlTraceObserver(args.trace)
+        observers.append(trace_observer)
+    try:
+        report = mint_scenarios(config, observers=observers)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        if trace_observer is not None:
+            trace_observer.close()
+            print(f"telemetry trace written to {args.trace}", file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(report.to_json())
+        print(f"minted scenarios written to {args.out}", file=sys.stderr)
+    print(report.to_text(), end="")
+    return 0 if report.admitted else 1
+
+
+def cmd_grade(args: argparse.Namespace) -> int:
+    """``grade`` subcommand: auto-grade a repair engine on minted scenarios.
+
+    Re-mints the scenario set deterministically from ``--seed/--count``
+    (no files to pass around), then runs the engine on every admitted
+    scenario.  The summary is byte-identical across evaluation backends
+    for a fixed seed, so CI can ``cmp`` serial vs process output.
+    """
+    from .core.engines import engine_names
+    from .mint import GRADE_CONFIG, MintConfig, grade_scenarios, mint_scenarios
+
+    if args.engine not in engine_names():
+        raise SystemExit(
+            f"error: unknown engine {args.engine!r} "
+            f"(registered: {', '.join(engine_names())})"
+        )
+    mint_config = MintConfig(
+        seed=args.seed,
+        count=args.count,
+        sources=tuple(args.sources.split(",")) if args.sources else ("fuzz", "bench"),
+        bench_percent=args.bench_percent,
+        shrink_rejected=False,
+    )
+    observers = []
+    trace_observer = None
+    if args.trace:
+        from .obs import JsonlTraceObserver
+
+        trace_observer = JsonlTraceObserver(args.trace)
+        observers.append(trace_observer)
+    try:
+        minted = mint_scenarios(mint_config).admitted
+        if args.max_scenarios is not None:
+            minted = minted[: args.max_scenarios]
+        config = GRADE_CONFIG
+        if args.workers is not None or args.backend is not None:
+            config = config.scaled(
+                workers=args.workers if args.workers is not None else config.workers,
+                backend=args.backend if args.backend is not None else config.backend,
+            )
+        report = grade_scenarios(
+            minted,
+            seed=args.seed,
+            engine=args.engine,
+            config=config,
+            seeds=tuple(args.seeds),
+            observers=observers,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        if trace_observer is not None:
+            trace_observer.close()
+            print(f"telemetry trace written to {args.trace}", file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(report.to_text())
+        print(f"grading summary written to {args.out}", file=sys.stderr)
+    if args.json_out:
+        Path(args.json_out).write_text(report.to_json())
+        print(f"grading JSON written to {args.json_out}", file=sys.stderr)
+    print(report.to_text(), end="")
+    return 0 if minted else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """``lint`` subcommand: static analysis over Verilog sources.
 
@@ -540,6 +641,86 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", help="write a repro.obs JSONL telemetry trace to this path"
     )
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_mint = sub.add_parser(
+        "mint", help="mint ground-truth defect scenarios from golden designs"
+    )
+    p_mint.add_argument("--seed", type=int, default=0, help="mint seed (default 0)")
+    p_mint.add_argument(
+        "--count", type=int, default=50, help="mint attempts (default 50)"
+    )
+    p_mint.add_argument(
+        "--sources", metavar="LIST",
+        help="comma-separated base suppliers: fuzz,bench (default both)",
+    )
+    p_mint.add_argument(
+        "--bench-percent", type=int, default=20, metavar="PCT",
+        help="percentage of attempts drawn from benchsuite bases (default 20)",
+    )
+    p_mint.add_argument(
+        "--mutators", metavar="LIST",
+        help="comma-separated mutator names to enable (default: all)",
+    )
+    p_mint.add_argument(
+        "--no-shrink", dest="shrink", action="store_false",
+        help="skip ddmin-shrinking unobservable fuzz mutants",
+    )
+    p_mint.add_argument(
+        "--shrink-budget", type=int, default=128, metavar="N",
+        help="max replays per shrink (default 128)",
+    )
+    p_mint.add_argument(
+        "--out", help="write the minted scenario set (JSON) to this path"
+    )
+    p_mint.add_argument(
+        "--trace", help="write a repro.obs JSONL telemetry trace to this path"
+    )
+    p_mint.set_defaults(func=cmd_mint)
+
+    p_grade = sub.add_parser(
+        "grade", help="auto-grade a repair engine on minted scenarios"
+    )
+    p_grade.add_argument("--seed", type=int, default=0, help="mint seed (default 0)")
+    p_grade.add_argument(
+        "--count", type=int, default=10, help="mint attempts to grade (default 10)"
+    )
+    p_grade.add_argument(
+        "--max-scenarios", type=int, metavar="N",
+        help="grade at most the first N admitted scenarios",
+    )
+    p_grade.add_argument(
+        "--sources", metavar="LIST",
+        help="comma-separated base suppliers: fuzz,bench (default both)",
+    )
+    p_grade.add_argument(
+        "--bench-percent", type=int, default=20, metavar="PCT",
+        help="percentage of attempts drawn from benchsuite bases (default 20)",
+    )
+    p_grade.add_argument(
+        "--engine", default="cirfix",
+        help="registered repair engine to grade (default: cirfix)",
+    )
+    p_grade.add_argument(
+        "--backend", choices=("serial", "process"),
+        help="candidate-evaluation backend (default: grading config's)",
+    )
+    p_grade.add_argument(
+        "--workers", type=int, help="evaluation workers for --backend process"
+    )
+    p_grade.add_argument(
+        "--seeds", type=int, nargs="+", default=[0], metavar="SEED",
+        help="repair trial seeds per scenario (default: 0)",
+    )
+    p_grade.add_argument(
+        "--out", help="write the byte-stable text summary to this path"
+    )
+    p_grade.add_argument(
+        "--json-out", help="write the JSON grading payload to this path"
+    )
+    p_grade.add_argument(
+        "--trace", help="write a repro.obs JSONL telemetry trace to this path"
+    )
+    p_grade.set_defaults(func=cmd_grade)
 
     p_lint = sub.add_parser("lint", help="static analysis over Verilog sources")
     p_lint.add_argument("files", nargs="+", help="Verilog source files to lint")

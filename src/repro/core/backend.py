@@ -825,6 +825,16 @@ def parse_chaos_spec(spec: str) -> dict[int, tuple[str, bool]]:
                 f"bad chaos spec entry {part!r} "
                 f"(expected kind@ordinal with kind in {', '.join(CHAOS_KINDS)})"
             )
+        # int() alone is too permissive here: it would accept "1_0", "-1",
+        # and " 3" (silently planting the wrong ordinal) and raise a bare
+        # ValueError for "hang@" or "exit@5:twice" that never names the
+        # offending entry.
+        if not (ordinal.isascii() and ordinal.isdigit()):
+            raise ValueError(
+                f"bad chaos spec entry {part!r} "
+                f"(ordinal must be a non-negative decimal integer, "
+                f"got {ordinal!r})"
+            )
         plan[int(ordinal)] = (kind, once)
     return plan
 

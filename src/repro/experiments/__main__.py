@@ -10,6 +10,7 @@ from . import (
     figure2,
     figure3,
     fixloc_ablation,
+    minted,
     param_sensitivity,
     phi_ablation,
     rq1,
@@ -41,6 +42,7 @@ EXPERIMENTS = {
     "param-sensitivity": lambda ctx: param_sensitivity.main(ctx.preset),
     "runtime": lambda ctx: runtime_analysis.main(ctx.preset),
     "seeded": lambda ctx: seeded_defects.main(ctx.preset),
+    "minted": lambda ctx: minted.main(ctx.preset, workers=ctx.workers),
 }
 
 

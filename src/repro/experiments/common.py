@@ -18,6 +18,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from ..benchsuite import Scenario, load_scenario
 from ..core.backend import EvaluationBackend, _mp_context, make_backend
 from ..core.config import RepairConfig
+from ..core.engines import DEFAULT_ENGINE, get_engine
 from ..core.repair import CirFixEngine, RepairOutcome
 from ..obs.observer import ObserverSet, RepairObserver
 
@@ -76,6 +77,10 @@ class ScenarioResult:
     seed: int
     best_fitness_history: list[float] = field(default_factory=list)
     repaired_source: str | None = None
+    #: Unique candidate evaluations across the trials that ran — the
+    #: deterministic budget counter (identical across backends, unlike
+    #: ``simulations``, which counts actual simulator invocations).
+    eval_sims: int = 0
 
     @property
     def outcome(self) -> str:
@@ -92,15 +97,19 @@ def run_scenario(
     observers: Sequence[RepairObserver] | None = None,
     *,
     seeds: tuple[int, ...] = (0, 1),
+    engine: str = DEFAULT_ENGINE,
 ) -> ScenarioResult:
-    """Run CirFix trials on one scenario (paper: 5 independent trials,
+    """Run repair trials on one scenario (paper: 5 independent trials,
     stopping at the first plausible repair).
 
     This is the one driver every experiment funnels through.  With
     ``config.workers > 1`` the trials share one evaluation backend (a
     persistent process pool), so the pool is paid for once per scenario,
     not once per seed.  ``observers`` (repro.obs) see every trial's event
-    stream; they never influence the search.
+    stream; they never influence the search.  ``engine`` names a
+    registered repair engine (:mod:`repro.core.engines`); the built-in
+    ``"cirfix"`` keeps the historical per-seed trial loop bit-for-bit,
+    other engines receive all seeds in one runner call.
     """
     scaled = scenario.suggested_config(config)
     events = observers if isinstance(observers, ObserverSet) else ObserverSet(observers)
@@ -108,22 +117,35 @@ def run_scenario(
     best: RepairOutcome | None = None
     winner: RepairOutcome | None = None
     total_sims = 0
+    total_evals = 0
     problem = scenario.problem()
     backend: EvaluationBackend | None = (
         make_backend(problem, scaled) if scaled.workers > 1 else None
     )
     # Backends are context managers; a serial run needs no scope at all.
     with backend if backend is not None else contextlib.nullcontext():
-        for seed in seeds:
-            outcome = CirFixEngine(
-                problem, scaled, seed, backend=backend, observers=events
-            ).run()
-            total_sims += outcome.simulations
-            if best is None or outcome.fitness > best.fitness:
-                best = outcome
+        if engine == DEFAULT_ENGINE:
+            for seed in seeds:
+                outcome = CirFixEngine(
+                    problem, scaled, seed, backend=backend, observers=events
+                ).run()
+                total_sims += outcome.simulations
+                total_evals += outcome.eval_sims
+                if best is None or outcome.fitness > best.fitness:
+                    best = outcome
+                if outcome.plausible:
+                    winner = outcome
+                    break
+        else:
+            runner = get_engine(engine)
+            outcome = runner(
+                problem, scaled, tuple(seeds), backend=backend, observers=events
+            )
+            total_sims = outcome.simulations
+            total_evals = outcome.eval_sims
+            best = outcome
             if outcome.plausible:
                 winner = outcome
-                break
     assert best is not None
     chosen = winner if winner is not None else best
     correct = False
@@ -146,6 +168,7 @@ def run_scenario(
         seed=chosen.seed,
         best_fitness_history=chosen.best_fitness_history,
         repaired_source=chosen.repaired_source,
+        eval_sims=total_evals,
     )
 
 

@@ -1,0 +1,51 @@
+"""repro.mint — the ground-truth scenario factory and grading harness.
+
+The benchmark suite is frozen at the paper's 32 transplanted defects;
+this package makes scenario supply unbounded.  It mints ``(buggy,
+oracle)`` pairs by applying Table-3-style semantic mutators
+(:mod:`~repro.mint.mutators`) to golden designs from the fuzz generator
+and the benchsuite (:mod:`~repro.mint.factory`), admits only defects
+that are *observable* under the generated testbench, and auto-grades
+any registered repair engine against the minted set with
+plausible / correct / ground-truth-match rates
+(:mod:`~repro.mint.grading`).
+
+CLI: ``python -m repro mint`` and ``python -m repro grade``; the
+experiment driver is ``python -m repro.experiments minted``.  See
+``docs/minting.md``.
+"""
+
+from .factory import (
+    MINT_BENCH_PROJECTS,
+    REJECT_REASONS,
+    MintConfig,
+    MintedScenario,
+    MintReport,
+    RejectedMutant,
+    mint_scenarios,
+)
+from .grading import (
+    GRADE_CONFIG,
+    GradedScenario,
+    GradeReport,
+    grade_scenarios,
+    ground_truth_match,
+)
+from .mutators import MUTATORS, MintMutator
+
+__all__ = [
+    "MINT_BENCH_PROJECTS",
+    "REJECT_REASONS",
+    "MUTATORS",
+    "MintMutator",
+    "MintConfig",
+    "MintedScenario",
+    "MintReport",
+    "RejectedMutant",
+    "mint_scenarios",
+    "GRADE_CONFIG",
+    "GradedScenario",
+    "GradeReport",
+    "grade_scenarios",
+    "ground_truth_match",
+]

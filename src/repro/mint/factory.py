@@ -1,0 +1,614 @@
+"""The scenario factory: mint ground-truth defect scenarios.
+
+Turns :mod:`repro.fuzz.generator` programs and the benchsuite's golden
+projects into an unlimited supply of ``(buggy, oracle)`` scenario pairs
+with *known ground truth*: every minted scenario is a golden design
+corrupted by exactly one semantic mutator from
+:mod:`repro.mint.mutators`, so the golden design itself is a patch that
+provably restores fitness 1.0.
+
+Admission pipeline, per attempt (all seeded, bit-reproducible):
+
+1. **Base selection** — a freshly generated fuzz program, or one of the
+   small benchsuite projects.  The base is validated first: its golden
+   design must simulate to a non-empty oracle trace and score
+   self-fitness 1.0 (this is what certifies the ground-truth patch).
+2. **Mutation** — one mutator applied at one rng-chosen site of the
+   golden design AST.
+3. **Observability check** — the mutant is re-simulated against the
+   generated testbench; only defects with ``compiled`` and
+   ``fitness < 1.0`` are admitted (the paper's validity criterion for
+   seeded defects, §4.1.3).
+
+Rejected fuzz mutants whose defect was *unobservable* are ddmin-shrunk
+(:mod:`repro.fuzz.shrink`) to a minimal program that still hides the
+same mutation — the reproducers make mutator blind spots debuggable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..benchsuite import PROJECT_DESCRIPTIONS, load_project
+from ..benchsuite.scenario import Scenario
+from ..core.backend import evaluate_design_text
+from ..core.config import RepairConfig
+from ..core.oracle import ensure_instrumented, generate_oracle
+from ..fuzz.generator import GeneratedProgram, generate_program
+from ..fuzz.oracles import FUZZ_EVAL_CONFIG
+from ..fuzz.shrink import shrink_decisions
+from ..hdl import ast, generate, parse
+from ..instrument.trace import SimulationTrace
+from ..obs.events import (
+    MintRunCompleted,
+    MintScenarioAdmitted,
+    MintScenarioRejected,
+)
+from ..obs.observer import ObserverSet, RepairObserver
+from .mutators import MUTATORS
+
+#: Benchsuite projects small enough to mint against at interactive speed.
+MINT_BENCH_PROJECTS: tuple[str, ...] = (
+    "decoder_3_to_8",
+    "counter",
+    "flip_flop",
+    "mux_4_1",
+    "lshift_reg",
+)
+
+#: Rejection reasons, in the order the pipeline can produce them.
+REJECT_REASONS: tuple[str, ...] = (
+    "base_unusable",
+    "no_sites",
+    "mutate_refused",
+    "uncompilable",
+    "unobservable",
+)
+
+#: How many site picks one attempt tries before giving up on a mutator.
+_SITE_TRIES = 5
+
+#: How many (mutator, site) candidates one attempt simulates before the
+#: attempt is rejected — many single-site mutations are behaviourally
+#: silent (dead branch, masked bit), so an attempt keeps drawing until a
+#: defect is *observable* or the budget runs out.
+_OBSERVABILITY_TRIES = 8
+
+#: Stride decorrelating per-attempt rng streams from the run seed.
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class MintConfig:
+    """Parameters of one mint run (``repro mint``)."""
+
+    seed: int = 0
+    #: Mint *attempts*; the admitted count is lower (see REJECT_REASONS).
+    count: int = 50
+    #: Base suppliers to draw from: "fuzz" and/or "bench".
+    sources: tuple[str, ...] = ("fuzz", "bench")
+    bench_projects: tuple[str, ...] = MINT_BENCH_PROJECTS
+    #: Percentage of attempts drawn from benchsuite projects (the rest
+    #: come from the fuzz generator) when both sources are enabled.
+    bench_percent: int = 20
+    mutators: tuple[str, ...] = tuple(MUTATORS)
+    #: ddmin-shrink unobservable fuzz mutants into minimal reproducers.
+    shrink_rejected: bool = True
+    shrink_budget: int = 128
+
+    def validate(self) -> None:
+        """Fail fast on unknown names and out-of-range knobs."""
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0 (got {self.count})")
+        if not 0 <= self.bench_percent <= 100:
+            raise ValueError(
+                f"bench_percent must be in [0, 100] (got {self.bench_percent})"
+            )
+        unknown = [s for s in self.sources if s not in ("fuzz", "bench")]
+        if unknown or not self.sources:
+            raise ValueError(
+                f"sources must be a non-empty subset of ('fuzz', 'bench') "
+                f"(got {self.sources!r})"
+            )
+        bad_mutators = [m for m in self.mutators if m not in MUTATORS]
+        if bad_mutators or not self.mutators:
+            raise ValueError(
+                f"unknown mutators {bad_mutators!r} "
+                f"(registered: {', '.join(MUTATORS)})"
+            )
+        bad_projects = [p for p in self.bench_projects if p not in PROJECT_DESCRIPTIONS]
+        if bad_projects:
+            raise ValueError(
+                f"unknown bench projects {bad_projects!r} "
+                f"(known: {', '.join(PROJECT_DESCRIPTIONS)})"
+            )
+
+
+@dataclass(frozen=True)
+class MintedScenario:
+    """One admitted scenario: a ground-truth-labeled (buggy, oracle) pair."""
+
+    scenario_id: str
+    #: Base supplier: "fuzz" or "bench".
+    source: str
+    #: Base identity: "seed:<n>" for fuzz programs, the project name for
+    #: benchsuite bases.
+    base: str
+    mutator: str
+    #: The Table-3 defect family label of the mutator.
+    label: str
+    category: int
+    description: str
+    faulty_text: str
+    golden_text: str
+    testbench_text: str
+    #: Fitness of the faulty design against the golden oracle (< 1.0).
+    faulty_fitness: float
+    #: node_id of the mutated site in the golden design AST.
+    site: int
+    validate_text: str | None = None
+
+    def to_scenario(self) -> Scenario:
+        """The benchsuite adapter: run this through ``run_scenario``."""
+        return Scenario.from_texts(
+            self.scenario_id,
+            golden_text=self.golden_text,
+            testbench_text=self.testbench_text,
+            faulty_text=self.faulty_text,
+            description=self.description,
+            category=self.category,
+            project_name=self.base if self.source == "bench" else self.scenario_id,
+            validate_text=self.validate_text,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "scenario_id": self.scenario_id,
+            "source": self.source,
+            "base": self.base,
+            "mutator": self.mutator,
+            "label": self.label,
+            "category": self.category,
+            "description": self.description,
+            "faulty_text": self.faulty_text,
+            "golden_text": self.golden_text,
+            "testbench_text": self.testbench_text,
+            "faulty_fitness": self.faulty_fitness,
+            "site": self.site,
+            "validate_text": self.validate_text,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MintedScenario":
+        names = {f for f in cls.__dataclass_fields__}  # noqa: C416 - set of names
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+@dataclass(frozen=True)
+class RejectedMutant:
+    """One rejected mint attempt (diagnostic record)."""
+
+    index: int
+    source: str
+    base: str
+    mutator: str
+    reason: str
+    #: ddmin-shrunk generator decisions still reproducing the rejection
+    #: (unobservable fuzz mutants only; replay with
+    #: ``repro.fuzz.generator.replay_program``).
+    shrunk_decisions: tuple[int, ...] | None = None
+
+
+@dataclass
+class MintReport:
+    """Outcome of one mint run."""
+
+    config: MintConfig
+    admitted: list[MintedScenario] = field(default_factory=list)
+    rejected: list[RejectedMutant] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def requested(self) -> int:
+        return self.config.count
+
+    def by_mutator(self) -> dict[str, int]:
+        """Admitted-scenario counts keyed by mutator name, sorted by key."""
+        return _counts(s.mutator for s in self.admitted)
+
+    def by_label(self) -> dict[str, int]:
+        """Admitted-scenario counts keyed by Table-3 family label."""
+        return _counts(s.label for s in self.admitted)
+
+    def by_source(self) -> dict[str, int]:
+        """Admitted-scenario counts keyed by base source (fuzz/bench)."""
+        return _counts(s.source for s in self.admitted)
+
+    def by_reason(self) -> dict[str, int]:
+        """Rejection counts keyed by admission-gate reason."""
+        return _counts(r.reason for r in self.rejected)
+
+    def to_text(self) -> str:
+        """Byte-stable summary: no wall-clock, no host echo."""
+        lines = [
+            "mint summary",
+            f"  seed: {self.config.seed}  requested: {self.requested}",
+            f"  admitted: {len(self.admitted)}",
+            "  by mutator: " + _format_counts(self.by_mutator()),
+            "  by source: " + _format_counts(self.by_source()),
+            f"  defect families: {len(self.by_label())}",
+            f"  rejected: {len(self.rejected)} (" + _format_counts(self.by_reason()) + ")",
+        ]
+        for scenario in self.admitted:
+            lines.append(
+                f"  {scenario.scenario_id}  cat{scenario.category}"
+                f"  fitness={scenario.faulty_fitness:.6f}  {scenario.description}"
+            )
+        shrunk = [r for r in self.rejected if r.shrunk_decisions is not None]
+        if shrunk:
+            lines.append("  shrunk reproducers:")
+            lines.extend(
+                f"    attempt {r.index} [{r.mutator}] "
+                f"{len(r.shrunk_decisions or ())} decisions"
+                for r in shrunk
+            )
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> str:
+        """Byte-stable JSON payload (scenarios included, no wall-clock)."""
+        return json.dumps(
+            {
+                "seed": self.config.seed,
+                "requested": self.requested,
+                "admitted": [s.to_dict() for s in self.admitted],
+                "rejected": [
+                    {
+                        "index": r.index,
+                        "source": r.source,
+                        "base": r.base,
+                        "mutator": r.mutator,
+                        "reason": r.reason,
+                        "shrunk_decisions": (
+                            list(r.shrunk_decisions)
+                            if r.shrunk_decisions is not None
+                            else None
+                        ),
+                    }
+                    for r in self.rejected
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _counts(items) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for item in items:
+        out[item] = out.get(item, 0) + 1
+    return dict(sorted(out.items()))
+
+
+def _format_counts(counts: dict[str, int]) -> str:
+    return " ".join(f"{k}={v}" for k, v in counts.items()) if counts else "-"
+
+
+# ----------------------------------------------------------------------
+# Base suppliers
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Base:
+    """A validated golden base ready for mutation."""
+
+    source: str
+    name: str
+    golden_text: str
+    testbench_text: str
+    golden_source: ast.Source
+    testbench: ast.Source
+    oracle: SimulationTrace
+    eval_config: RepairConfig
+    validate_text: str | None = None
+    program: GeneratedProgram | None = None
+
+
+#: Simulation bounds for validating benchsuite-based mutants (the five
+#: MINT_BENCH_PROJECTS finish far below these).
+_BENCH_EVAL_CONFIG = RepairConfig(max_sim_time=200_000, max_sim_steps=1_000_000)
+
+
+def _build_base(
+    source: str, name: str, golden_text: str, testbench_text: str,
+    eval_config: RepairConfig, validate_text: str | None = None,
+    program: GeneratedProgram | None = None,
+) -> _Base | None:
+    """Validate a golden (design, testbench) pair into a ``_Base``.
+
+    Returns None when the base cannot anchor a ground-truth scenario:
+    the oracle fails to generate, or the golden design itself does not
+    score self-fitness 1.0 (which would make "golden restores 1.0" —
+    the minted ground-truth guarantee — false).
+    """
+    try:
+        golden = parse(golden_text)
+        bench = ensure_instrumented(parse(testbench_text), golden)
+        oracle = generate_oracle(
+            golden, bench,
+            max_sim_time=eval_config.max_sim_time,
+            max_sim_steps=eval_config.max_sim_steps,
+        )
+    except Exception:
+        return None
+    self_check = evaluate_design_text(golden_text, bench, oracle, eval_config)
+    if not self_check.compiled or self_check.fitness < 1.0:
+        return None
+    return _Base(
+        source=source,
+        name=name,
+        golden_text=golden_text,
+        testbench_text=testbench_text,
+        golden_source=golden,
+        testbench=bench,
+        oracle=oracle,
+        eval_config=eval_config,
+        validate_text=validate_text,
+        program=program,
+    )
+
+
+class _BaseSupplier:
+    """Deterministic base selection with per-project caching."""
+
+    def __init__(self, config: MintConfig):
+        self.config = config
+        self._bench_cache: dict[str, _Base | None] = {}
+
+    def pick(self, index: int, rng: random.Random) -> tuple[str, str, "_Base | None"]:
+        """(source, base key, validated base or None) for one attempt."""
+        sources = self.config.sources
+        use_bench = "bench" in sources and (
+            "fuzz" not in sources
+            or rng.randrange(100) < self.config.bench_percent
+        )
+        if use_bench and self.config.bench_projects:
+            name = self.config.bench_projects[
+                rng.randrange(len(self.config.bench_projects))
+            ]
+            return "bench", name, self._bench_base(name)
+        program_seed = self.config.seed * _SEED_STRIDE + index
+        return "fuzz", f"seed:{program_seed}", self._fuzz_base(program_seed)
+
+    def _fuzz_base(self, program_seed: int) -> _Base | None:
+        program = generate_program(program_seed)
+        return _build_base(
+            "fuzz", f"seed:{program_seed}",
+            program.design_text, program.testbench_text,
+            FUZZ_EVAL_CONFIG, program=program,
+        )
+
+    def _bench_base(self, name: str) -> _Base | None:
+        if name not in self._bench_cache:
+            project = load_project(name)
+            self._bench_cache[name] = _build_base(
+                "bench", name,
+                project.design_text, project.testbench_text,
+                _BENCH_EVAL_CONFIG, validate_text=project.validate_text,
+            )
+        base = self._bench_cache[name]
+        if base is None:
+            return None
+        # Each attempt mutates its own clone of the cached golden AST, so
+        # the cache entry itself is never rewritten.
+        return base
+
+
+# ----------------------------------------------------------------------
+# The mint loop
+# ----------------------------------------------------------------------
+
+
+def _apply_mutator(
+    base: _Base, mutator_name: str, rng: random.Random
+) -> tuple[str, int, str] | None:
+    """Try to mint one mutant; (buggy_text, site, description) or None."""
+    mutator = MUTATORS[mutator_name]
+    sites = mutator.sites(base.golden_source)
+    if not sites:
+        return None
+    for _ in range(min(_SITE_TRIES, len(sites))):
+        site = sites[rng.randrange(len(sites))]
+        clone = base.golden_source.clone()
+        assert isinstance(clone, ast.Source)
+        description = mutator.apply(clone, site, rng)
+        if description is None:
+            continue
+        buggy_text = generate(clone)
+        if buggy_text != base.golden_text:
+            return buggy_text, site, description
+    return None
+
+
+def _shrink_unobservable(
+    base: _Base, mutator_name: str, variant_seed: int, budget: int
+) -> tuple[int, ...] | None:
+    """ddmin-shrink a fuzz program that hides a mutation (fitness 1.0).
+
+    The predicate replays the (reduced) decision list, re-applies the
+    same mutator with the same variant rng, and keeps the reduction only
+    while the mutant still compiles *and* still scores fitness 1.0 —
+    i.e. the defect stays unobservable on the smaller program.
+    """
+    if base.program is None:
+        return None
+
+    def still_unobservable(program: GeneratedProgram) -> bool:
+        replayed = _build_base(
+            "fuzz", base.name,
+            program.design_text, program.testbench_text,
+            base.eval_config, program=program,
+        )
+        if replayed is None:
+            return False
+        minted = _apply_mutator(replayed, mutator_name, random.Random(variant_seed))
+        if minted is None:
+            return False
+        buggy_text, _, _ = minted
+        result = evaluate_design_text(
+            buggy_text, replayed.testbench, replayed.oracle, replayed.eval_config
+        )
+        return result.compiled and result.fitness >= 1.0
+
+    shrunk = shrink_decisions(
+        list(base.program.decisions), still_unobservable,
+        max_tests=budget, seed=base.program.seed,
+    )
+    return tuple(shrunk.decisions)
+
+
+def mint_scenarios(
+    config: MintConfig,
+    observers: Sequence[RepairObserver] | None = None,
+) -> MintReport:
+    """Run the factory: ``config.count`` seeded mint attempts.
+
+    Deterministic for a fixed :class:`MintConfig`: the admitted scenario
+    list (ids, texts, fitness values) and every rejection record are
+    byte-identical across runs, platforms, and evaluation backends —
+    minting never consults wall-clock or process state.
+    """
+    config.validate()
+    events = (
+        observers if isinstance(observers, ObserverSet) else ObserverSet(observers)
+    )
+    started = time.monotonic()
+    report = MintReport(config=config)
+    supplier = _BaseSupplier(config)
+
+    for index in range(config.count):
+        variant_seed = config.seed * _SEED_STRIDE + index
+        rng = random.Random(variant_seed)
+        source, base_key, base = supplier.pick(index, rng)
+        if base is None:
+            _reject(report, events, index, source, base_key, "", "base_unusable")
+            continue
+
+        # Cycle through the enabled mutators from an rng-chosen offset so
+        # the mix stays even across attempts, and keep drawing
+        # (mutator, site) candidates until a defect is observable or the
+        # per-attempt budget runs out.
+        order = list(config.mutators)
+        offset = rng.randrange(len(order))
+        scenario: MintedScenario | None = None
+        last_reason = "no_sites"
+        last_mutator = ""
+        for step in range(_OBSERVABILITY_TRIES):
+            mutator_name = order[(offset + step) % len(order)]
+            if not MUTATORS[mutator_name].sites(base.golden_source):
+                continue
+            last_mutator = mutator_name
+            if last_reason == "no_sites":
+                last_reason = "mutate_refused"
+            minted = _apply_mutator(base, mutator_name, rng)
+            if minted is None:
+                continue
+            buggy_text, site, description = minted
+            result = evaluate_design_text(
+                buggy_text, base.testbench, base.oracle, base.eval_config
+            )
+            if not result.compiled:
+                last_reason = "uncompilable"
+                continue
+            if result.fitness >= 1.0:
+                last_reason = "unobservable"
+                continue
+            mutator = MUTATORS[mutator_name]
+            scenario = MintedScenario(
+                scenario_id=f"minted_{config.seed}_{index:03d}_{mutator_name}",
+                source=source,
+                base=base.name,
+                mutator=mutator_name,
+                label=mutator.label,
+                category=mutator.category,
+                description=f"{description} [{base.name}]",
+                faulty_text=buggy_text,
+                golden_text=base.golden_text,
+                testbench_text=base.testbench_text,
+                faulty_fitness=result.fitness,
+                site=site,
+                validate_text=base.validate_text,
+            )
+            break
+
+        if scenario is None:
+            shrunk = None
+            if (
+                last_reason == "unobservable"
+                and config.shrink_rejected
+                and source == "fuzz"
+            ):
+                shrunk = _shrink_unobservable(
+                    base, last_mutator, variant_seed, config.shrink_budget
+                )
+            _reject(
+                report, events, index, source, base_key, last_mutator,
+                last_reason, shrunk,
+            )
+            continue
+
+        report.admitted.append(scenario)
+        if events:
+            events.emit(
+                MintScenarioAdmitted(
+                    index=index,
+                    scenario_id=scenario.scenario_id,
+                    source=source,
+                    mutator=scenario.mutator,
+                    category=scenario.category,
+                    faulty_fitness=scenario.faulty_fitness,
+                )
+            )
+
+    report.elapsed_seconds = time.monotonic() - started
+    if events:
+        events.emit(
+            MintRunCompleted(
+                seed=config.seed,
+                requested=config.count,
+                admitted=len(report.admitted),
+                rejected=len(report.rejected),
+                elapsed_seconds=report.elapsed_seconds,
+            )
+        )
+    return report
+
+
+def _reject(
+    report: MintReport,
+    events: ObserverSet,
+    index: int,
+    source: str,
+    base: str,
+    mutator: str,
+    reason: str,
+    shrunk_decisions: tuple[int, ...] | None = None,
+) -> None:
+    report.rejected.append(
+        RejectedMutant(
+            index=index, source=source, base=base, mutator=mutator,
+            reason=reason, shrunk_decisions=shrunk_decisions,
+        )
+    )
+    if events:
+        events.emit(
+            MintScenarioRejected(
+                index=index, source=source, mutator=mutator, reason=reason,
+                shrunk=len(shrunk_decisions or ()),
+            )
+        )

@@ -36,6 +36,11 @@ from .events import (
     JobAdmitted,
     JobCompleted,
     JobStarted,
+    MintedGradingCompleted,
+    MintedScenarioGraded,
+    MintRunCompleted,
+    MintScenarioAdmitted,
+    MintScenarioRejected,
     PhaseCompleted,
     PlausiblePatchFound,
     RepairEvent,
@@ -69,6 +74,11 @@ __all__ = [
     "FuzzProgramChecked",
     "FuzzViolationFound",
     "FuzzRunCompleted",
+    "MintScenarioAdmitted",
+    "MintScenarioRejected",
+    "MintRunCompleted",
+    "MintedScenarioGraded",
+    "MintedGradingCompleted",
     "AsyncEventBridge",
     "EVENT_TYPES",
     "WALL_TIME_FIELDS",

@@ -330,6 +330,93 @@ class FuzzRunCompleted(RepairEvent):
     elapsed_seconds: float
 
 
+@dataclass(frozen=True)
+class MintScenarioAdmitted(RepairEvent):
+    """The scenario factory admitted one observable-defect scenario.
+
+    ``faulty_fitness`` is the mutant's fitness against the golden oracle
+    (< 1.0 by the admission rule); it is a deterministic function of the
+    mint seed, so traces are byte-comparable across runs and backends.
+    """
+
+    type: ClassVar[str] = "mint_scenario_admitted"
+    index: int
+    scenario_id: str
+    source: str
+    mutator: str
+    category: int
+    faulty_fitness: float
+
+
+@dataclass(frozen=True)
+class MintScenarioRejected(RepairEvent):
+    """The scenario factory rejected one mint attempt.
+
+    ``reason`` is one of the factory's rejection codes (``base_unusable``,
+    ``no_sites``, ``mutate_refused``, ``uncompilable``, ``unobservable``);
+    ``mutator`` is empty when rejection happened before a mutator was
+    chosen.  ``shrunk`` counts the decisions of the ddmin-reduced
+    reproducer (0 when shrinking was off or not applicable).
+    """
+
+    type: ClassVar[str] = "mint_scenario_rejected"
+    index: int
+    source: str
+    mutator: str
+    reason: str
+    shrunk: int
+
+
+@dataclass(frozen=True)
+class MintRunCompleted(RepairEvent):
+    """A mint run finished (counters mirror ``MintReport``)."""
+
+    type: ClassVar[str] = "mint_run_completed"
+    seed: int
+    requested: int
+    admitted: int
+    rejected: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class MintedScenarioGraded(RepairEvent):
+    """The grading harness finished one minted scenario with one engine.
+
+    ``ground_truth_match`` is True when the repaired design is
+    structurally identical to the golden design the defect was minted
+    from — the strongest grade (plausible ⊇ correct ⊇ ground-truth
+    match need not hold in general, but each is computed independently).
+    """
+
+    type: ClassVar[str] = "minted_scenario_graded"
+    scenario_id: str
+    engine: str
+    mutator: str
+    category: int
+    plausible: bool
+    correct: bool
+    ground_truth_match: bool
+    fitness: float
+    #: Unique candidate evaluations (backend-independent, unlike raw
+    #: simulation counts).
+    eval_sims: int
+
+
+@dataclass(frozen=True)
+class MintedGradingCompleted(RepairEvent):
+    """A grading run finished (counters mirror ``GradeReport``)."""
+
+    type: ClassVar[str] = "minted_grading_completed"
+    seed: int
+    engine: str
+    scenarios: int
+    plausible: int
+    correct: int
+    ground_truth_matches: int
+    elapsed_seconds: float
+
+
 #: ``type`` tag → event class, for parsing traces back into events.
 EVENT_TYPES: dict[str, type[RepairEvent]] = {
     cls.type: cls
@@ -352,6 +439,11 @@ EVENT_TYPES: dict[str, type[RepairEvent]] = {
         FuzzProgramChecked,
         FuzzViolationFound,
         FuzzRunCompleted,
+        MintScenarioAdmitted,
+        MintScenarioRejected,
+        MintRunCompleted,
+        MintedScenarioGraded,
+        MintedGradingCompleted,
     )
 }
 

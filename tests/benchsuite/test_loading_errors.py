@@ -1,0 +1,84 @@
+"""Loader error paths: unknown names must fail loudly and helpfully.
+
+``load_project`` / ``load_scenario`` are the suite's only entry points,
+so a typo'd name must produce an error that names the bad input and
+lists the valid ones — not an AttributeError three frames later.
+"""
+
+import pytest
+
+from repro import benchsuite
+from repro.benchsuite import (
+    PROJECT_NAMES,
+    load_project,
+    load_scenario,
+)
+from repro.benchsuite.defects import DEFECTS_BY_ID
+
+
+class TestLoadProjectErrors:
+    def test_unknown_project_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown project 'nonexistent'"):
+            load_project("nonexistent")
+
+    def test_unknown_project_error_lists_known_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            load_project("countre")  # typo of "counter"
+        message = str(excinfo.value)
+        for name in PROJECT_NAMES:
+            assert name in message
+
+    def test_case_sensitive(self):
+        with pytest.raises(KeyError):
+            load_project("Counter")
+
+    def test_empty_name(self):
+        with pytest.raises(KeyError):
+            load_project("")
+
+    def test_missing_project_files_raise_filenotfounderror(self, monkeypatch):
+        # A registered project whose packaged sources have gone missing is
+        # a FileNotFoundError (broken install), not a KeyError (bad name).
+        monkeypatch.setattr(
+            benchsuite, "_read_project_file", lambda project, filename: None
+        )
+        with pytest.raises(FileNotFoundError, match="project files for 'counter'"):
+            load_project("counter")
+
+    def test_missing_testbench_alone_raises(self, monkeypatch):
+        real = benchsuite._read_project_file
+
+        def drop_testbench(project, filename):
+            if filename == "testbench.v":
+                return None
+            return real(project, filename)
+
+        monkeypatch.setattr(benchsuite, "_read_project_file", drop_testbench)
+        with pytest.raises(FileNotFoundError):
+            load_project("counter")
+
+
+class TestLoadScenarioErrors:
+    def test_unknown_scenario_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown scenario 'no_such_defect'"):
+            load_scenario("no_such_defect")
+
+    def test_unknown_scenario_error_lists_known_ids(self):
+        with pytest.raises(KeyError) as excinfo:
+            load_scenario("counter_rest")  # typo of a real scenario id
+        message = str(excinfo.value)
+        # The suggestion list is complete, so the caller can grep it.
+        for scenario_id in DEFECTS_BY_ID:
+            assert scenario_id in message
+
+    def test_project_name_is_not_a_scenario_id(self):
+        # Passing a *project* name where a scenario id belongs is the
+        # classic confusion; it must fail as an unknown scenario.
+        with pytest.raises(KeyError, match="unknown scenario"):
+            load_scenario("counter")
+
+    def test_known_scenarios_still_load(self):
+        scenario_id = next(iter(DEFECTS_BY_ID))
+        scenario = load_scenario(scenario_id)
+        assert scenario.scenario_id == scenario_id
+        assert scenario.faulty_design_text != scenario.project.design_text

@@ -1,0 +1,167 @@
+"""Two writer processes sharing one cache root must never corrupt it.
+
+The store's cross-process story is filesystem cooperation: atomic
+``os.replace`` publishes, per-entry files, and index misses that fall
+through to a direct file probe.  This property test hammers one root
+from two concurrent writer processes — disjoint keys plus a contended
+set both sides overwrite — and then checks the surviving state from a
+fresh instance:
+
+- every key either side wrote is present and reads back as a valid
+  payload written by one of the writers (no interleaved/truncated JSON);
+- ``corrupt_dropped`` stays 0 across a full read-back — concurrency must
+  not manufacture corrupt entries;
+- the rebuilt index's byte accounting matches the bytes on disk;
+- a bounded follow-up instance evicts exactly once per removed entry
+  (``evictions`` equals the entry-count delta — no double counting).
+"""
+
+import hashlib
+import multiprocessing
+
+import pytest
+
+from repro.cache import PersistentEvalCache
+
+#: Entries per writer; half the key space is contended (written by both).
+_PER_WRITER = 120
+_SHARED = 60
+
+
+def key_of(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    PersistentEvalCache.reset_shared()
+    yield
+    PersistentEvalCache.reset_shared()
+
+
+def _writer_keys(worker_id: int) -> list[str]:
+    """The key sequence one writer stores, contended keys interleaved."""
+    keys = []
+    for i in range(_PER_WRITER):
+        if i < _SHARED:
+            keys.append(key_of(f"shared:{i}"))  # both writers hit these
+        else:
+            keys.append(key_of(f"private:{worker_id}:{i}"))
+    return keys
+
+
+def _writer(root: str, worker_id: int, start: "multiprocessing.Event") -> None:
+    # Module-level so spawn-based contexts can pickle it.  Each writer
+    # builds its own instance against the same root, like two daemon
+    # processes sharing a cache directory.
+    start.wait(10.0)
+    store = PersistentEvalCache(root)
+    for round_ in range(3):  # overwrite churn: contended keys flip-flop
+        for i, key in enumerate(_writer_keys(worker_id)):
+            store.put(
+                key,
+                {"worker": worker_id, "i": i, "round": round_, "pad": "x" * 64},
+            )
+
+
+def _expected_keys() -> set[str]:
+    return set(_writer_keys(0)) | set(_writer_keys(1))
+
+
+class TestConcurrentWriters:
+    def test_two_writers_never_corrupt_entries(self, tmp_path):
+        root = tmp_path / "cache"
+        ctx = multiprocessing.get_context()
+        start = ctx.Event()
+        procs = [
+            ctx.Process(target=_writer, args=(str(root), wid, start))
+            for wid in (0, 1)
+        ]
+        for p in procs:
+            p.start()
+        start.set()  # release both writers at once to maximise contention
+        for p in procs:
+            p.join(60.0)
+            assert p.exitcode == 0
+
+        expected = _expected_keys()
+        fresh = PersistentEvalCache(root)
+        assert len(fresh) == len(expected)
+        for key in sorted(expected):
+            payload = fresh.get(key)
+            # Readable, schema-valid, and attributable to one writer —
+            # an interleaved write would fail JSON parsing or the store's
+            # key check and surface as corrupt_dropped below.
+            assert payload is not None, f"lost entry {key[:12]}"
+            assert payload["worker"] in (0, 1)
+            assert payload["pad"] == "x" * 64
+        assert fresh.info()["corrupt_dropped"] == 0
+        assert fresh.info()["hits"] == len(expected)
+
+    def test_rebuilt_index_matches_disk_bytes(self, tmp_path):
+        root = tmp_path / "cache"
+        ctx = multiprocessing.get_context()
+        start = ctx.Event()
+        procs = [
+            ctx.Process(target=_writer, args=(str(root), wid, start))
+            for wid in (0, 1)
+        ]
+        for p in procs:
+            p.start()
+        start.set()
+        for p in procs:
+            p.join(60.0)
+            assert p.exitcode == 0
+
+        fresh = PersistentEvalCache(root)
+        disk_bytes = sum(
+            path.stat().st_size
+            for shard in (root / "shards").iterdir()
+            for path in shard.iterdir()
+            if path.name.endswith(".json")
+        )
+        assert fresh.info()["bytes"] == disk_bytes
+        # No temp files left behind by either writer's atomic publishes.
+        strays = [
+            path
+            for shard in (root / "shards").iterdir()
+            for path in shard.iterdir()
+            if not path.name.endswith(".json")
+        ]
+        assert strays == []
+
+    def test_bounded_instance_counts_each_eviction_once(self, tmp_path):
+        root = tmp_path / "cache"
+        ctx = multiprocessing.get_context()
+        start = ctx.Event()
+        procs = [
+            ctx.Process(target=_writer, args=(str(root), wid, start))
+            for wid in (0, 1)
+        ]
+        for p in procs:
+            p.start()
+        start.set()
+        for p in procs:
+            p.join(60.0)
+            assert p.exitcode == 0
+
+        probe = PersistentEvalCache(root)
+        entry_bytes = probe.info()["bytes"] // len(probe)
+        PersistentEvalCache.reset_shared()
+
+        # Budget for roughly half the surviving entries; the next put
+        # must trigger an LRU sweep that counts once per removed file.
+        bounded = PersistentEvalCache(root, max_bytes=entry_bytes * len(probe) // 2)
+        before = len(bounded)
+        bounded.put(key_of("one-more"), {"worker": 9, "pad": "x" * 64})
+        info = bounded.info()
+        assert info["evictions"] == before + 1 - info["entries"]
+        assert info["bytes"] <= bounded.max_bytes
+        # Evicted entries are really gone from disk, not just the index.
+        remaining = sum(
+            1
+            for shard in (root / "shards").iterdir()
+            for path in shard.iterdir()
+            if path.name.endswith(".json")
+        )
+        assert remaining == info["entries"]

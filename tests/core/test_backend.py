@@ -12,6 +12,7 @@ quarantine exactly the poisoned candidates and keep going.
 """
 
 import logging
+import re
 
 import pytest
 
@@ -163,6 +164,35 @@ class TestChaosSpec:
     def test_parse_spec_rejects_missing_ordinal(self):
         with pytest.raises(ValueError, match="bad chaos spec"):
             parse_chaos_spec("hang")
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            "hang@",  # empty ordinal
+            "exit@5:twice",  # unknown suffix (only :once is valid)
+            "hang@1_0",  # int() would silently read 10
+            "hang@-1",  # negative ordinals are not dispatch positions
+            "hang@ 3",  # int() would silently strip the space
+            "exit@+2",  # explicit sign is not a decimal digit
+            "balloon@2.0",  # not an integer
+        ],
+    )
+    def test_parse_spec_rejects_malformed_ordinal(self, entry):
+        """Malformed ordinals raise ValueError naming the offending entry."""
+        with pytest.raises(ValueError, match=re.escape(repr(entry))):
+            parse_chaos_spec(f"hang@1,{entry}")
+
+    def test_parse_spec_accepts_plain_decimal_ordinals_only(self):
+        assert parse_chaos_spec("balloon@10") == {10: ("balloon", False)}
+
+    def test_plant_eval_chaos_rejects_malformed_spec(self):
+        """The context manager validates eagerly, before planting anything."""
+        with pytest.raises(ValueError, match=re.escape(repr("hang@"))):
+            with plant_eval_chaos("hang@"):
+                pass  # pragma: no cover - must not be reached
+        with pytest.raises(ValueError, match=re.escape(repr("exit@5:twice"))):
+            with plant_eval_chaos("exit@5:twice"):
+                pass  # pragma: no cover - must not be reached
 
     def test_env_spec_malformed_is_ignored(self, problem, monkeypatch, caplog):
         monkeypatch.setenv("REPRO_EVAL_CHAOS", "not a spec")

@@ -79,3 +79,41 @@ class TestRq4Renderer:
         res = Rq4Result([Rq4Cell(1.0, 1, 1, 1)])
         with pytest.raises(KeyError):
             res.by_fraction(0.33)
+
+
+class TestMintedRenderer:
+    def test_table_and_overall_line(self):
+        from repro.mint.grading import GradedScenario, GradeReport
+        from repro.experiments.minted import render_minted_grading
+
+        def graded(sid, mutator, plausible, truth):
+            return GradedScenario(
+                scenario_id=sid,
+                source="fuzz",
+                base="seed:1",
+                mutator=mutator,
+                category=1,
+                faulty_fitness=0.5,
+                plausible=plausible,
+                correct=plausible,
+                ground_truth_match=truth,
+                fitness=1.0 if plausible else 0.5,
+                eval_sims=10,
+                generations=1,
+                edits=1,
+            )
+
+        report = GradeReport(
+            seed=0,
+            engine="cirfix",
+            results=[
+                graded("a", "negate_condition", True, True),
+                graded("b", "negate_condition", True, False),
+                graded("c", "stuck_constant", False, False),
+            ],
+        )
+        text = render_minted_grading(report)
+        assert "negate_condition" in text
+        assert "2/2" in text  # both negate scenarios plausible
+        assert "overall (cirfix): plausible 2/3" in text
+        assert "ground-truth match 1/3" in text

@@ -1,0 +1,103 @@
+"""``repro mint`` / ``repro grade`` CLI: exit codes, artifacts,
+determinism of the emitted summaries, and argument validation."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMintCommand:
+    def test_mint_prints_summary_and_exits_zero(self, capsys):
+        assert main(["mint", "--seed", "0", "--count", "3", "--no-shrink"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("mint summary\n")
+        assert "admitted:" in out
+
+    def test_mint_out_writes_loadable_json(self, tmp_path, capsys):
+        out_file = tmp_path / "minted.json"
+        code = main(
+            [
+                "mint", "--seed", "0", "--count", "3", "--no-shrink",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(out_file.read_text())
+        assert payload["seed"] == 0
+        assert payload["requested"] == 3
+        for scenario in payload["admitted"]:
+            assert scenario["faulty_text"] != scenario["golden_text"]
+
+    def test_mint_is_deterministic_across_invocations(self, capsys):
+        main(["mint", "--seed", "2", "--count", "3", "--no-shrink"])
+        first = capsys.readouterr().out
+        main(["mint", "--seed", "2", "--count", "3", "--no-shrink"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_mint_trace_is_written(self, tmp_path, capsys):
+        trace = tmp_path / "mint.jsonl"
+        main(
+            [
+                "mint", "--seed", "0", "--count", "2", "--no-shrink",
+                "--trace", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        kinds = {
+            json.loads(line)["type"]
+            for line in trace.read_text().splitlines()
+        }
+        assert "mint_run_completed" in kinds
+
+    def test_mint_rejects_unknown_mutator(self, capsys):
+        with pytest.raises(SystemExit, match="unknown mutators"):
+            main(["mint", "--count", "1", "--mutators", "bogus"])
+
+    def test_mint_mutator_filter_applies(self, capsys):
+        code = main(
+            [
+                "mint", "--seed", "0", "--count", "4", "--no-shrink",
+                "--mutators", "negate_condition",
+            ]
+        )
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "negate_condition" in out
+            for other in ("off_by_one", "stuck_constant", "wrong_operator"):
+                assert other not in out
+
+
+class TestGradeCommand:
+    def test_grade_summary_and_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "summary.txt"
+        code = main(
+            [
+                "grade", "--seed", "0", "--count", "3", "--max-scenarios", "1",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("minted grading summary\n")
+        assert out_file.read_text() == out
+
+    def test_grade_json_out(self, tmp_path, capsys):
+        json_file = tmp_path / "summary.json"
+        main(
+            [
+                "grade", "--seed", "0", "--count", "3", "--max-scenarios", "1",
+                "--json-out", str(json_file),
+            ]
+        )
+        capsys.readouterr()
+        payload = json.loads(json_file.read_text())
+        assert payload["engine"] == "cirfix"
+        assert payload["scenarios"] == 1
+
+    def test_grade_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit, match="unknown engine"):
+            main(["grade", "--count", "1", "--engine", "bogus"])

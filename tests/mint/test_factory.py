@@ -1,0 +1,151 @@
+"""Factory contracts: deterministic minting, the ground-truth guarantee
+(golden restores fitness 1.0 on every admitted scenario), observability
+gating, rejection bookkeeping, and byte-stable reports."""
+
+import json
+
+import pytest
+
+from repro.core.backend import evaluate_design_text
+from repro.core.oracle import ensure_instrumented, generate_oracle
+from repro.hdl import parse
+from repro.mint import (
+    MUTATORS,
+    REJECT_REASONS,
+    MintConfig,
+    MintedScenario,
+    mint_scenarios,
+)
+from repro.mint.factory import _BENCH_EVAL_CONFIG
+from repro.fuzz.oracles import FUZZ_EVAL_CONFIG
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One shared mint run, big enough to exercise every code path."""
+    return mint_scenarios(MintConfig(seed=0, count=12, shrink_budget=32))
+
+
+class TestConfigValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            mint_scenarios(MintConfig(count=-1))
+
+    def test_unknown_mutator_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutators"):
+            mint_scenarios(MintConfig(mutators=("negate_condition", "bogus")))
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError, match="sources"):
+            mint_scenarios(MintConfig(sources=("fuzz", "mars")))
+
+    def test_bench_percent_range(self):
+        with pytest.raises(ValueError, match="bench_percent"):
+            mint_scenarios(MintConfig(bench_percent=101))
+
+    def test_unknown_bench_project_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench projects"):
+            mint_scenarios(MintConfig(bench_projects=("counter", "nope")))
+
+
+class TestAdmission:
+    def test_attempts_are_accounted_for(self, report):
+        assert len(report.admitted) + len(report.rejected) == report.requested
+
+    def test_admitted_defects_are_observable(self, report):
+        for scenario in report.admitted:
+            assert scenario.faulty_fitness < 1.0
+            assert scenario.faulty_text != scenario.golden_text
+
+    def test_rejection_reasons_are_registered(self, report):
+        for rejected in report.rejected:
+            assert rejected.reason in REJECT_REASONS
+
+    def test_scenario_ids_embed_seed_index_mutator(self, report):
+        for index, scenario in enumerate(report.admitted):
+            assert scenario.scenario_id.startswith("minted_0_")
+            assert scenario.scenario_id.endswith(scenario.mutator)
+        assert len({s.scenario_id for s in report.admitted}) == len(report.admitted)
+
+    def test_mutator_metadata_matches_catalog(self, report):
+        for scenario in report.admitted:
+            mutator = MUTATORS[scenario.mutator]
+            assert scenario.label == mutator.label
+            assert scenario.category == mutator.category
+
+
+class TestGroundTruth:
+    def test_golden_restores_fitness_on_every_admitted_scenario(self, report):
+        """The minted guarantee: the ground-truth patch (the golden
+        design) scores fitness 1.0 against the scenario's own oracle."""
+        for scenario in report.admitted:
+            golden = parse(scenario.golden_text)
+            bench = ensure_instrumented(parse(scenario.testbench_text), golden)
+            eval_config = (
+                FUZZ_EVAL_CONFIG if scenario.source == "fuzz" else _BENCH_EVAL_CONFIG
+            )
+            oracle = generate_oracle(
+                golden,
+                bench,
+                max_sim_time=eval_config.max_sim_time,
+                max_sim_steps=eval_config.max_sim_steps,
+            )
+            result = evaluate_design_text(
+                scenario.golden_text, bench, oracle, eval_config
+            )
+            assert result.compiled
+            assert result.fitness >= 1.0, scenario.scenario_id
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, report):
+        again = mint_scenarios(MintConfig(seed=0, count=12, shrink_budget=32))
+        assert again.to_text() == report.to_text()
+        assert again.to_json() == report.to_json()
+
+    def test_different_seed_different_scenarios(self, report):
+        other = mint_scenarios(MintConfig(seed=1, count=12, shrink_budget=32))
+        ours = {s.faulty_text for s in report.admitted}
+        theirs = {s.faulty_text for s in other.admitted}
+        assert ours != theirs
+
+    def test_reports_never_leak_wall_clock(self, report):
+        assert "elapsed" not in report.to_text()
+        assert "elapsed" not in report.to_json()
+        assert report.elapsed_seconds > 0  # tracked, just not serialized
+
+
+class TestScenarioAdapter:
+    def test_round_trips_through_dict(self, report):
+        for scenario in report.admitted[:3]:
+            clone = MintedScenario.from_dict(scenario.to_dict())
+            assert clone == scenario
+
+    def test_json_payload_reconstructs_scenarios(self, report):
+        payload = json.loads(report.to_json())
+        rebuilt = [MintedScenario.from_dict(d) for d in payload["admitted"]]
+        assert rebuilt == report.admitted
+
+    def test_to_scenario_preserves_texts_and_category(self, report):
+        scenario = report.admitted[0]
+        adapted = scenario.to_scenario()
+        assert adapted.scenario_id == scenario.scenario_id
+        assert adapted.faulty_design_text == scenario.faulty_text
+        assert adapted.project.design_text == scenario.golden_text
+        assert adapted.category == scenario.category
+
+
+class TestSourcesKnob:
+    def test_fuzz_only(self):
+        report = mint_scenarios(
+            MintConfig(seed=3, count=4, sources=("fuzz",), shrink_rejected=False)
+        )
+        assert {s.source for s in report.admitted} <= {"fuzz"}
+
+    def test_bench_only(self):
+        report = mint_scenarios(
+            MintConfig(seed=3, count=4, sources=("bench",), shrink_rejected=False)
+        )
+        assert {s.source for s in report.admitted} <= {"bench"}
+        for scenario in report.admitted:
+            assert scenario.base in MintConfig().bench_projects

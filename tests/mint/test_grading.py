@@ -1,0 +1,142 @@
+"""Grading harness: ground-truth matching, per-mutator aggregation,
+byte-stable reports, engine validation, and telemetry emission."""
+
+import json
+
+import pytest
+
+from repro.mint import (
+    MintConfig,
+    grade_scenarios,
+    ground_truth_match,
+    mint_scenarios,
+)
+from repro.obs import (
+    MintedGradingCompleted,
+    MintedScenarioGraded,
+    MintRunCompleted,
+    MintScenarioAdmitted,
+)
+from repro.obs.events import event_from_dict
+
+
+@pytest.fixture(scope="module")
+def minted():
+    report = mint_scenarios(MintConfig(seed=0, count=5, shrink_rejected=False))
+    assert report.admitted
+    return report.admitted
+
+
+@pytest.fixture(scope="module")
+def graded(minted):
+    return grade_scenarios(minted, seed=0, seeds=(0,))
+
+
+class TestGroundTruthMatch:
+    def test_matches_modulo_node_ids(self):
+        text = "module t(o); output o; assign o = 1'd1; endmodule"
+        assert ground_truth_match(text, text)
+        assert ground_truth_match(text, "  " + text.replace("; ", ";\n"))
+
+    def test_detects_differences(self):
+        a = "module t(o); output o; assign o = 1'd1; endmodule"
+        b = "module t(o); output o; assign o = 1'd0; endmodule"
+        assert not ground_truth_match(a, b)
+
+    def test_none_and_garbage_are_false(self):
+        golden = "module t; endmodule"
+        assert not ground_truth_match(None, golden)
+        assert not ground_truth_match("not verilog $$$", golden)
+
+
+class TestGrading:
+    def test_one_grade_per_scenario(self, minted, graded):
+        assert len(graded.results) == len(minted)
+        assert [r.scenario_id for r in graded.results] == [
+            s.scenario_id for s in minted
+        ]
+
+    def test_grades_are_monotone(self, graded):
+        # ground-truth ⊆ correct ⊆ plausible, per scenario and in total.
+        for r in graded.results:
+            if r.ground_truth_match:
+                assert r.plausible
+            if r.correct:
+                assert r.plausible
+        n = len(graded.results)
+        assert graded.ground_truth_matches <= n
+        assert graded.correct <= graded.plausible <= n
+
+    def test_by_mutator_totals_add_up(self, graded):
+        totals = graded.by_mutator()
+        assert sum(t for t, _, _, _ in totals.values()) == len(graded.results)
+        assert sum(p for _, p, _, _ in totals.values()) == graded.plausible
+
+    def test_eval_sims_are_positive(self, graded):
+        for r in graded.results:
+            assert r.eval_sims > 0
+
+    def test_unknown_engine_fails_fast(self, minted):
+        with pytest.raises(ValueError, match="unknown repair engine"):
+            grade_scenarios(minted[:1], engine="bogus")
+
+
+class TestReportStability:
+    def test_same_inputs_same_bytes(self, minted, graded):
+        again = grade_scenarios(minted, seed=0, seeds=(0,))
+        assert again.to_text() == graded.to_text()
+        assert again.to_json() == graded.to_json()
+
+    def test_text_shape(self, graded):
+        text = graded.to_text()
+        assert text.startswith("minted grading summary\n")
+        assert text.endswith("\n")
+        assert "elapsed" not in text
+        assert f"scenarios: {len(graded.results)}" in text
+
+    def test_json_no_wall_clock(self, graded):
+        payload = json.loads(graded.to_json())
+        assert "elapsed_seconds" not in payload
+        assert payload["scenarios"] == len(graded.results)
+        assert payload["plausible"] == graded.plausible
+
+
+class TestTelemetry:
+    def test_mint_and_grade_emit_events(self, minted):
+        events = []
+
+        class Collector:
+            def on_event(self, event):
+                events.append(event)
+
+            def close(self):
+                pass
+
+        mint_scenarios(
+            MintConfig(seed=0, count=2, shrink_rejected=False),
+            observers=[Collector()],
+        )
+        kinds = {type(e) for e in events}
+        assert MintRunCompleted in kinds
+        assert MintScenarioAdmitted in kinds
+
+        events.clear()
+        grade_scenarios(minted[:1], seeds=(0,), observers=[Collector()])
+        kinds = {type(e) for e in events}
+        assert MintedScenarioGraded in kinds
+        assert MintedGradingCompleted in kinds
+
+    def test_mint_events_round_trip_as_dicts(self, minted):
+        events = []
+
+        class Collector:
+            def on_event(self, event):
+                events.append(event)
+
+            def close(self):
+                pass
+
+        grade_scenarios(minted[:1], seeds=(0,), observers=[Collector()])
+        for event in events:
+            clone = event_from_dict(event.to_dict())
+            assert clone == event

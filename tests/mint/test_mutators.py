@@ -1,0 +1,173 @@
+"""Mutator catalog contracts: deterministic sites, seeded replayable
+applies, and every rewrite yields parseable Verilog that differs from
+the golden text."""
+
+import random
+
+import pytest
+
+from repro.hdl import ast, generate, parse
+from repro.mint import MUTATORS
+
+DESIGN = """
+module m(clk, rst, sel, q, w);
+  input clk, rst, sel;
+  output reg [3:0] q;
+  output [3:0] w;
+  reg [3:0] shadow;
+  assign w = sel ? (q & 4'b0011) : (q | 4'b1100);
+  always @(posedge clk or posedge rst) begin
+    if (rst) q <= 0;
+    else if (q < 4'd9) q <= q + 1;
+  end
+  always @(posedge clk) begin
+    shadow <= q;
+  end
+endmodule
+"""
+
+
+@pytest.fixture()
+def source():
+    return parse(DESIGN)
+
+
+class TestCatalog:
+    def test_all_six_families_registered(self):
+        assert set(MUTATORS) == {
+            "negate_condition",
+            "off_by_one",
+            "wrong_operator",
+            "drop_sens_edge",
+            "misassigned_signal",
+            "stuck_constant",
+        }
+
+    def test_labels_and_categories(self):
+        for mutator in MUTATORS.values():
+            assert mutator.label
+            assert mutator.category in (1, 2)
+        assert MUTATORS["misassigned_signal"].category == 2
+        assert MUTATORS["stuck_constant"].category == 2
+
+    def test_every_mutator_finds_sites_on_the_probe_design(self, source):
+        for name, mutator in MUTATORS.items():
+            assert mutator.sites(source), f"{name} found no sites"
+
+
+class TestDeterminism:
+    def test_sites_are_deterministic_per_tree(self, source):
+        for mutator in MUTATORS.values():
+            assert mutator.sites(source) == mutator.sites(source)
+
+    def test_seeded_apply_replays_identically(self, source):
+        for name, mutator in MUTATORS.items():
+            site = mutator.sites(source)[0]
+            first = source.clone()
+            second = source.clone()
+            desc_a = mutator.apply(first, site, random.Random(5))
+            desc_b = mutator.apply(second, site, random.Random(5))
+            assert desc_a == desc_b, name
+            if desc_a is not None:
+                assert generate(first) == generate(second), name
+
+
+class TestRewrites:
+    def test_applied_mutants_parse_and_differ(self, source):
+        golden_text = generate(source)
+        for name, mutator in MUTATORS.items():
+            mutated = False
+            for site in mutator.sites(source):
+                clone = source.clone()
+                description = mutator.apply(clone, site, random.Random(0))
+                if description is None:
+                    continue
+                buggy = generate(clone)
+                assert buggy != golden_text, f"{name}@{site} was a no-op"
+                parse(buggy)  # must still be legal Verilog
+                mutated = True
+                break
+            assert mutated, f"{name} refused every site"
+
+    def test_negate_condition_round_trips(self, source):
+        mutator = MUTATORS["negate_condition"]
+        site = mutator.sites(source)[0]
+        clone = source.clone()
+        description = mutator.apply(clone, site, random.Random(0))
+        assert "negated" in description
+        node = clone.find(site)
+        assert isinstance(node.cond, ast.UnaryOp) and node.cond.op == "!"
+        # Applying again at the same site removes the negation.
+        description = mutator.apply(clone, site, random.Random(0))
+        assert "removed the negation" in description
+
+    def test_off_by_one_respects_width_mask(self):
+        source = parse(
+            "module t(o); output [3:0] o; assign o = 4'b1111; endmodule"
+        )
+        mutator = MUTATORS["off_by_one"]
+        for site in mutator.sites(source):
+            clone = source.clone()
+            description = mutator.apply(clone, site, random.Random(1))
+            if description is None:
+                continue
+            for node in clone.walk():
+                if isinstance(node, ast.Number) and node.width is not None:
+                    assert node.aval < (1 << node.width)
+
+    def test_drop_sens_edge_flips_single_edge(self):
+        source = parse(
+            "module t(clk, q); input clk; output reg q;"
+            " always @(posedge clk) q <= ~q; endmodule"
+        )
+        mutator = MUTATORS["drop_sens_edge"]
+        sites = mutator.sites(source)
+        assert len(sites) == 1
+        clone = source.clone()
+        description = mutator.apply(clone, sites[0], random.Random(0))
+        assert description == "sensitivity edge flipped: posedge became negedge"
+        assert "negedge clk" in generate(clone)
+
+    def test_drop_sens_edge_drops_from_multi_item_list(self, source):
+        mutator = MUTATORS["drop_sens_edge"]
+        # The first always block has two edges; dropping leaves one.
+        site = mutator.sites(source)[0]
+        clone = source.clone()
+        description = mutator.apply(clone, site, random.Random(0))
+        assert description.startswith("dropped '")
+        assert len(clone.find(site).senslist.items) == 1
+
+    def test_stuck_constant_refuses_when_already_that_constant(self):
+        # A constant-rhs assign is never a *site* (sites need an
+        # identifier in the rhs), so drive apply() directly to pin the
+        # no-op guard: stuck-at-1 on an already-constant-1 assign.
+        source = parse("module t(o); output o; assign o = 1'd1; endmodule")
+        mutator = MUTATORS["stuck_constant"]
+        assign = next(
+            n for n in source.walk() if isinstance(n, ast.ContinuousAssign)
+        )
+
+        class PickOne(random.Random):
+            def choice(self, seq):
+                return 1
+
+        assert mutator.apply(source.clone(), assign.node_id, PickOne()) is None
+
+    def test_misassigned_signal_never_creates_self_assignment(self, source):
+        mutator = MUTATORS["misassigned_signal"]
+        for seed in range(8):
+            for site in mutator.sites(source):
+                clone = source.clone()
+                if mutator.apply(clone, site, random.Random(seed)) is None:
+                    continue
+                node = clone.find(site)
+                lhs = node.lhs
+                while isinstance(lhs, (ast.Index, ast.PartSelect)):
+                    lhs = lhs.target
+                rhs_names = {
+                    n.name
+                    for n in node.rhs.walk()
+                    if isinstance(n, ast.Identifier)
+                }
+                if isinstance(lhs, ast.Identifier):
+                    assert lhs.name not in rhs_names

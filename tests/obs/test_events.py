@@ -18,6 +18,11 @@ from repro.obs.events import (
     JobAdmitted,
     JobCompleted,
     JobStarted,
+    MintedGradingCompleted,
+    MintedScenarioGraded,
+    MintRunCompleted,
+    MintScenarioAdmitted,
+    MintScenarioRejected,
     PhaseCompleted,
     TrialCompleted,
     TrialStarted,
@@ -61,6 +66,26 @@ SAMPLES = [
         job_id="job-1-abcd1234", tenant="default", status="done",
         plausible=True, fitness=1.0, elapsed_seconds=2.5, cache_hit_rate=0.95,
     ),
+    MintScenarioAdmitted(
+        index=4, scenario_id="minted_0_004_off_by_one", source="fuzz",
+        mutator="off_by_one", category=1, faulty_fitness=0.75,
+    ),
+    MintScenarioRejected(
+        index=5, source="bench", mutator="stuck_constant",
+        reason="unobservable", shrunk=0,
+    ),
+    MintRunCompleted(
+        seed=0, requested=50, admitted=46, rejected=4, elapsed_seconds=1.9,
+    ),
+    MintedScenarioGraded(
+        scenario_id="minted_0_004_off_by_one", engine="cirfix",
+        mutator="off_by_one", category=1, plausible=True, correct=True,
+        ground_truth_match=False, fitness=1.0, eval_sims=46,
+    ),
+    MintedGradingCompleted(
+        seed=0, engine="cirfix", scenarios=7, plausible=6, correct=6,
+        ground_truth_matches=1, elapsed_seconds=5.9,
+    ),
 ]
 
 
@@ -80,6 +105,9 @@ def test_registry_covers_all_types():
         "plausible_patch_found", "phase_completed", "trial_completed",
         "job_admitted", "job_started", "job_completed",
         "fuzz_program_checked", "fuzz_violation_found", "fuzz_run_completed",
+        "mint_scenario_admitted", "mint_scenario_rejected",
+        "mint_run_completed",
+        "minted_scenario_graded", "minted_grading_completed",
     }
     for tag, cls in EVENT_TYPES.items():
         assert cls.type == tag

@@ -1,0 +1,134 @@
+"""Deprecated positional-argument shims on the repro.api wrappers.
+
+The facade's ``repair_scenario`` / ``repair_verilog`` historically took
+``config, seeds, observers`` positionally; they are keyword-only now,
+with a shim that overlays positional extras in the old order.  The shim
+contract under test:
+
+- a positional call emits **exactly one** DeprecationWarning (naming the
+  function), and the values still take effect;
+- the keyword path is silent — no warning, ever;
+- more than three positional extras is a TypeError, not a silent drop.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import repair_scenario, repair_verilog
+from repro.core import TEST_CONFIG
+from repro.core.oracle import ensure_instrumented, generate_oracle
+from repro.core.repair import RepairProblem
+from repro.hdl import parse
+
+DESIGN = """
+module counter(clk, rst, out);
+  input clk, rst;
+  output [1:0] out;
+  reg [1:0] out;
+  always @(posedge clk) begin
+    if (rst) out <= 0;
+    else out <= out + 1;
+  end
+endmodule
+"""
+
+TESTBENCH = """
+module tb;
+  reg clk, rst;
+  wire [1:0] out;
+  counter dut(.clk(clk), .rst(rst), .out(out));
+  always #5 clk = !clk;
+  initial begin
+    clk = 0; rst = 1;
+    @(negedge clk);
+    rst = 0;
+    repeat (6) begin @(negedge clk); end
+    $finish;
+  end
+endmodule
+"""
+
+#: Terminates at generation 0: the "faulty" design below is the golden
+#: design, so the seed candidate already scores fitness 1.0.
+FAST = TEST_CONFIG.scaled(population_size=2, max_generations=1)
+
+
+def _problem() -> RepairProblem:
+    golden = parse(DESIGN)
+    bench = ensure_instrumented(parse(TESTBENCH), golden)
+    oracle = generate_oracle(golden, bench)
+    return RepairProblem(golden, bench, oracle)
+
+
+def _deprecations(caught) -> list[warnings.WarningMessage]:
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestRepairVerilogShim:
+    def test_positional_config_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcome = repair_verilog(DESIGN, TESTBENCH, DESIGN, FAST, (0,))
+        deprecations = _deprecations(caught)
+        assert len(deprecations) == 1
+        assert "repair_verilog" in str(deprecations[0].message)
+        assert "keyword" in str(deprecations[0].message)
+        assert outcome.plausible  # positional config/seeds took effect
+
+    def test_keyword_path_is_silent(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcome = repair_verilog(
+                DESIGN, TESTBENCH, DESIGN, config=FAST, seeds=(0,)
+            )
+        assert _deprecations(caught) == []
+        assert outcome.plausible
+
+    def test_positional_and_keyword_calls_agree(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            positional = repair_verilog(DESIGN, TESTBENCH, DESIGN, FAST, (0,))
+        keyword = repair_verilog(DESIGN, TESTBENCH, DESIGN, config=FAST, seeds=(0,))
+        assert positional.fitness == keyword.fitness
+        assert positional.seed == keyword.seed
+        assert positional.eval_sims == keyword.eval_sims
+
+    def test_positional_seeds_take_effect(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            outcome = repair_verilog(DESIGN, TESTBENCH, DESIGN, FAST, (7,))
+        assert outcome.seed == 7
+
+    def test_too_many_positional_extras_is_typeerror(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="at most 3 positional"):
+                repair_verilog(DESIGN, TESTBENCH, DESIGN, FAST, (0,), None, "extra")
+
+
+class TestRepairScenarioShim:
+    def test_positional_config_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcome = repair_scenario(_problem(), FAST, (0,))
+        deprecations = _deprecations(caught)
+        assert len(deprecations) == 1
+        assert "repair_scenario" in str(deprecations[0].message)
+        assert outcome.plausible
+
+    def test_keyword_path_is_silent(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcome = repair_scenario(_problem(), config=FAST, seeds=(0,))
+        assert _deprecations(caught) == []
+        assert outcome.plausible
+
+    def test_warning_points_at_the_caller(self):
+        # stacklevel must attribute the warning to this file, not api.py.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repair_scenario(_problem(), FAST, (0,))
+        deprecations = _deprecations(caught)
+        assert len(deprecations) == 1
+        assert deprecations[0].filename == __file__
