@@ -1,0 +1,122 @@
+"""Benchmark: the engine race — GP vs. template synthesis, head to head.
+
+Sweeps both registered engines over the fixed-seed minted scenario set
+(the ``repro.experiments race`` study) on the serial *and* the process
+evaluation backend, and writes the raw numbers to
+``BENCH_engine_race.json`` at the repo root:
+
+- ``stable``: per-family win rates, per-engine plausible counts and
+  ``eval_sims`` — the backend-independent verdict block, asserted
+  byte-identical across serial and process backends;
+- ``wall_clock``: per-engine first-to-plausible wall seconds (host- and
+  backend-dependent, recorded outside the stable block).
+
+Assertions pin the PR's acceptance bar: on the defect families the
+synth templates invert directly (``stuck_constant``, ``wrong_operator``,
+``negate_condition``), the synth engine reaches a plausible repair and
+spends fewer ``eval_sims`` than the GP engine at the same seed.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.race import run_engine_race
+from repro.mint import GRADE_CONFIG
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SEED = 0
+MINT_ATTEMPTS = 20
+#: Families the synth catalog inverts one-for-one; synth must win these.
+SYNTH_FAMILIES = ("stuck_constant", "wrong_operator", "negate_condition")
+
+
+def _stable(study) -> dict:
+    """The backend-independent verdict block (no wall-clock anywhere)."""
+    families = {}
+    for family, row in study.by_family().items():
+        families[family] = {
+            "scenarios": row["scenarios"],
+            "wins": dict(row["wins"]),
+            "engines": {
+                engine: dict(stats) for engine, stats in row["engines"].items()
+            },
+        }
+    return {
+        "engines": list(study.engines),
+        "winners": [
+            study.winner_of(index) for index in range(len(study.minted))
+        ],
+        "by_family": families,
+        "table": study.stable_text(),
+    }
+
+
+def _wall_clock(study) -> dict:
+    """Per-engine first-to-plausible wall seconds (measured, unstable)."""
+    out = {}
+    for engine in study.engines:
+        legs = [
+            result.repair_seconds
+            for result in study.results[engine]
+            if result.repair_seconds is not None
+        ]
+        out[engine] = {
+            "first_to_plausible": len(legs),
+            "total_seconds": sum(legs),
+            "mean_seconds": sum(legs) / len(legs) if legs else 0.0,
+        }
+    return out
+
+
+def test_engine_race(once):
+    def sweep():
+        started = time.monotonic()
+        serial = run_engine_race(seed=SEED, count=MINT_ATTEMPTS)
+        serial_seconds = time.monotonic() - started
+
+        started = time.monotonic()
+        process = run_engine_race(
+            seed=SEED,
+            count=MINT_ATTEMPTS,
+            config=GRADE_CONFIG.scaled(workers=2, backend="process"),
+        )
+        process_seconds = time.monotonic() - started
+
+        stable = _stable(serial)
+        assert stable == _stable(process), "race verdict diverged by backend"
+        assert serial.stable_text() == process.stable_text()
+        return {
+            "stable": stable,
+            "wall_clock": {
+                "serial": {
+                    "sweep_seconds": serial_seconds,
+                    "engines": _wall_clock(serial),
+                },
+                "process": {
+                    "sweep_seconds": process_seconds,
+                    "engines": _wall_clock(process),
+                },
+            },
+        }
+
+    results = once(sweep)
+    results = {
+        "seed": SEED,
+        "attempts": MINT_ATTEMPTS,
+        "cpu_count": os.cpu_count(),
+        **results,
+    }
+    (_REPO_ROOT / "BENCH_engine_race.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+    families = results["stable"]["by_family"]
+    for family in SYNTH_FAMILIES:
+        assert family in families, f"seed {SEED} minted no {family} scenarios"
+        row = families[family]
+        synth, cirfix = row["engines"]["synth"], row["engines"]["cirfix"]
+        assert synth["plausible"] >= 1, (family, row)
+        assert synth["eval_sims"] < cirfix["eval_sims"], (family, row)

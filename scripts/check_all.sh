@@ -297,4 +297,82 @@ python -m repro grade --seed 0 --count 5 --max-scenarios 3 \
 cmp "$SMOKE_DIR/grade_serial.txt" "$SMOKE_DIR/grade_process.txt" || {
     echo "minted smoke: serial vs process grading diverged"; exit 1; }
 
+echo "== synth smoke (--engine synth CLI + cross-backend outcome parity) =="
+# ff_cond (a negated condition) sits squarely in the template catalog;
+# the CLI run must find a repair and write the design + report pair.
+python - "$SMOKE_DIR" <<'EOF'
+import sys
+from pathlib import Path
+from repro.benchsuite import load_scenario
+
+out = Path(sys.argv[1])
+scenario = load_scenario("ff_cond")
+(out / "synth_faulty.v").write_text(scenario.faulty_design_text)
+(out / "synth_golden.v").write_text(scenario.project.design_text)
+(out / "synth_tb.v").write_text(scenario.project.testbench_text)
+EOF
+python -m repro repair "$SMOKE_DIR/synth_faulty.v" "$SMOKE_DIR/synth_tb.v" \
+    --golden "$SMOKE_DIR/synth_golden.v" --engine synth --population 120 \
+    --budget 90 --seeds 0 --output "$SMOKE_DIR/synth_repaired.v" > /dev/null
+test -s "$SMOKE_DIR/synth_repaired.v"
+test -s "$SMOKE_DIR/synth_repaired.report.json"
+# The synth outcome JSON is byte-stable across evaluation backends
+# (same engine contract the GP runner honours).
+python - <<'EOF'
+import json
+from repro.benchsuite import load_scenario
+from repro.core.serialize import outcome_to_json
+from repro.experiments.common import SMOKE
+from repro.synth import synth_repair
+
+outcomes = {}
+for backend, workers in (("serial", 1), ("process", 2)):
+    scenario = load_scenario("ff_cond")
+    config = scenario.suggested_config(SMOKE).scaled(
+        backend=backend, workers=workers
+    )
+    payload = json.loads(
+        outcome_to_json(synth_repair(scenario.problem(), config, (0,)), "ff_cond")
+    )
+    payload.pop("elapsed_seconds")
+    outcomes[backend] = payload
+assert outcomes["serial"]["plausible"], "synth smoke found no repair"
+assert outcomes["serial"] == outcomes["process"], "synth diverged by backend"
+print(f"synth smoke ok: {outcomes['serial']['eval_sims']} eval_sims, "
+      "outcome JSON identical across backends")
+EOF
+
+echo "== race smoke (race legs byte-identical to standalone engine runs) =="
+python - <<'EOF'
+import json
+from repro.benchsuite import load_scenario
+from repro.core.repair import repair
+from repro.core.serialize import outcome_to_json
+from repro.experiments.common import SMOKE
+from repro.synth import run_race, synth_repair
+
+def report(outcome):
+    payload = json.loads(outcome_to_json(outcome, "counter_reset"))
+    payload.pop("elapsed_seconds")
+    return payload
+
+# counter_reset is a *deleted* statement: GP can re-grow it, templates
+# cannot — so the race exercises both a winning and a losing synth leg.
+scenario = load_scenario("counter_reset")
+config = scenario.suggested_config(SMOKE)
+race = run_race(scenario.problem(), config, (0,))
+standalone = {
+    "cirfix": repair(load_scenario("counter_reset").problem(), config, (0,)),
+    "synth": synth_repair(load_scenario("counter_reset").problem(), config, (0,)),
+}
+for entry in race.entries:
+    assert report(entry.outcome) == report(standalone[entry.engine]), (
+        f"race {entry.engine} leg diverged from the standalone run")
+winner = race.winner
+assert winner.engine == "cirfix", "GP must win the deleted-statement race"
+assert report(winner.outcome) == report(standalone["cirfix"])
+print(f"race smoke ok: winner={winner.engine} "
+      f"({winner.outcome.eval_sims} eval_sims), legs match standalone runs")
+EOF
+
 echo "ALL CHECKS PASSED"

@@ -25,8 +25,10 @@ artifact's ``repair.conf`` workflow) and :func:`materialize_request`
 Every repair entry point accepts ``observers`` (:mod:`repro.obs`
 instances receiving the engine's event stream — they never influence the
 search), ``engine`` (a name registered in :mod:`repro.core.engines`;
-the built-in is ``"cirfix"``), and ``cancel`` (a zero-argument callable
-polled cooperatively between generations).
+built-ins are ``"cirfix"`` — the default GP loop — plus ``"synth"``
+and ``"race"`` from :mod:`repro.synth`, see ``docs/synthesis.md``),
+and ``cancel`` (a zero-argument callable polled cooperatively between
+generations).
 
 Compatibility: ``repair_scenario`` and ``repair_verilog`` historically
 took ``config``/``seeds``/``observers`` positionally.  Those calls still

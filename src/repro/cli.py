@@ -7,6 +7,8 @@ the GP parameters.  This module reproduces that workflow::
     python -m repro repair --conf repair.conf
     python -m repro repair faulty.v testbench.v --golden golden.v
     python -m repro repair faulty.v testbench.v --golden golden.v --trace run.jsonl
+    python -m repro repair faulty.v testbench.v --golden golden.v --engine synth
+    python -m repro engines                       # registered repair engines
     python -m repro simulate design.v testbench.v
     python -m repro lint design.v                 # static analysis (L0xx rules)
     python -m repro scenarios                     # list the benchmark suite
@@ -54,7 +56,7 @@ from pathlib import Path
 from .api import build_problem, simulate
 from .benchsuite import DEFECTS
 from .core.config import BACKEND_NAMES, SIM_ENGINE_NAMES, ConfigError, RepairConfig
-from .core.repair import repair
+from .core.engines import DEFAULT_ENGINE, engine_descriptions, engine_names, get_engine
 from .instrument.trace import SimulationTrace
 
 
@@ -108,8 +110,9 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
+    runner = get_engine(args.engine)
     try:
-        outcome = repair(problem, config, seeds, observers=observers)
+        outcome = runner(problem, config, seeds, observers=observers)
     finally:
         if profiler is not None:
             profiler.disable()
@@ -183,6 +186,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if result.finished else 2
+
+
+def cmd_engines(_args: argparse.Namespace) -> int:
+    """``engines`` subcommand: list registered repair engines.
+
+    One line per engine — name plus its registry description; the
+    default engine is starred.  Exactly these names are valid for
+    ``--engine`` on ``repair``, ``grade``, and ``submit``.
+    """
+    for name, description in sorted(engine_descriptions().items()):
+        marker = "*" if name == DEFAULT_ENGINE else " "
+        print(f"{marker} {name:8s} {description}")
+    return 0
 
 
 def cmd_scenarios(_args: argparse.Namespace) -> int:
@@ -541,6 +557,12 @@ def main(argv: list[str] | None = None) -> int:
     p_repair.add_argument("--oracle", help="expected-behaviour CSV (Figure 2 shape)")
     p_repair.add_argument("--conf", help="repair.conf configuration file")
     p_repair.add_argument("--output", help="where to write the repaired design")
+    p_repair.add_argument(
+        "--engine", choices=engine_names(), default=DEFAULT_ENGINE,
+        help="registered repair engine: 'cirfix' (GP search), 'synth' "
+        "(template synthesis), or 'race' (both, winner returned) "
+        f"(default: {DEFAULT_ENGINE}; see `python -m repro engines`)",
+    )
     p_repair.add_argument("--budget", type=float, help="wall-clock seconds per trial")
     p_repair.add_argument("--population", type=int, help="GP population size")
     p_repair.add_argument(
@@ -606,6 +628,11 @@ def main(argv: list[str] | None = None) -> int:
 
     p_list = sub.add_parser("scenarios", help="list the 32 benchmark defect scenarios")
     p_list.set_defaults(func=cmd_scenarios)
+
+    p_engines = sub.add_parser(
+        "engines", help="list registered repair engines (* marks the default)"
+    )
+    p_engines.set_defaults(func=cmd_engines)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="fuzz the parser/simulator/templates with differential oracles"
@@ -697,8 +724,8 @@ def main(argv: list[str] | None = None) -> int:
         help="percentage of attempts drawn from benchsuite bases (default 20)",
     )
     p_grade.add_argument(
-        "--engine", default="cirfix",
-        help="registered repair engine to grade (default: cirfix)",
+        "--engine", choices=engine_names(), default=DEFAULT_ENGINE,
+        help=f"registered repair engine to grade (default: {DEFAULT_ENGINE})",
     )
     p_grade.add_argument(
         "--backend", choices=("serial", "process"),
@@ -777,7 +804,9 @@ def main(argv: list[str] | None = None) -> int:
     p_submit.add_argument("--oracle", help="expected-behaviour CSV (Figure 2 shape)")
     p_submit.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
     p_submit.add_argument(
-        "--engine", default="cirfix", help="registered repair engine (default: cirfix)"
+        "--engine", choices=engine_names(), default=DEFAULT_ENGINE,
+        help="registered repair engine the daemon should run "
+        f"(default: {DEFAULT_ENGINE}; see `python -m repro engines`)",
     )
     p_submit.add_argument(
         "--tenant", default="default", help="fair-share scheduling bucket"

@@ -2,9 +2,9 @@
 
 ``repro.api`` and the service daemon are *engine-neutral*: every repair
 entry point takes ``engine: str = "cirfix"`` and resolves it here, so a
-second repair engine (e.g. a template-enumeration baseline in the
-rtl-repair style) plugs in by registering a runner — no facade, CLI, or
-protocol change required.
+second repair engine (e.g. the rtl-repair-style template synthesiser in
+:mod:`repro.synth`) plugs in by registering a runner — no facade, CLI,
+or protocol change required.
 
 A runner is a callable with the signature::
 
@@ -15,6 +15,14 @@ mirroring :func:`repro.core.repair.repair` (which is the built-in
 ``"cirfix"`` runner).  Runners must honour the package-wide contracts:
 same seed → bit-identical outcome; observers never influence the search;
 ``cancel`` polled cooperatively.
+
+Built-ins (registered lazily to avoid import cycles):
+
+- ``cirfix`` — genetic-programming search (paper Algorithm 1);
+- ``synth`` — template enumeration + brute-force literal solving
+  (:mod:`repro.synth`, rtl-repair style);
+- ``race`` — runs both engines and returns the winner
+  (:mod:`repro.synth.race`).
 """
 
 from __future__ import annotations
@@ -48,19 +56,31 @@ class EngineRunner(Protocol):
 
 
 _REGISTRY: dict[str, EngineRunner] = {}
+_DESCRIPTIONS: dict[str, str] = {}
 
 
-def register_engine(name: str, runner: EngineRunner) -> None:
-    """Register (or replace) the runner behind an engine name."""
+def register_engine(name: str, runner: EngineRunner, description: str = "") -> None:
+    """Register (or replace) the runner behind an engine name.
+
+    ``description`` is the one-line summary ``repro engines`` prints;
+    re-registration (latest wins) replaces both runner and description.
+    """
     if not name or not name.replace("_", "").replace("-", "").isalnum():
         raise ValueError(f"bad engine name {name!r}")
     _REGISTRY[name] = runner
+    _DESCRIPTIONS[name] = description
 
 
 def engine_names() -> tuple[str, ...]:
     """The registered engine names, sorted (for messages and --help)."""
     _ensure_builtin()
     return tuple(sorted(_REGISTRY))
+
+
+def engine_descriptions() -> dict[str, str]:
+    """name → one-line description for every registered engine, sorted."""
+    _ensure_builtin()
+    return {name: _DESCRIPTIONS.get(name, "") for name in sorted(_REGISTRY)}
 
 
 def get_engine(name: str) -> EngineRunner:
@@ -76,8 +96,28 @@ def get_engine(name: str) -> EngineRunner:
 
 
 def _ensure_builtin() -> None:
-    """Lazily register the built-in CirFix runner (avoids a hard cycle)."""
+    """Lazily register the built-in runners (avoids a hard cycle)."""
     if DEFAULT_ENGINE not in _REGISTRY:
         from .repair import repair
 
-        _REGISTRY[DEFAULT_ENGINE] = repair
+        register_engine(
+            DEFAULT_ENGINE,
+            repair,
+            "genetic-programming search over repair patches (paper Algorithm 1)",
+        )
+    if "synth" not in _REGISTRY:
+        from ..synth.engine import synth_repair
+
+        register_engine(
+            "synth",
+            synth_repair,
+            "template enumeration solved against the testbench trace (rtl-repair style)",
+        )
+    if "race" not in _REGISTRY:
+        from ..synth.race import race_repair
+
+        register_engine(
+            "race",
+            race_repair,
+            "runs cirfix and synth on the same scenario and returns the winner",
+        )

@@ -1,0 +1,707 @@
+"""Engine-neutral repair harness shared by every registered engine.
+
+The GP engine (:mod:`repro.core.repair`) and the template-synthesis
+engine (:mod:`repro.synth.engine`) differ only in how they *propose*
+candidate patches.  Everything else — candidate evaluation with
+memoisation, the lint gate, batched scoring through an
+:class:`~repro.core.backend.EvaluationBackend`, fault localization with
+trace refresh, delta-debugging minimization, phase accounting, and the
+final :class:`RepairOutcome` assembly — lives here in
+:class:`EngineHarness`, so caching, supervision, gating, and telemetry
+apply to every engine unchanged.
+
+Determinism contract (shared by all engines built on the harness): the
+outcome for a given seed is bit-identical on every backend; the
+``eval_sims`` budget counter excludes backend-dependent re-simulations;
+observers only ever read already-computed values; cancellation is polled
+at chunk boundaries.  See ``docs/repair_engine.md``.
+"""
+
+from __future__ import annotations
+
+import time as time_mod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..hdl import ast, generate, parse
+from ..instrument.trace import SimulationTrace, output_mismatch
+from ..lint.engine import lint_tree, new_violations
+from ..lint.rules import resolve_rules
+from ..obs.events import (
+    BackendChunkCompleted,
+    BackendChunkDispatched,
+    CandidateEvaluated,
+    CandidatePruned,
+    CandidateTimedOut,
+    ChunkRetried,
+    GenerationCompleted,
+    PhaseCompleted,
+    TrialCompleted,
+    WorkerCrashed,
+)
+from ..obs.observer import ObserverSet, RepairObserver
+from .backend import (
+    CandidateResult,
+    EvaluationBackend,
+    evaluate_design_text,
+    make_backend,
+)
+from .config import RepairConfig
+from .faultloc import all_statement_ids, localize_faults
+from .fitness import FitnessBreakdown
+from .minimize import minimize_patch
+from .patch import Patch
+
+
+@dataclass
+class Evaluation:
+    """Result of evaluating one candidate design.
+
+    The per-engine cache keeps fitness/compile status for every candidate
+    but holds full traces only in a small LRU — traces of long-running
+    benchmarks are large, and only tournament-selected parents need theirs
+    again (for re-localization).
+    """
+
+    fitness: float
+    breakdown: FitnessBreakdown | None
+    trace: SimulationTrace | None
+    compiled: bool
+    source_text: str
+
+    @property
+    def is_plausible(self) -> bool:
+        return self.fitness >= 1.0
+
+    def light_copy(self) -> "Evaluation":
+        """The cacheable version without the trace payload."""
+        return Evaluation(self.fitness, self.breakdown, None, self.compiled, self.source_text)
+
+
+@dataclass
+class RepairOutcome:
+    """Result of one repair trial (any engine)."""
+
+    plausible: bool
+    patch: Patch
+    fitness: float
+    repaired_source: str | None
+    generations: int
+    fitness_evals: int
+    simulations: int
+    elapsed_seconds: float
+    best_fitness_history: list[float] = field(default_factory=list)
+    seed: int = 0
+    #: Unique candidate evaluations — the deterministic budget counter
+    #: (identical across backends, unlike ``simulations``).
+    eval_sims: int = 0
+    #: Unique candidates the lint gate rejected before simulation
+    #: (0 when ``config.lint_gate`` is off).
+    pruned: int = 0
+    #: Candidates the supervised pool quarantined after exhausting their
+    #: retries (0 on healthy runs and on the serial backend).
+    quarantined: int = 0
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLI output."""
+        status = "PLAUSIBLE" if self.plausible else "no repair"
+        return (
+            f"{status}: fitness={self.fitness:.3f} edits={len(self.patch)} "
+            f"gens={self.generations} sims={self.simulations} "
+            f"t={self.elapsed_seconds:.1f}s"
+        )
+
+
+class RepairProblem:
+    """A defect scenario packaged for the engine.
+
+    Attributes:
+        design: Faulty design AST (the modules the engine may edit).
+        testbench: Instrumented testbench AST (never edited).
+        oracle: Expected-behaviour trace from the golden design.
+    """
+
+    def __init__(
+        self,
+        design: ast.Source,
+        testbench: ast.Source,
+        oracle: SimulationTrace,
+        name: str = "scenario",
+    ):
+        self.design = design
+        self.testbench = testbench
+        self.oracle = oracle
+        self.name = name
+        self.testbench_text = generate(testbench)
+
+    @staticmethod
+    def from_text(
+        faulty_design: str,
+        testbench: str,
+        oracle: SimulationTrace,
+        name: str = "scenario",
+    ) -> "RepairProblem":
+        return RepairProblem(parse(faulty_design), parse(testbench), oracle, name)
+
+
+def adaptive_chunk_size(batch: int, eval_chunk_size: int) -> int:
+    """The chunk size to dispatch a ``batch`` of pending candidates with.
+
+    ``eval_chunk_size`` is the *granularity floor*, not a fixed size: a
+    batch that is not an exact multiple would otherwise end in a runt
+    chunk (e.g. 25 pending at size 8 → 8+8+8+1), paying a full dispatch
+    round-trip — and, on the pool backend, idling most workers — for a
+    single candidate.  Instead the batch is split into
+    ``batch // eval_chunk_size`` near-equal chunks (25 → 9+9+7).
+
+    Deterministic in the batch size and configuration alone — NEVER the
+    worker count or backend — so the chunk schedule (and with it the
+    event sequence and early-stop points) stays bit-identical across
+    backends, preserving the engine's determinism guarantee.
+    """
+    base = max(1, eval_chunk_size)
+    if batch <= base:
+        return base
+    chunks = max(1, batch // base)
+    return -(-batch // chunks)
+
+
+class EngineHarness:
+    """Shared pre-passes and accounting for one trial of any engine.
+
+    Subclasses implement :meth:`_run` (the search loop) and own
+    ``operator_stats`` (how candidates were proposed); everything a loop
+    needs — memoised evaluation, batched backend scoring, localization,
+    minimization, the outcome — is provided here.
+
+    Candidate batches are scored through an
+    :class:`~repro.core.backend.EvaluationBackend`; pass one to share a
+    worker pool across trials, or leave it ``None`` to let the engine
+    build (and own) the backend selected by ``config``.
+    """
+
+    def __init__(
+        self,
+        problem: RepairProblem,
+        config: RepairConfig | None = None,
+        seed: int = 0,
+        backend: EvaluationBackend | None = None,
+        observers: Sequence[RepairObserver] | None = None,
+        cancel: Callable[[], bool] | None = None,
+    ):
+        self.problem = problem
+        self.config = config or RepairConfig()
+        self.seed = seed
+        #: Cooperative cancellation probe (repair-as-a-service): checked
+        #: wherever the budget is, so a cancelled trial stops at the next
+        #: chunk boundary and returns its best-so-far outcome.  None (the
+        #: default) keeps every cancellation branch dead.
+        self._cancel = cancel
+        #: Telemetry fan-out (repro.obs).  Falsy when no observers are
+        #: attached, so every emit site costs one branch on unobserved
+        #: runs; observers only ever read already-computed values, which
+        #: is what keeps outcomes bit-identical with or without them.
+        self.events = (
+            observers
+            if isinstance(observers, ObserverSet)
+            else ObserverSet(observers)
+        )
+        self._backend = backend
+        self._owns_backend = False
+        self._cache: dict[str, Evaluation] = {}
+        self._trace_cache: OrderedDict[str, SimulationTrace] = OrderedDict()
+        self._trace_cache_limit = 48
+        self.simulations = 0
+        self.fitness_evals = 0
+        #: Deterministic count of unique candidate evaluations.  Unlike
+        #: ``simulations`` it excludes trace-refresh re-simulations (whose
+        #: number depends on the backend's trace availability), so budget
+        #: decisions keyed on it are identical under every backend.
+        self.eval_sims = 0
+        #: Compile statistics for the fix-localization ablation (§3.6).
+        self.mutants_generated = 0
+        self.mutants_compile_failed = 0
+        #: How often each proposal path ran (diagnostics); subclasses
+        #: replace this with their own operator vocabulary.
+        self.operator_stats: dict[str, int] = {}
+        #: Wall-clock seconds spent inside candidate evaluation (codegen +
+        #: parse + simulate + fitness) — the paper reports >90% of repair
+        #: time goes to fitness evaluations.
+        self.evaluation_seconds = 0.0
+        #: Per-phase wall-clock (repro.obs): ``parse`` is the frontend
+        #: sub-span of ``evaluation``; ``localization`` and
+        #: ``minimization`` exclude the evaluations they trigger, so the
+        #: three top-level phases partition the trial's accounted time.
+        self.phase_seconds: dict[str, float] = {
+            "parse": 0.0,
+            "localization": 0.0,
+            "evaluation": 0.0,
+            "minimization": 0.0,
+        }
+        #: Monotonic id for backend chunk events.
+        self._chunk_counter = 0
+        #: Lint gate (docs/lint.md): with ``config.lint_gate`` on, a
+        #: candidate whose lint profile adds findings under these rules
+        #: over the buggy baseline is rejected before simulation.  The
+        #: empty tuple (gate off) keeps every gate branch dead, so
+        #: outcomes are bit-identical to the ungated engine.
+        self._gate_rules = (
+            resolve_rules(self.config.lint_gate_rules)
+            if self.config.lint_gate
+            else ()
+        )
+        self._gate_rules_spec = ",".join(rule.code for rule in self._gate_rules)
+        self._gate_baseline: dict[str, int] | None = None
+        #: Unique candidates the gate rejected / per-rule breakdown.
+        self.candidates_pruned = 0
+        self.pruned_by_rule: dict[str, int] = {}
+        #: Candidates the supervised pool quarantined / per-kind breakdown
+        #: (see ``docs/repair_engine.md``, "Fault tolerance").
+        self.candidates_quarantined = 0
+        self.quarantined_by_kind: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation
+    # ------------------------------------------------------------------
+
+    def variant_tree(self, patch: Patch) -> ast.Source:
+        """The faulty design with ``patch`` applied (ids stable)."""
+        return patch.apply(self.problem.design)
+
+    def evaluate(self, patch: Patch) -> Evaluation:
+        """Codegen → parse → simulate → fitness, with memoisation."""
+        self.fitness_evals += 1
+        try:
+            tree = self.variant_tree(patch)
+            design_text = generate(tree)
+        except Exception:
+            return Evaluation(0.0, None, None, False, "")
+        cached = self._cache.get(design_text)
+        if cached is not None:
+            if cached.trace is None and design_text in self._trace_cache:
+                self._trace_cache.move_to_end(design_text)
+                return Evaluation(
+                    cached.fitness,
+                    cached.breakdown,
+                    self._trace_cache[design_text],
+                    cached.compiled,
+                    cached.source_text,
+                )
+            return cached
+        if self._gate_rules:
+            added = self._gate_added(tree)
+            if added:
+                return self._prune(design_text, added)
+        self.eval_sims += 1
+        result = self._score_text(design_text)
+        if self.events:
+            self._emit_candidate(result)
+        evaluation = Evaluation(
+            result.fitness, result.breakdown, result.trace, result.compiled, design_text
+        )
+        self._admit(design_text, evaluation)
+        return evaluation
+
+    # ------------------------------------------------------------------
+    # Lint gate (docs/lint.md)
+    # ------------------------------------------------------------------
+
+    def _gate_baseline_profile(self) -> dict[str, int]:
+        """Gated-rule lint profile of the buggy design (computed once)."""
+        if self._gate_baseline is None:
+            self._gate_baseline = lint_tree(
+                self.problem.design, self._gate_rules
+            ).profile()
+        return self._gate_baseline
+
+    def _gate_added(self, tree: ast.Source) -> dict[str, int]:
+        """Gated violations ``tree`` adds over the baseline (empty = pass).
+
+        Lint failures never block evaluation: a candidate the analyser
+        cannot process goes to the simulator like any other, so the gate
+        can only ever skip work, not change which designs are reachable.
+        """
+        try:
+            profile = lint_tree(tree, self._gate_rules).profile()
+        except Exception:
+            return {}
+        return new_violations(profile, self._gate_baseline_profile())
+
+    def _prune(self, design_text: str, added: dict[str, int]) -> Evaluation:
+        """Reject one unique candidate before simulation.
+
+        The pruned evaluation (fitness 0, no trace) is cached like any
+        other, so duplicates of a pruned design are ordinary cache hits;
+        ``eval_sims`` never ticks — pruning is free simulation budget.
+        """
+        self.candidates_pruned += 1
+        for code in added:
+            self.pruned_by_rule[code] = self.pruned_by_rule.get(code, 0) + 1
+        if self.events:
+            self.events.emit(
+                CandidatePruned(
+                    new_violations=dict(added), rules=self._gate_rules_spec
+                )
+            )
+        evaluation = Evaluation(0.0, None, None, False, design_text)
+        self._admit(design_text, evaluation)
+        return evaluation
+
+    def _admit(self, design_text: str, evaluation: Evaluation) -> None:
+        """Record an evaluation in the fitness cache and the trace LRU."""
+        self._cache[design_text] = evaluation.light_copy()
+        if evaluation.trace is not None:
+            self._trace_cache[design_text] = evaluation.trace
+            while len(self._trace_cache) > self._trace_cache_limit:
+                self._trace_cache.popitem(last=False)
+
+    def _score_text(self, design_text: str) -> CandidateResult:
+        """Run the evaluation pipeline in-process, updating counters."""
+        started = time_mod.monotonic()
+        self.simulations += 1
+        self.mutants_generated += 1
+        result = evaluate_design_text(
+            design_text, self.problem.testbench, self.problem.oracle, self.config
+        )
+        if not result.compiled:
+            self.mutants_compile_failed += 1
+        elapsed = time_mod.monotonic() - started
+        self.evaluation_seconds += elapsed
+        self.phase_seconds["evaluation"] += elapsed
+        self.phase_seconds["parse"] += result.parse_seconds
+        return result
+
+    def _evaluate_source(self, design_text: str) -> Evaluation:
+        """In-process evaluation without telemetry emission.
+
+        Used for backend-dependent re-simulations (trace refresh in
+        :meth:`fault_localization`): those must stay invisible to
+        observers so the event sequence is identical on every backend.
+        """
+        result = self._score_text(design_text)
+        return Evaluation(
+            result.fitness, result.breakdown, result.trace, result.compiled, design_text
+        )
+
+    def _emit_candidate(self, result: CandidateResult) -> None:
+        """Emit the CandidateEvaluated event for one unique evaluation."""
+        self.events.emit(
+            CandidateEvaluated(
+                fitness=result.fitness,
+                compiled=result.compiled,
+                wall_seconds=result.eval_seconds,
+                sim_events=result.sim_events,
+                sim_steps=result.sim_steps,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (generate-then-evaluate)
+    # ------------------------------------------------------------------
+
+    def _ensure_backend(self) -> EvaluationBackend:
+        """The engine's backend, building (and owning) one on first use."""
+        if self._backend is None:
+            self._backend = make_backend(self.problem, self.config)
+            self._owns_backend = True
+        return self._backend
+
+    def _release_backend(self) -> None:
+        """Close the backend if this engine created it."""
+        if self._owns_backend and self._backend is not None:
+            self._backend.close()
+            self._backend = None
+            self._owns_backend = False
+
+    def _evaluate_generation(self, patches, out_of_budget) -> list[Evaluation | None]:
+        """Score a whole generation's patches through the backend.
+
+        Returns evaluations aligned with ``patches``.  Unique uncached
+        design texts are submitted in first-occurrence (child-index) order
+        in near-equal chunks sized by :func:`adaptive_chunk_size` (with
+        ``config.eval_chunk_size`` as the granularity floor); between chunks
+        the engine checks the budget and whether a plausible candidate has
+        already appeared, and stops early if so.  Entries that were never
+        evaluated because of an early stop are ``None`` — callers only see
+        them when the search is about to terminate anyway.  The chunk
+        schedule is independent of the backend and worker count, which is
+        what makes outcomes bit-identical across backends.
+        """
+        results: list[Evaluation | None] = [None] * len(patches)
+        pending: list[str] = []
+        indices_for_text: dict[str, list[int]] = {}
+        for i, patch in enumerate(patches):
+            self.fitness_evals += 1
+            try:
+                tree = self.variant_tree(patch)
+                text = generate(tree)
+            except Exception:
+                results[i] = Evaluation(0.0, None, None, False, "")
+                continue
+            cached = self._cache.get(text)
+            if cached is not None:
+                results[i] = cached
+                continue
+            if self._gate_rules:
+                added = self._gate_added(tree)
+                if added:
+                    # Pruned engine-side before chunking, so the prune
+                    # schedule (and its events) is backend-independent.
+                    results[i] = self._prune(text, added)
+                    continue
+            slots = indices_for_text.setdefault(text, [])
+            if not slots:
+                pending.append(text)
+            slots.append(i)
+        backend = self._ensure_backend()
+        chunk_size = adaptive_chunk_size(len(pending), self.config.eval_chunk_size)
+        found_winner = False
+        for start in range(0, len(pending), chunk_size):
+            if found_winner or out_of_budget():
+                break
+            chunk = pending[start : start + chunk_size]
+            chunk_id = self._chunk_counter
+            self._chunk_counter += 1
+            if self.events:
+                self.events.emit(
+                    BackendChunkDispatched(
+                        chunk=chunk_id, size=len(chunk), chunk_size=chunk_size
+                    )
+                )
+            started = time_mod.monotonic()
+            chunk_results = backend.evaluate_batch(chunk)
+            chunk_seconds = time_mod.monotonic() - started
+            self.evaluation_seconds += chunk_seconds
+            self.phase_seconds["evaluation"] += chunk_seconds
+            if self.events:
+                self.events.emit(
+                    BackendChunkCompleted(
+                        chunk=chunk_id, size=len(chunk), wall_seconds=chunk_seconds
+                    )
+                )
+            self._note_incidents(chunk_id, backend)
+            for text, result in zip(chunk, chunk_results):
+                self.simulations += 1
+                self.eval_sims += 1
+                self.mutants_generated += 1
+                if result.failure is not None:
+                    # Quarantined by the supervisor — not a compile
+                    # verdict, so keep it out of the compile-failure
+                    # ablation statistics.
+                    self.candidates_quarantined += 1
+                    self.quarantined_by_kind[result.failure.kind] = (
+                        self.quarantined_by_kind.get(result.failure.kind, 0) + 1
+                    )
+                elif not result.compiled:
+                    self.mutants_compile_failed += 1
+                self.phase_seconds["parse"] += result.parse_seconds
+                if self.events:
+                    self._emit_candidate(result)
+                evaluation = Evaluation(
+                    result.fitness, result.breakdown, result.trace, result.compiled, text
+                )
+                self._admit(text, evaluation)
+                for index in indices_for_text[text]:
+                    results[index] = evaluation
+                if evaluation.fitness >= 1.0:
+                    found_winner = True
+        return results
+
+    def _note_incidents(self, chunk_id: int, backend: EvaluationBackend) -> None:
+        """Drain supervision incidents for one chunk into events.
+
+        Healthy runs never have incidents, so this is a no-op on the
+        deterministic schedule — golden event sequences are untouched.
+        Quarantine *counters* are tallied from the results themselves
+        (which also covers externally-owned backends); this method only
+        produces the per-incident telemetry.
+        """
+        take = getattr(backend, "take_incidents", None)
+        if take is None:
+            return
+        incidents = take()
+        if not incidents or not self.events:
+            return
+        requeued = 0
+        for incident in incidents:
+            if not incident.quarantined:
+                requeued += 1
+            if incident.kind == "timeout":
+                self.events.emit(
+                    CandidateTimedOut(
+                        deadline_seconds=self.config.eval_deadline_seconds,
+                        attempt=incident.attempt,
+                        quarantined=incident.quarantined,
+                    )
+                )
+            else:
+                self.events.emit(
+                    WorkerCrashed(
+                        kind=incident.kind,
+                        exitcode=incident.exitcode,
+                        attempt=incident.attempt,
+                        quarantined=incident.quarantined,
+                    )
+                )
+        if requeued:
+            self.events.emit(ChunkRetried(chunk=chunk_id, requeued=requeued))
+
+    # ------------------------------------------------------------------
+    # Fault localization (paper Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def fault_localization(self, patch: Patch, variant: ast.Source) -> set[int]:
+        """Algorithm 2 against this variant's own simulation trace.
+
+        The ``localization`` phase timer excludes the candidate
+        evaluations this triggers (those are ``evaluation`` time).
+        """
+        started = time_mod.monotonic()
+        eval_before = self.evaluation_seconds
+        try:
+            return self._fault_localization(patch, variant)
+        finally:
+            self.phase_seconds["localization"] += (
+                time_mod.monotonic() - started
+            ) - (self.evaluation_seconds - eval_before)
+
+    def _fault_localization(self, patch: Patch, variant: ast.Source) -> set[int]:
+        evaluation = self.evaluate(patch)
+        if evaluation.compiled and evaluation.trace is None:
+            # Trace evicted from the LRU: re-simulate this parent once.
+            evaluation = self._evaluate_source(evaluation.source_text)
+            if evaluation.trace is not None:
+                self._trace_cache[evaluation.source_text] = evaluation.trace
+        if evaluation.trace is None or not evaluation.compiled:
+            return all_statement_ids(variant)
+        mismatch = output_mismatch(self.problem.oracle, evaluation.trace)
+        if not mismatch:
+            return all_statement_ids(variant)
+        localized = localize_faults(variant, mismatch)
+        if not localized.nodes:
+            return all_statement_ids(variant)
+        return localized.nodes
+
+    # ------------------------------------------------------------------
+    # Trial scaffolding shared by every engine
+    # ------------------------------------------------------------------
+
+    def run(self) -> RepairOutcome:
+        """Run the engine's search loop to completion and return the outcome."""
+        try:
+            return self._run()
+        finally:
+            self._release_backend()
+
+    def _run(self) -> RepairOutcome:  # pragma: no cover - interface
+        raise NotImplementedError("engines built on EngineHarness implement _run")
+
+    def _budget_probe(self, deadline: float) -> Callable[[], bool]:
+        """The shared out-of-budget predicate for one trial.
+
+        Polls cancellation, the wall-clock deadline, and the deterministic
+        ``eval_sims`` budget — in that order, so a cancelled trial stops
+        even when the budget still has headroom.
+        """
+
+        def out_of_budget() -> bool:
+            if self._cancel is not None and self._cancel():
+                return True
+            if time_mod.monotonic() > deadline:
+                return True
+            if (
+                self.config.max_fitness_evals is not None
+                and self.eval_sims >= self.config.max_fitness_evals
+            ):
+                return True
+            return False
+
+        return out_of_budget
+
+    def _generation_event(self, generation: int, population: list[Patch],
+                          best_fitness: float) -> GenerationCompleted:
+        """Build the GenerationCompleted event from known fitnesses."""
+        fitnesses = [
+            f for f in (getattr(p, "_fitness", None) for p in population)
+            if f is not None
+        ]
+        return GenerationCompleted(
+            generation=generation,
+            population=len(population),
+            best_fitness=best_fitness,
+            fitness_min=min(fitnesses, default=0.0),
+            fitness_mean=(sum(fitnesses) / len(fitnesses)) if fitnesses else 0.0,
+            fitness_max=max(fitnesses, default=0.0),
+            eval_sims=self.eval_sims,
+            operator_stats=dict(self.operator_stats),
+        )
+
+    def _minimize(self, patch: Patch) -> Patch:
+        def is_plausible(candidate: Patch) -> bool:
+            return self.evaluate(candidate).is_plausible
+
+        started = time_mod.monotonic()
+        eval_before = self.evaluation_seconds
+        try:
+            return minimize_patch(patch, is_plausible, self.config.minimize_budget)
+        finally:
+            # Like localization, the phase excludes its own evaluations.
+            self.phase_seconds["minimization"] += (
+                time_mod.monotonic() - started
+            ) - (self.evaluation_seconds - eval_before)
+
+    def _finish(
+        self,
+        patch: Patch,
+        evaluation: Evaluation,
+        generations: int,
+        start: float,
+        history: list[float],
+    ) -> RepairOutcome:
+        outcome = RepairOutcome(
+            plausible=evaluation.is_plausible,
+            patch=patch,
+            fitness=evaluation.fitness,
+            repaired_source=evaluation.source_text if evaluation.is_plausible else None,
+            generations=generations,
+            fitness_evals=self.fitness_evals,
+            simulations=self.simulations,
+            elapsed_seconds=time_mod.monotonic() - start,
+            best_fitness_history=history,
+            seed=self.seed,
+            eval_sims=self.eval_sims,
+            pruned=self.candidates_pruned,
+            quarantined=self.candidates_quarantined,
+        )
+        if self.events:
+            # Fixed emission order (all four phases, then the trial
+            # summary) keeps the event-type sequence deterministic.
+            for phase in ("parse", "localization", "evaluation", "minimization"):
+                self.events.emit(
+                    PhaseCompleted(phase=phase, seconds=self.phase_seconds[phase])
+                )
+            self.events.emit(
+                TrialCompleted(
+                    plausible=outcome.plausible,
+                    fitness=outcome.fitness,
+                    generations=outcome.generations,
+                    eval_sims=outcome.eval_sims,
+                    fitness_evals=outcome.fitness_evals,
+                    simulations=outcome.simulations,
+                    edits=len(outcome.patch),
+                    elapsed_seconds=outcome.elapsed_seconds,
+                    pruned=outcome.pruned,
+                    quarantined=outcome.quarantined,
+                )
+            )
+        return outcome
+
+
+__all__ = [
+    "EngineHarness",
+    "Evaluation",
+    "RepairOutcome",
+    "RepairProblem",
+    "adaptive_chunk_size",
+]

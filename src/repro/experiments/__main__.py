@@ -13,6 +13,7 @@ from . import (
     minted,
     param_sensitivity,
     phi_ablation,
+    race,
     rq1,
     rq2,
     rq3,
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "runtime": lambda ctx: runtime_analysis.main(ctx.preset),
     "seeded": lambda ctx: seeded_defects.main(ctx.preset),
     "minted": lambda ctx: minted.main(ctx.preset, workers=ctx.workers),
+    "race": lambda ctx: race.main(ctx.preset, workers=ctx.workers),
 }
 
 

@@ -417,6 +417,36 @@ class MintedGradingCompleted(RepairEvent):
     elapsed_seconds: float
 
 
+@dataclass(frozen=True)
+class SynthTemplateEnumerated(RepairEvent):
+    """The synth engine enumerated one repair template's instantiations.
+
+    Emitted once per template round, *before* the round's candidates are
+    scored, at a deterministic point of the engine's schedule — counts
+    depend only on the design, the fault localization, and the oracle.
+    """
+
+    type: ClassVar[str] = "synth_template_enumerated"
+    template: str
+    sites: int
+    candidates: int
+
+
+@dataclass(frozen=True)
+class SynthSolveCompleted(RepairEvent):
+    """The synth engine finished its template sweep.
+
+    ``winner_template`` is the template whose instantiation reached
+    fitness 1.0, or ``""`` when no plausible repair was found.
+    """
+
+    type: ClassVar[str] = "synth_solve_completed"
+    templates: int
+    candidates: int
+    winner_template: str
+    plausible: bool
+
+
 #: ``type`` tag → event class, for parsing traces back into events.
 EVENT_TYPES: dict[str, type[RepairEvent]] = {
     cls.type: cls
@@ -444,6 +474,8 @@ EVENT_TYPES: dict[str, type[RepairEvent]] = {
         MintRunCompleted,
         MintedScenarioGraded,
         MintedGradingCompleted,
+        SynthTemplateEnumerated,
+        SynthSolveCompleted,
     )
 }
 

@@ -23,7 +23,12 @@ JSON, one operation per connection:
   daemon cancels queued jobs, flags running ones, drains, and exits.
 
 Every error is ``{"ok": false, "error": "..."}``; malformed requests
-fail the connection, never the daemon.
+fail the connection, never the daemon.  Typed errors additionally carry
+a ``code`` plus machine-readable context — a submit naming an
+unregistered engine is rejected at admission with
+``{"ok": false, "error": "...", "code": "unknown_engine",
+"known_engines": [...]}`` so clients can self-correct without parsing
+prose.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from typing import Any, Sequence
 
 from ..core.backend import open_eval_store
 from ..core.config import RepairConfig
+from ..core.engines import engine_names
 from ..core.serialize import outcome_to_json
 from ..obs.bridge import AsyncEventBridge
 from ..obs.events import JobAdmitted, JobCompleted, JobStarted, RepairEvent
@@ -275,6 +281,22 @@ class RepairDaemon:
         if self._stopping:
             raise ValueError("daemon is shutting down")
         request = RepairRequest.from_dict(message.get("request") or {})
+        if request.engine not in engine_names():
+            # Typed protocol error at admission: clients get the valid
+            # engine list without having to parse the message text.
+            await self._send(
+                writer,
+                {
+                    "ok": False,
+                    "error": (
+                        f"unknown repair engine {request.engine!r} "
+                        f"(registered: {', '.join(engine_names())})"
+                    ),
+                    "code": "unknown_engine",
+                    "known_engines": list(engine_names()),
+                },
+            )
+            return
         request.validate()
         config = request.resolved_config(self.base_config)
         job, joined = self.queue.submit(request)

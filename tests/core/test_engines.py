@@ -1,0 +1,88 @@
+"""The repair-engine registry: names, resolution errors, replacement."""
+
+import pytest
+
+from repro.core import engines
+from repro.core.engines import (
+    DEFAULT_ENGINE,
+    engine_descriptions,
+    engine_names,
+    get_engine,
+    register_engine,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pristine_registry():
+    """Snapshot the global registry so test registrations never leak."""
+    saved_registry = dict(engines._REGISTRY)
+    saved_descriptions = dict(engines._DESCRIPTIONS)
+    yield
+    engines._REGISTRY.clear()
+    engines._REGISTRY.update(saved_registry)
+    engines._DESCRIPTIONS.clear()
+    engines._DESCRIPTIONS.update(saved_descriptions)
+
+
+def _stub(problem, config=None, seeds=(0,), backend=None, observers=None, cancel=None):
+    raise AssertionError("stub runner should never be invoked")
+
+
+class TestBuiltins:
+    def test_builtin_engines_are_registered(self):
+        names = engine_names()
+        assert DEFAULT_ENGINE in names
+        assert "synth" in names
+        assert "race" in names
+        assert names == tuple(sorted(names))
+
+    def test_every_engine_has_a_description(self):
+        descriptions = engine_descriptions()
+        assert set(descriptions) == set(engine_names())
+        for name in ("cirfix", "synth", "race"):
+            assert descriptions[name], f"{name} has an empty description"
+
+    def test_default_engine_resolves(self):
+        assert callable(get_engine(DEFAULT_ENGINE))
+
+
+class TestRegisterErrors:
+    @pytest.mark.parametrize(
+        "name", ["", "bad name", "a/b", "engine!", " cirfix", "\t", "a.b"]
+    )
+    def test_bad_names_rejected(self, name):
+        with pytest.raises(ValueError, match="bad engine name"):
+            register_engine(name, _stub)
+
+    @pytest.mark.parametrize("name", ["my_engine", "my-engine", "Engine2"])
+    def test_word_characters_allowed(self, name):
+        register_engine(name, _stub, "a test stub")
+        assert get_engine(name) is _stub
+        assert engine_descriptions()[name] == "a test stub"
+
+
+class TestResolutionErrors:
+    def test_unknown_engine_message_lists_known_names(self):
+        with pytest.raises(ValueError) as exc_info:
+            get_engine("bogus")
+        message = str(exc_info.value)
+        assert "bogus" in message
+        for name in engine_names():
+            assert name in message
+
+
+class TestReRegistration:
+    def test_latest_registration_wins(self):
+        def first(problem, config=None, seeds=(0,), backend=None,
+                  observers=None, cancel=None):
+            raise AssertionError
+
+        register_engine("contested", first, "first description")
+        register_engine("contested", _stub, "second description")
+        assert get_engine("contested") is _stub
+        assert engine_descriptions()["contested"] == "second description"
+
+    def test_builtin_can_be_shadowed(self):
+        register_engine(DEFAULT_ENGINE, _stub, "shadowed")
+        assert get_engine(DEFAULT_ENGINE) is _stub
+        assert engine_descriptions()[DEFAULT_ENGINE] == "shadowed"

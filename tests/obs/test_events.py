@@ -24,6 +24,8 @@ from repro.obs.events import (
     MintScenarioAdmitted,
     MintScenarioRejected,
     PhaseCompleted,
+    SynthSolveCompleted,
+    SynthTemplateEnumerated,
     TrialCompleted,
     TrialStarted,
     WorkerCrashed,
@@ -86,6 +88,11 @@ SAMPLES = [
         seed=0, engine="cirfix", scenarios=7, plausible=6, correct=6,
         ground_truth_matches=1, elapsed_seconds=5.9,
     ),
+    SynthTemplateEnumerated(template="flip_operator", sites=3, candidates=9),
+    SynthSolveCompleted(
+        templates=5, candidates=41, winner_template="flip_operator",
+        plausible=True,
+    ),
 ]
 
 
@@ -108,6 +115,7 @@ def test_registry_covers_all_types():
         "mint_scenario_admitted", "mint_scenario_rejected",
         "mint_run_completed",
         "minted_scenario_graded", "minted_grading_completed",
+        "synth_template_enumerated", "synth_solve_completed",
     }
     for tag, cls in EVENT_TYPES.items():
         assert cls.type == tag

@@ -233,3 +233,30 @@ class TestProtocolErrors:
                 client.cancel("job-404")
             # Still alive and serving after three bad requests.
             assert client.ping()["ok"]
+
+    def test_unknown_engine_rejected_with_typed_error(self, tmp_path):
+        from repro.core.engines import engine_names
+        from repro.service import ServiceError
+
+        request = tiny_request(engine="bogus")
+        with DaemonHarness(tmp_path, "d") as client:
+            # The raw protocol reply is typed: a machine-readable code
+            # plus the registered engine list, not just prose.
+            reply = next(
+                iter(
+                    client._call(
+                        {"op": "submit", "request": request.to_dict(), "wait": False}
+                    )
+                )
+            )
+            assert reply["ok"] is False
+            assert reply["code"] == "unknown_engine"
+            assert reply["known_engines"] == list(engine_names())
+            assert "bogus" in reply["error"]
+            # Rejected at admission: no job was enqueued.
+            assert client.jobs() == []
+            # The high-level client surfaces it as a ServiceError naming
+            # the valid engines, and the daemon keeps serving.
+            with pytest.raises(ServiceError, match="cirfix"):
+                client.submit(request)
+            assert client.ping()["ok"]

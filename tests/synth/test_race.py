@@ -1,0 +1,92 @@
+"""Differential racing: winner verdicts, determinism, registry routing."""
+
+import json
+
+from repro.core import TEST_CONFIG
+from repro.core.engines import get_engine
+from repro.core.repair import repair
+from repro.core.serialize import outcome_to_json
+from repro.synth import RACE_ENGINES, race_repair, run_race, synth_repair
+from repro.synth.race import RaceEntry, RaceResult
+
+from .test_engine import FAULTY_NEGATED, make_problem, stable_report
+
+
+class TestRunRace:
+    def test_entries_cover_both_engines_and_match_standalone(self):
+        result = run_race(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,))
+        assert [entry.engine for entry in result.entries] == list(RACE_ENGINES)
+        standalone = {
+            "cirfix": repair(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,)),
+            "synth": synth_repair(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,)),
+        }
+        for entry in result.entries:
+            assert stable_report(entry.outcome, "ff") == stable_report(
+                standalone[entry.engine], "ff"
+            )
+
+    def test_wall_clock_measured_but_outside_stable_dict(self):
+        result = run_race(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,))
+        for entry in result.entries:
+            assert entry.wall_seconds > 0.0
+        text = json.dumps(result.stable_dict())
+        assert "wall" not in text
+
+    def test_race_verdict_is_deterministic(self):
+        first = run_race(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,))
+        second = run_race(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,))
+        assert first.stable_dict() == second.stable_dict()
+
+
+class TestWinner:
+    def outcome(self, plausible, fitness, eval_sims):
+        base = repair(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,))
+        base.plausible = plausible
+        base.fitness = fitness
+        base.eval_sims = eval_sims
+        return base
+
+    def entry(self, engine, plausible, fitness, eval_sims):
+        return RaceEntry(engine, self.outcome(plausible, fitness, eval_sims), 0.0)
+
+    def test_cheapest_plausible_entry_wins(self):
+        result = RaceResult(
+            "s",
+            [
+                self.entry("cirfix", True, 1.0, 40),
+                self.entry("synth", True, 1.0, 12),
+            ],
+        )
+        assert result.winner.engine == "synth"
+
+    def test_engine_name_breaks_exact_ties(self):
+        result = RaceResult(
+            "s",
+            [
+                self.entry("synth", True, 1.0, 12),
+                self.entry("cirfix", True, 1.0, 12),
+            ],
+        )
+        assert result.winner.engine == "cirfix"
+
+    def test_best_fitness_wins_when_nothing_plausible(self):
+        result = RaceResult(
+            "s",
+            [
+                self.entry("cirfix", False, 0.7, 10),
+                self.entry("synth", False, 0.9, 99),
+            ],
+        )
+        assert result.winner.engine == "synth"
+
+
+class TestRaceEngine:
+    def test_race_resolves_through_registry_and_returns_the_winner(self):
+        runner = get_engine("race")
+        outcome = runner(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,))
+        result = run_race(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,))
+        assert stable_report(outcome, "ff") == stable_report(
+            result.winner.outcome, "ff"
+        )
+        direct = race_repair(make_problem(FAULTY_NEGATED, "ff"), TEST_CONFIG, (0,))
+        assert stable_report(direct, "ff") == stable_report(outcome, "ff")

@@ -1,0 +1,93 @@
+"""Solver unit tests: literal domains, oracle mining, fault scope."""
+
+from repro.hdl import ast
+from repro.instrument.trace import SimulationTrace
+from repro.sim.logic import Value
+from repro.synth.solver import (
+    EXHAUSTIVE_WIDTH,
+    SolveContext,
+    literal_domain,
+    mine_literals,
+    number_from_planes,
+)
+
+
+class TestNumberFromPlanes:
+    def test_two_state_value_renders_as_plain_literal(self):
+        number = number_from_planes(4, 5, 0)
+        assert (number.aval, number.bval, number.width) == (5, 0, 4)
+
+    def test_four_state_value_renders_based_binary(self):
+        # aval=1 bval=1 at bit 0 → x; aval=0 bval=1 at bit 1 → z.
+        number = number_from_planes(2, 0b01, 0b11)
+        assert number.text == "2'bzx"
+        assert (number.aval, number.bval) == (0b01, 0b11)
+
+
+class TestLiteralDomain:
+    def test_mined_values_come_first_current_excluded(self):
+        number = ast.Number.from_int(3, 8)
+        ctx = SolveContext(literal_pool=((7, 0), (3, 0), (200, 0)))
+        domain = literal_domain(number, ctx)
+        values = [(n.aval, n.bval) for n in domain]
+        # The current value (3) never re-appears; mined order is kept.
+        assert values[0] == (7, 0)
+        assert values[1] == (200, 0)
+        assert (3, 0) not in values
+        # Neighbourhood follows the pool: 3+1, 3-1, 0, 1, all-ones.
+        assert values[2:7] == [(4, 0), (2, 0), (0, 0), (1, 0), (255, 0)]
+
+    def test_narrow_literal_enumerated_exhaustively(self):
+        width = EXHAUSTIVE_WIDTH
+        number = ast.Number.from_int(0, width)
+        domain = literal_domain(number, SolveContext())
+        values = {(n.aval, n.bval) for n in domain}
+        # Every two-state value except the current one.
+        assert values == {(v, 0) for v in range(1, 1 << width)}
+
+    def test_domain_capped_and_deterministic(self):
+        number = ast.Number.from_int(0, 32)
+        ctx = SolveContext(
+            literal_pool=tuple((v, 0) for v in range(100, 200)), max_per_site=5
+        )
+        first = literal_domain(number, ctx)
+        second = literal_domain(number, ctx)
+        assert len(first) == 5
+        assert [(n.aval, n.bval) for n in first] == [
+            (n.aval, n.bval) for n in second
+        ]
+
+
+class TestMineLiterals:
+    def trace(self):
+        return SimulationTrace(
+            [
+                (0, {"q": Value(4, 3), "other": Value(4, 9)}),
+                (10, {"q": Value(4, 5), "other": Value(4, 9)}),
+                (20, {"q": Value(4, 3)}),
+            ]
+        )
+
+    def test_only_mismatched_outputs_mined_first_seen_order(self):
+        pool = mine_literals(self.trace(), {"q"})
+        assert pool == ((3, 0), (5, 0))
+
+    def test_empty_mismatch_falls_back_to_every_output(self):
+        pool = mine_literals(self.trace(), set())
+        assert set(pool) == {(3, 0), (9, 0), (5, 0)}
+
+    def test_four_state_values_kept(self):
+        trace = SimulationTrace([(0, {"q": Value(2, 0b01, 0b11)})])
+        assert mine_literals(trace, {"q"}) == ((0b01, 0b11),)
+
+
+class TestSolveContext:
+    def test_empty_scope_covers_everything_but_not_none(self):
+        ctx = SolveContext()
+        assert ctx.covers(42)
+        assert not ctx.covers(None)
+
+    def test_nonempty_scope_restricts(self):
+        ctx = SolveContext(fault_scope=frozenset({1, 2}))
+        assert ctx.covers(1)
+        assert not ctx.covers(3)

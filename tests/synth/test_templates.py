@@ -1,0 +1,108 @@
+"""Template enumeration: sites, payloads, and mint-family inversion."""
+
+from repro.hdl import ast, parse
+from repro.mint import MUTATORS
+from repro.synth import TEMPLATES, TEMPLATES_BY_NAME
+from repro.synth.solver import SolveContext
+
+DESIGN = """
+module m(clk, a, b, q, w);
+  input clk, a, b;
+  output q, w;
+  reg q;
+  wire w;
+  assign w = a & b;
+  always @(posedge clk) begin
+    if (!a) q <= 1'b0;
+    else q <= 1'b1;
+  end
+endmodule
+"""
+
+
+def enumerate_(name: str, source: str = DESIGN, ctx: SolveContext | None = None):
+    return TEMPLATES_BY_NAME[name].instantiate(parse(source), ctx or SolveContext())
+
+
+class TestCatalog:
+    def test_every_template_names_the_mint_families_it_inverts(self):
+        inverted = {family for t in TEMPLATES for family in t.repairs}
+        # Every declared inverse is a real mutator family.
+        assert inverted <= set(MUTATORS)
+
+    def test_enumeration_is_deterministic(self):
+        for template in TEMPLATES:
+            first = template.instantiate(parse(DESIGN), SolveContext())
+            second = template.instantiate(parse(DESIGN), SolveContext())
+            assert [c.note for c in first] == [c.note for c in second]
+
+
+class TestAddInversions:
+    def test_toggles_conditions_and_rhs(self):
+        notes = [c.note for c in enumerate_("add_inversions")]
+        assert "drop '!' on condition" in notes  # the existing !a
+        assert any(note.startswith("add '~' on rhs") for note in notes)
+
+    def test_single_edit_patches(self):
+        for candidate in enumerate_("add_inversions"):
+            assert len(candidate.patch) == 1
+
+
+class TestFlipOperator:
+    def test_only_family_alternatives_enumerated(self):
+        notes = [c.note for c in enumerate_("flip_operator")]
+        # '&' swaps inside its family; never into arithmetic.
+        assert "'&' -> '|'" in notes
+        assert "'&' -> '^'" in notes
+        assert not any("'&' -> '+'" in note for note in notes)
+
+
+class TestReplaceLiterals:
+    def test_mined_pool_feeds_the_domain(self):
+        ctx = SolveContext(literal_pool=((1, 0), (0, 0)))
+        notes = [c.note for c in enumerate_("replace_literals", ctx=ctx)]
+        assert "1'b0 -> 1'd1" in notes
+        assert "1'b1 -> 1'd0" in notes
+
+    def test_fault_scope_filters_sites(self):
+        ctx = SolveContext(fault_scope=frozenset({-1}))
+        assert enumerate_("replace_literals", ctx=ctx) == []
+
+
+class TestAdjustSensitivity:
+    def test_flips_edges_and_adds_missing_signals(self):
+        notes = [c.note for c in enumerate_("adjust_sensitivity")]
+        assert "flip posedge -> negedge" in notes
+        # 'a' and 'q' are read by the body but absent from the list.
+        assert "add posedge a" in notes
+        assert "add negedge a" in notes
+
+    def test_payload_is_a_whole_always_item(self):
+        for candidate in enumerate_("adjust_sensitivity"):
+            assert isinstance(candidate.patch.edits[0].payload, ast.Always)
+
+
+class TestReplaceVariables:
+    def test_swaps_rhs_identifier_reads(self):
+        notes = [c.note for c in enumerate_("replace_variables")]
+        assert "'a' -> 'b'" in notes  # inside `assign w = a & b`
+        # Never a self-swap, never the assigned signal.
+        assert "'a' -> 'a'" not in notes
+        assert "'a' -> 'w'" not in notes
+
+    def test_constant_stuck_rhs_rebuilt_including_lhs(self):
+        notes = [c.note for c in enumerate_("replace_variables")]
+        # `q <= 1'b0` reads nothing: rebuilt from module signals,
+        # including the assigned register itself (toggle/hold shapes).
+        assert "rhs -> a" in notes
+        assert "rhs -> q" in notes
+        assert "rhs -> ~q" in notes
+        assert any("&" in note and note.startswith("rhs -> ") for note in notes)
+
+    def test_mismatched_lhs_sites_solve_first(self):
+        plain = [c.note for c in enumerate_("replace_variables")]
+        ctx = SolveContext(mismatch=("q",))
+        prioritized = enumerate_("replace_variables", ctx=ctx)
+        # Same candidates, mismatch-driven sites moved to the front.
+        assert sorted(c.note for c in prioritized) == sorted(plain)
+        assert prioritized[0].note.startswith("rhs -> ")
