@@ -272,6 +272,138 @@ EOF
 wait "$SERVE_PID"
 SERVE_PID=""
 
+echo "== crash-recovery smoke (kill -9, journal replay, bit-identical outcome) =="
+# Phase 1: journaled daemon; submit a multi-generation job and hard-kill
+# the daemon once the engine has banked at least two checkpoints.
+python -m repro serve --socket "$SMOKE_DIR/crash.sock" \
+    --cache-dir "$SMOKE_DIR/crashcache" --journal-dir "$SMOKE_DIR/journal" \
+    --max-jobs 1 2> "$SMOKE_DIR/crash_serve.log" &
+SERVE_PID=$!
+python - "$SMOKE_DIR" <<'EOF'
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.service import RepairRequest, ServiceClient
+
+out = Path(sys.argv[1])
+# fsm_case under this budget runs its full 8 generations (~9 s, no early
+# plausible exit), so the kill reliably lands mid-search.
+request = RepairRequest(
+    scenario="fsm_case",
+    config={
+        "population_size": 60, "max_generations": 8,
+        "max_fitness_evals": 2000, "max_wall_seconds": 120.0,
+        "minimize_budget": 32,
+    },
+    seeds=(0,),
+)
+client = ServiceClient(str(out / "crash.sock"), timeout=300)
+deadline = time.monotonic() + 30
+while True:
+    try:
+        client.ping()
+        break
+    except OSError:
+        if time.monotonic() > deadline:
+            raise SystemExit("crash smoke: daemon never came up")
+        time.sleep(0.1)
+status, _ = client.submit(request, wait=False)
+(out / "crash_job_id").write_text(status.job_id)
+checkpoints = out / "journal" / "checkpoints"
+deadline = time.monotonic() + 60
+while True:
+    for path in checkpoints.glob("*.json"):
+        try:
+            if json.loads(path.read_bytes())["state"].get("cursor", 0) >= 2:
+                sys.exit(0)
+        except (ValueError, KeyError):
+            pass  # racing an atomic replace; retry
+    if time.monotonic() > deadline:
+        raise SystemExit("crash smoke: engine never checkpointed")
+    time.sleep(0.05)
+EOF
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+python - "$SMOKE_DIR" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro.service.journal import JobJournal
+
+out = Path(sys.argv[1])
+unfinished = JobJournal(out / "journal").unfinished()
+assert len(unfinished) == 1, f"expected 1 unfinished journal record: {unfinished}"
+assert unfinished[0].job_id == (out / "crash_job_id").read_text()
+EOF
+# Phase 2: restart with --recover; the client re-attaches by resubmitting
+# and the recovered outcome must match an uninterrupted direct run.
+python -m repro serve --socket "$SMOKE_DIR/crash.sock" \
+    --cache-dir "$SMOKE_DIR/crashcache" --journal-dir "$SMOKE_DIR/journal" \
+    --max-jobs 1 --recover 2>> "$SMOKE_DIR/crash_serve.log" &
+SERVE_PID=$!
+python - "$SMOKE_DIR" <<'EOF'
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.api import run_request
+from repro.core.config import RepairConfig
+from repro.core.serialize import outcome_to_json
+from repro.service import RepairRequest, ServiceClient
+from repro.service.journal import JobJournal
+
+out = Path(sys.argv[1])
+request = RepairRequest(
+    scenario="fsm_case",
+    config={
+        "population_size": 60, "max_generations": 8,
+        "max_fitness_evals": 2000, "max_wall_seconds": 120.0,
+        "minimize_budget": 32,
+    },
+    seeds=(0,),
+)
+client = ServiceClient(str(out / "crash.sock"), timeout=300)
+deadline = time.monotonic() + 30
+while True:
+    try:
+        client.ping()
+        break
+    except OSError:
+        if time.monotonic() > deadline:
+            raise SystemExit("crash smoke: recovered daemon never came up")
+        time.sleep(0.1)
+joined, response = client.submit(request, retries=2)
+assert joined.job_id == (out / "crash_job_id").read_text(), \
+    "resubmission did not join the recovered job"
+assert response.status == "done", response
+
+def report(outcome_json):
+    payload = json.loads(outcome_json)
+    payload.pop("elapsed_seconds")
+    return payload
+
+direct = report(outcome_to_json(
+    run_request(request, base_config=RepairConfig()), "fsm_case"))
+assert report(response.outcome_json) == direct, \
+    "recovered outcome diverged from the uninterrupted direct run"
+journal = JobJournal(out / "journal")
+assert journal.unfinished() == [], "journal not clean after recovery"
+assert journal.load_checkpoint(joined.job_id) is None
+print(f"crash-recovery smoke ok: bit-identical after kill -9, warm hit "
+      f"rate {response.cache['hit_rate']:.2f}")
+EOF
+python - "$SMOKE_DIR/crash.sock" <<'EOF'
+import sys
+from repro.service import ServiceClient
+ServiceClient(sys.argv[1], timeout=30).shutdown()
+EOF
+wait "$SERVE_PID"
+SERVE_PID=""
+
 echo "== fuzz smoke (fixed seed, differential oracles incl. interp-vs-compiled) =="
 python -m repro fuzz --seed 0 --count 25 --trace "$SMOKE_DIR/fuzz.jsonl" \
     > "$SMOKE_DIR/fuzz_summary.txt"

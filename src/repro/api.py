@@ -127,6 +127,7 @@ def run_request(
     base_config: RepairConfig | None = None,
     observers: Sequence[RepairObserver] | None = None,
     cancel: Callable[[], bool] | None = None,
+    checkpoint: "Callable[[dict], None] | None" = None,
 ) -> RepairOutcome:
     """Execute one :class:`~repro.service.jobs.RepairRequest`.
 
@@ -134,6 +135,10 @@ def run_request(
     the convenience wrappers below all funnel through here, so a request
     submitted over the service protocol and the same request run
     in-process produce bit-identical outcomes.
+
+    ``checkpoint`` (crash recovery, ``docs/service.md``) receives the
+    engine's deterministic cursor snapshot at every search boundary; the
+    daemon passes a journal-backed sink, batch callers leave it None.
     """
     problem, config = materialize_request(request, base_config)
     runner = get_engine(request.engine)
@@ -143,6 +148,7 @@ def run_request(
         request.seeds,
         observers=observers,
         cancel=cancel,
+        checkpoint=checkpoint,
     )
 
 

@@ -219,8 +219,14 @@ class PersistentEvalCache:
         self._index[key] = size
 
     def _scan(self) -> None:
-        """Rebuild the index from disk, oldest-mtime first (startup)."""
-        found: list[tuple[float, str, int]] = []
+        """Rebuild the index from disk, oldest-mtime first (startup).
+
+        Ordered by ``(st_mtime_ns, key)``: nanosecond mtimes plus the
+        key tie-break make the rebuilt LRU order — and therefore the
+        eviction order — deterministic even on filesystems with coarse
+        timestamps, where a whole run's entries can share one mtime.
+        """
+        found: list[tuple[int, str, int]] = []
         shards = self.root / "shards"
         try:
             for shard in shards.iterdir():
@@ -234,7 +240,7 @@ class PersistentEvalCache:
                         stat = path.stat()
                     except OSError:  # pragma: no cover - racing deletion
                         continue
-                    found.append((stat.st_mtime, key, stat.st_size))
+                    found.append((stat.st_mtime_ns, key, stat.st_size))
         except OSError:  # pragma: no cover - unreadable root
             logger.warning("cache scan failed under %s", shards)
         for _, key, size in sorted(found):

@@ -416,6 +416,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         base_config=config,
         max_jobs=args.max_jobs,
         tenant_quota=args.tenant_quota,
+        journal_dir=args.journal_dir,
+        recover=args.recover,
+        max_queue_depth=args.max_queue_depth,
     )
 
     async def _main() -> None:
@@ -429,6 +432,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
+        # Normally unreachable: the daemon installs a SIGINT handler
+        # that drains gracefully.  A second Ctrl-C can still land here.
         print("interrupted; daemon stopped", file=sys.stderr)
     return 0
 
@@ -482,7 +487,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
     client = ServiceClient(args.socket, timeout=args.timeout)
     try:
         status, response = client.submit(
-            request, wait=not args.no_wait, stream=args.stream, on_event=on_event
+            request,
+            wait=not args.no_wait,
+            stream=args.stream,
+            on_event=on_event,
+            retries=args.retries,
         )
     except (ServiceError, OSError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
@@ -786,6 +795,21 @@ def main(argv: list[str] | None = None) -> int:
         help="LRU byte budget of the persistent cache in MiB (0 = unbounded)",
     )
     p_serve.add_argument(
+        "--journal-dir", dest="journal_dir", metavar="DIR",
+        help="durable job journal for crash recovery (admissions, "
+        "completions, and engine checkpoints are write-ahead logged)",
+    )
+    p_serve.add_argument(
+        "--recover", action="store_true",
+        help="replay the journal on startup and re-admit unfinished jobs "
+        "(requires --journal-dir)",
+    )
+    p_serve.add_argument(
+        "--max-queue-depth", dest="max_queue_depth", type=int, default=0,
+        help="shed new submissions with a typed 'overloaded' error once "
+        "this many jobs are queued (0 = unbounded, the default)",
+    )
+    p_serve.add_argument(
         "--workers", type=int,
         help="worker processes per job's evaluation backend",
     )
@@ -826,6 +850,12 @@ def main(argv: list[str] | None = None) -> int:
     p_submit.add_argument(
         "--timeout", type=float, default=None,
         help="socket timeout in seconds (default: wait forever)",
+    )
+    p_submit.add_argument(
+        "--retries", type=int, default=0,
+        help="resubmit up to N times on unavailable/overloaded/interrupted "
+        "errors with capped exponential backoff (safe: the daemon dedups "
+        "identical requests, so a retry joins rather than duplicates)",
     )
     p_submit.set_defaults(func=cmd_submit)
 

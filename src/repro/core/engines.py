@@ -9,12 +9,17 @@ or protocol change required.
 A runner is a callable with the signature::
 
     runner(problem, config, seeds, *,
-           backend=None, observers=None, cancel=None) -> RepairOutcome
+           backend=None, observers=None, cancel=None,
+           checkpoint=None) -> RepairOutcome
 
 mirroring :func:`repro.core.repair.repair` (which is the built-in
 ``"cirfix"`` runner).  Runners must honour the package-wide contracts:
 same seed → bit-identical outcome; observers never influence the search;
-``cancel`` polled cooperatively.
+``cancel`` polled cooperatively; ``checkpoint`` (a callable receiving
+the engine's deterministic cursor snapshot at each search boundary, see
+:meth:`repro.core.harness.EngineHarness._save_checkpoint`) never
+influences the search either — it only records progress for
+crash recovery.
 
 Built-ins (registered lazily to avoid import cycles):
 
@@ -50,6 +55,7 @@ class EngineRunner(Protocol):
         backend: "EvaluationBackend | None" = None,
         observers: "Sequence[RepairObserver] | None" = None,
         cancel: Callable[[], bool] | None = None,
+        checkpoint: "Callable[[dict], None] | None" = None,
     ) -> "RepairOutcome":
         """Run trials on ``problem`` and return the chosen outcome."""
         ...  # pragma: no cover - protocol

@@ -19,10 +19,12 @@ at chunk boundaries.  See ``docs/repair_engine.md``.
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import time as time_mod
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from ..hdl import ast, generate, parse
 from ..instrument.trace import SimulationTrace, output_mismatch
@@ -34,6 +36,7 @@ from ..obs.events import (
     CandidateEvaluated,
     CandidatePruned,
     CandidateTimedOut,
+    CheckpointSaved,
     ChunkRetried,
     GenerationCompleted,
     PhaseCompleted,
@@ -52,6 +55,8 @@ from .faultloc import all_statement_ids, localize_faults
 from .fitness import FitnessBreakdown
 from .minimize import minimize_patch
 from .patch import Patch
+
+logger = logging.getLogger("repro.harness")
 
 
 @dataclass
@@ -181,6 +186,9 @@ class EngineHarness:
     build (and own) the backend selected by ``config``.
     """
 
+    #: Registry name stamped into checkpoint snapshots (subclasses set it).
+    engine_name = "engine"
+
     def __init__(
         self,
         problem: RepairProblem,
@@ -189,6 +197,7 @@ class EngineHarness:
         backend: EvaluationBackend | None = None,
         observers: Sequence[RepairObserver] | None = None,
         cancel: Callable[[], bool] | None = None,
+        checkpoint: "Callable[[dict[str, Any]], None] | None" = None,
     ):
         self.problem = problem
         self.config = config or RepairConfig()
@@ -198,6 +207,12 @@ class EngineHarness:
         #: chunk boundary and returns its best-so-far outcome.  None (the
         #: default) keeps every cancellation branch dead.
         self._cancel = cancel
+        #: Crash-recovery hook (repair-as-a-service): called with a
+        #: deterministic cursor snapshot at every search boundary (see
+        #: :meth:`_save_checkpoint`).  None (the default) keeps every
+        #: checkpoint branch dead — direct runs never emit checkpoint
+        #: events, so golden traces are untouched.
+        self._checkpoint = checkpoint
         #: Telemetry fan-out (repro.obs).  Falsy when no observers are
         #: attached, so every emit site costs one branch on unobserved
         #: runs; observers only ever read already-computed values, which
@@ -618,6 +633,62 @@ class EngineHarness:
             return False
 
         return out_of_budget
+
+    def _rng_digest(self) -> str:
+        """Digest of the engine's random stream position ("" when none).
+
+        Engines with internal randomness override this; the digest goes
+        into checkpoint snapshots so a resumed replay can prove it
+        reproduced the exact pre-crash stream position.
+        """
+        return ""
+
+    def _save_checkpoint(self, cursor: int, best_fitness: float,
+                         label: str = "") -> None:
+        """Snapshot the deterministic engine cursor at a search boundary.
+
+        Called after each generation (GP) / template round (synth).  The
+        snapshot is a *cursor*, not a population dump: resume replays the
+        search from the start with the persistent eval cache warm, so
+        every pre-crash evaluation is a disk hit and reaching this cursor
+        again costs cache lookups, not simulations — recovery cost is
+        bounded by the one interrupted generation's uncached work.  The
+        stored counters (``eval_sims``, rng digest) let the sink verify
+        the replay crossed this exact state.
+
+        A failing sink never breaks the search (crash-safety machinery
+        must not introduce crashes); the failure is logged and the run
+        continues un-journaled.
+        """
+        if self._checkpoint is None:
+            return
+        state: dict[str, Any] = {
+            "engine": self.engine_name,
+            "seed": self.seed,
+            "cursor": cursor,
+            "label": label,
+            "eval_sims": self.eval_sims,
+            "fitness_evals": self.fitness_evals,
+            "best_fitness": best_fitness,
+            "rng": self._rng_digest(),
+        }
+        try:
+            self._checkpoint(state)
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            logger.warning(
+                "checkpoint sink failed at %s cursor %d (%s); continuing",
+                self.engine_name, cursor, exc,
+            )
+        if self.events:
+            self.events.emit(
+                CheckpointSaved(
+                    engine=self.engine_name,
+                    seed=self.seed,
+                    cursor=cursor,
+                    eval_sims=self.eval_sims,
+                    best_fitness=best_fitness,
+                )
+            )
 
     def _generation_event(self, generation: int, population: list[Patch],
                           best_fitness: float) -> GenerationCompleted:

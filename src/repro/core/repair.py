@@ -34,10 +34,11 @@ backend scoring, localization, minimization, outcome assembly) lives in
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import logging
 import random
 import time as time_mod
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from ..hdl import generate
 from ..obs.events import PlausiblePatchFound, TrialStarted
@@ -69,6 +70,8 @@ class CirFixEngine(EngineHarness):
     build (and own) the backend selected by ``config``.
     """
 
+    engine_name = "cirfix"
+
     def __init__(
         self,
         problem: RepairProblem,
@@ -77,14 +80,21 @@ class CirFixEngine(EngineHarness):
         backend: EvaluationBackend | None = None,
         observers: Sequence[RepairObserver] | None = None,
         cancel: Callable[[], bool] | None = None,
+        checkpoint: "Callable[[dict[str, Any]], None] | None" = None,
     ):
         super().__init__(
             problem, config, seed, backend=backend, observers=observers,
-            cancel=cancel,
+            cancel=cancel, checkpoint=checkpoint,
         )
         self.rng = random.Random(seed)
         #: How often each reproduction path ran (diagnostics).
         self.operator_stats = {"template": 0, "mutation": 0, "crossover": 0}
+
+    def _rng_digest(self) -> str:
+        """Stable digest of the GP random stream's current position."""
+        return hashlib.sha256(
+            repr(self.rng.getstate()).encode()
+        ).hexdigest()[:16]
 
     # ------------------------------------------------------------------
     # Main loop (Algorithm 1)
@@ -175,6 +185,7 @@ class CirFixEngine(EngineHarness):
         history.append(best_fitness)
         if self.events:
             self.events.emit(self._generation_event(0, population, best_fitness))
+        self._save_checkpoint(0, best_fitness)
 
         while generations < config.max_generations and winner is None and not out_of_budget():
             generations += 1
@@ -235,6 +246,7 @@ class CirFixEngine(EngineHarness):
                 self.events.emit(
                     self._generation_event(generations, population, best_fitness)
                 )
+            self._save_checkpoint(generations, best_fitness)
             logger.info(
                 "[%s seed=%d] gen %d: best=%.4f sims=%d best_patch=%s",
                 self.problem.name, self.seed, generations, best_fitness,
@@ -272,6 +284,7 @@ def repair(
     backend: EvaluationBackend | None = None,
     observers: Sequence[RepairObserver] | None = None,
     cancel: Callable[[], bool] | None = None,
+    checkpoint: "Callable[[dict[str, Any]], None] | None" = None,
 ) -> RepairOutcome:
     """Run independent trials (paper: 5 per scenario) and return the first
     plausible outcome, or the best-fitness outcome if none succeeds.
@@ -295,6 +308,12 @@ def repair(
     cancelled sweep stops after the current chunk, and later seeds are
     never started.  Like observers, a cancel probe keeps multi-seed runs
     in-process (closures do not cross the trial pool's pickle boundary).
+
+    ``checkpoint`` (repair-as-a-service crash recovery) receives the
+    deterministic cursor snapshot at every generation boundary; like
+    observers and cancel probes it keeps multi-seed sweeps in-process —
+    snapshots carry the trial's seed, so a sweep journals whichever
+    trial is currently running.
     """
     config = config or RepairConfig()
     events = observers if isinstance(observers, ObserverSet) else ObserverSet(observers)
@@ -305,7 +324,10 @@ def repair(
             f"valid backends: {', '.join(BACKEND_NAMES)}"
         )
     workers = max(1, config.workers)
-    if backend is None and workers > 1 and len(seeds) > 1 and not events and cancel is None:
+    if (
+        backend is None and workers > 1 and len(seeds) > 1
+        and not events and cancel is None and checkpoint is None
+    ):
         outcome = _repair_parallel_trials(problem, config, seeds, workers)
         if outcome is not None:
             return outcome
@@ -323,7 +345,7 @@ def repair(
                 break  # cancelled between trials: stop the sweep early
             outcome = CirFixEngine(
                 problem, config, seed, backend=backend, observers=events,
-                cancel=cancel,
+                cancel=cancel, checkpoint=checkpoint,
             ).run()
             if outcome.plausible:
                 return outcome

@@ -28,6 +28,7 @@ from .events import (
     CandidateEvaluated,
     CandidatePruned,
     CandidateTimedOut,
+    CheckpointSaved,
     ChunkRetried,
     FuzzProgramChecked,
     FuzzRunCompleted,
@@ -35,6 +36,8 @@ from .events import (
     GenerationCompleted,
     JobAdmitted,
     JobCompleted,
+    JobRecovered,
+    JobShed,
     JobStarted,
     MintedGradingCompleted,
     MintedScenarioGraded,
@@ -71,6 +74,9 @@ __all__ = [
     "JobAdmitted",
     "JobStarted",
     "JobCompleted",
+    "CheckpointSaved",
+    "JobRecovered",
+    "JobShed",
     "FuzzProgramChecked",
     "FuzzViolationFound",
     "FuzzRunCompleted",

@@ -24,8 +24,11 @@ from .events import (
     CandidateEvaluated,
     CandidatePruned,
     CandidateTimedOut,
+    CheckpointSaved,
     ChunkRetried,
     GenerationCompleted,
+    JobRecovered,
+    JobShed,
     PhaseCompleted,
     PlausiblePatchFound,
     RepairEvent,
@@ -114,6 +117,13 @@ class MetricsObserver:
     chunks_retried: int = 0
     #: Total candidate re-dispatches across those chunks.
     candidates_requeued: int = 0
+    # -- crash safety (journaled service runs only; else all zero) ------
+    #: Engine cursor snapshots persisted to the job journal.
+    checkpoints_saved: int = 0
+    #: Jobs re-admitted from the journal after a daemon crash.
+    jobs_recovered: int = 0
+    #: Submissions shed by admission backpressure.
+    jobs_shed: int = 0
     # -- phases ---------------------------------------------------------
     phase_seconds: dict[str, float] = field(default_factory=dict)
     # -- search shape ---------------------------------------------------
@@ -166,6 +176,12 @@ class MetricsObserver:
         elif isinstance(event, ChunkRetried):
             self.chunks_retried += 1
             self.candidates_requeued += event.requeued
+        elif isinstance(event, CheckpointSaved):
+            self.checkpoints_saved += 1
+        elif isinstance(event, JobRecovered):
+            self.jobs_recovered += 1
+        elif isinstance(event, JobShed):
+            self.jobs_shed += 1
         elif isinstance(event, PhaseCompleted):
             self.phase_seconds[event.phase] = (
                 self.phase_seconds.get(event.phase, 0.0) + event.seconds
@@ -258,6 +274,11 @@ class MetricsObserver:
                 ),
                 "chunks_retried": self.chunks_retried,
                 "requeued": self.candidates_requeued,
+            },
+            "crash_safety": {
+                "checkpoints_saved": self.checkpoints_saved,
+                "jobs_recovered": self.jobs_recovered,
+                "jobs_shed": self.jobs_shed,
             },
             "phases": {
                 phase: round(self.phase_seconds.get(phase, 0.0), 6) for phase in PHASES

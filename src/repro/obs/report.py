@@ -92,6 +92,23 @@ def render_report(events: list[RepairEvent], source: str = "run.jsonl") -> str:
                     if metrics.candidates_requeued
                     else []
                 ),
+                # Crash-safety rows appear only on journaled service
+                # traces, so direct-run reports are unchanged.
+                *(
+                    [["checkpoints saved", str(metrics.checkpoints_saved)]]
+                    if metrics.checkpoints_saved
+                    else []
+                ),
+                *(
+                    [["jobs recovered from journal", str(metrics.jobs_recovered)]]
+                    if metrics.jobs_recovered
+                    else []
+                ),
+                *(
+                    [["submissions shed (overload)", str(metrics.jobs_shed)]]
+                    if metrics.jobs_shed
+                    else []
+                ),
                 ["compile failures", str(metrics.compile_failures)],
                 ["fitness evals (incl. cached)", str(metrics.fitness_evals)],
                 ["simulations", str(metrics.simulations)],

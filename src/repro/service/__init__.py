@@ -15,17 +15,28 @@ Layers, bottom-up:
 - :mod:`repro.service.daemon` — the asyncio Unix-socket NDJSON server
   executing jobs on a thread pool and streaming :mod:`repro.obs`
   telemetry to clients;
+- :mod:`repro.service.journal` — the durable job journal
+  (:class:`JobJournal`) write-ahead logging admissions and engine
+  checkpoints for crash recovery (``repro serve --journal-dir``);
 - :mod:`repro.service.client` — a blocking client (:class:`ServiceClient`)
-  used by ``repro submit`` / ``repro jobs`` and the tests.
+  used by ``repro submit`` / ``repro jobs`` and the tests, with typed
+  retryable errors and idempotent resubmission.
 
 See ``docs/service.md`` for the protocol and operational guide.
 """
 
 from __future__ import annotations
 
-from .client import ServiceClient, ServiceError
+from .client import (
+    ServiceClient,
+    ServiceError,
+    ServiceInterruptedError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
 from .daemon import PROTOCOL_VERSION, RepairDaemon
 from .jobs import JOB_STATES, SCHEMA_VERSION, JobStatus, RepairRequest, RepairResponse
+from .journal import JobJournal, JournalCheckpointSink
 from .queue import Job, JobQueue
 
 __all__ = [
@@ -33,11 +44,16 @@ __all__ = [
     "PROTOCOL_VERSION",
     "SCHEMA_VERSION",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobStatus",
+    "JournalCheckpointSink",
     "RepairDaemon",
     "RepairRequest",
     "RepairResponse",
     "ServiceClient",
     "ServiceError",
+    "ServiceInterruptedError",
+    "ServiceOverloadedError",
+    "ServiceUnavailableError",
 ]

@@ -5,12 +5,30 @@
 blocking I/O — no asyncio needed on the client side, which keeps the
 CLI (``repro submit`` / ``repro jobs``) and tests simple.  One
 operation per connection, mirroring the server.
+
+Failures surface as typed :class:`ServiceError` subclasses so callers
+can react without parsing prose:
+
+- :class:`ServiceUnavailableError` — nothing listening on the socket;
+- :class:`ServiceOverloadedError` — admission control shed the request
+  (carries the daemon's ``retry_after_hint``);
+- :class:`ServiceInterruptedError` — the daemon dropped the connection
+  mid-job (typically a crash or hard kill).
+
+All three are *retryable*: :meth:`ServiceClient.submit` takes a
+``retries`` budget and resubmits with capped exponential backoff.
+Resubmission is idempotent by construction — the daemon dedups on
+:meth:`~repro.service.jobs.RepairRequest.job_key`, so a retry joins the
+original job (or its journal-recovered successor) instead of spawning
+duplicate work.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Callable
 
 from ..obs.events import RepairEvent, event_from_dict
@@ -19,6 +37,34 @@ from .jobs import JobStatus, RepairRequest, RepairResponse
 
 class ServiceError(Exception):
     """The daemon answered ``{"ok": false}`` (or spoke garbage)."""
+
+
+class ServiceUnavailableError(ServiceError, ConnectionError):
+    """Could not connect — no daemon is listening on the socket.
+
+    Also a :class:`ConnectionError` (hence an ``OSError``), so callers
+    that predate the typed errors and catch ``OSError`` around a
+    connect still work unchanged.
+    """
+
+    def __init__(self, socket_path: str, cause: Exception):
+        super().__init__(
+            f"no repair daemon listening on {socket_path!r} ({cause})"
+        )
+        self.socket_path = socket_path
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control shed the request (``code: "overloaded"``)."""
+
+    def __init__(self, message: str, retry_after_hint: float):
+        super().__init__(message)
+        #: Daemon's estimate (seconds) of when a slot frees up.
+        self.retry_after_hint = retry_after_hint
+
+
+class ServiceInterruptedError(ServiceError):
+    """The daemon dropped the connection before the job finished."""
 
 
 class ServiceClient:
@@ -39,7 +85,10 @@ class ServiceClient:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(self.timeout)
         try:
-            sock.connect(self.socket_path)
+            try:
+                sock.connect(self.socket_path)
+            except (ConnectionRefusedError, FileNotFoundError, OSError) as exc:
+                raise ServiceUnavailableError(self.socket_path, exc) from exc
             stream = sock.makefile("rwb")
             stream.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
             stream.flush()
@@ -51,16 +100,21 @@ class ServiceClient:
 
     @staticmethod
     def _check(reply: dict[str, Any]) -> dict[str, Any]:
-        """Raise :class:`ServiceError` on an error reply; pass others."""
+        """Raise a typed :class:`ServiceError` on an error reply."""
         if reply.get("ok") is False:
-            raise ServiceError(reply.get("error", "unknown service error"))
+            message = reply.get("error", "unknown service error")
+            if reply.get("code") == "overloaded":
+                raise ServiceOverloadedError(
+                    message, float(reply.get("retry_after_hint", 1.0))
+                )
+            raise ServiceError(message)
         return reply
 
     def ping(self) -> dict[str, Any]:
         """Liveness probe; returns the daemon's ping reply."""
         for reply in self._call({"op": "ping"}):
             return self._check(reply)
-        raise ServiceError("daemon closed the connection without replying")
+        raise ServiceInterruptedError("daemon closed the connection without replying")
 
     def submit(
         self,
@@ -68,6 +122,10 @@ class ServiceClient:
         wait: bool = True,
         stream: bool = False,
         on_event: "Callable[[RepairEvent], None] | None" = None,
+        retries: int = 0,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> tuple[JobStatus, "RepairResponse | None"]:
         """Submit one request; returns ``(admission_status, response)``.
 
@@ -76,7 +134,46 @@ class ServiceClient:
         ``stream=True`` each telemetry event is decoded and handed to
         ``on_event`` as it arrives (events with unknown types are
         skipped), and the call still returns the terminal response.
+
+        ``retries`` > 0 resubmits on :class:`ServiceUnavailableError`,
+        :class:`ServiceOverloadedError`, and
+        :class:`ServiceInterruptedError` — safe because the daemon dedups
+        on the request's ``job_key`` (a retry joins in-flight or
+        journal-recovered work rather than duplicating it).  Backoff is
+        ``min(backoff_cap, backoff_base * 2**attempt)``, raised to the
+        daemon's ``retry_after_hint`` when shed, with deterministic
+        jitter seeded from the job key.  ``sleep`` is injectable for
+        tests.
         """
+        rng = random.Random(request.job_key())
+        attempt = 0
+        while True:
+            try:
+                return self._submit_once(request, wait, stream, on_event)
+            except (
+                ServiceUnavailableError,
+                ServiceOverloadedError,
+                ServiceInterruptedError,
+            ) as exc:
+                if attempt >= retries:
+                    raise
+                delay = min(backoff_cap, backoff_base * (2.0 ** attempt))
+                if isinstance(exc, ServiceOverloadedError):
+                    delay = max(delay, min(backoff_cap, exc.retry_after_hint))
+                # Jitter in [0.5, 1.5): deterministic per job key, so
+                # identical clients desynchronize identically every run.
+                delay *= 0.5 + rng.random()
+                sleep(delay)
+                attempt += 1
+
+    def _submit_once(
+        self,
+        request: RepairRequest,
+        wait: bool,
+        stream: bool,
+        on_event: "Callable[[RepairEvent], None] | None",
+    ) -> tuple[JobStatus, "RepairResponse | None"]:
+        """One submit attempt (the body :meth:`submit` retries)."""
         payload = {
             "op": "submit",
             "request": request.to_dict(),
@@ -101,27 +198,33 @@ class ServiceClient:
                 return admitted, RepairResponse.from_dict(reply["response"])
         if admitted is not None and not wait and not stream:
             return admitted, None
-        raise ServiceError("daemon closed the connection mid-job")
+        raise ServiceInterruptedError("daemon closed the connection mid-job")
 
     def jobs(self) -> list[JobStatus]:
         """The daemon's job table (every job ever admitted)."""
         for reply in self._call({"op": "jobs"}):
             self._check(reply)
             return [JobStatus.from_dict(row) for row in reply.get("jobs", [])]
-        raise ServiceError("daemon closed the connection without replying")
+        raise ServiceInterruptedError("daemon closed the connection without replying")
 
     def cancel(self, job_id: str) -> JobStatus:
         """Cancel a job by id; returns its (possibly updated) status."""
         for reply in self._call({"op": "cancel", "job_id": job_id}):
             self._check(reply)
             return JobStatus.from_dict(reply["job"])
-        raise ServiceError("daemon closed the connection without replying")
+        raise ServiceInterruptedError("daemon closed the connection without replying")
 
     def shutdown(self) -> dict[str, Any]:
         """Ask the daemon to drain and exit; returns its acknowledgement."""
         for reply in self._call({"op": "shutdown"}):
             return self._check(reply)
-        raise ServiceError("daemon closed the connection without replying")
+        raise ServiceInterruptedError("daemon closed the connection without replying")
 
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "ServiceOverloadedError",
+    "ServiceInterruptedError",
+]

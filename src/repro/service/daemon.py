@@ -27,8 +27,17 @@ fail the connection, never the daemon.  Typed errors additionally carry
 a ``code`` plus machine-readable context — a submit naming an
 unregistered engine is rejected at admission with
 ``{"ok": false, "error": "...", "code": "unknown_engine",
-"known_engines": [...]}`` so clients can self-correct without parsing
-prose.
+"known_engines": [...]}``, and a submit shed by admission control gets
+``{"ok": false, "code": "overloaded", "retry_after_hint": seconds}`` —
+so clients can self-correct without parsing prose.
+
+Crash safety (``docs/service.md``, "Operations"): with ``journal_dir``
+set every admission/start/completion is write-ahead logged
+(:mod:`repro.service.journal`) and engines checkpoint their cursor at
+each generation boundary; ``recover=True`` replays the journal on
+startup and re-admits unfinished jobs, whose deterministic replay runs
+warm out of the persistent eval cache.  SIGTERM/SIGINT trigger the same
+drain path as the ``shutdown`` op.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ import asyncio
 import contextlib
 import json
 import os
+import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -47,9 +57,17 @@ from ..core.config import RepairConfig
 from ..core.engines import engine_names
 from ..core.serialize import outcome_to_json
 from ..obs.bridge import AsyncEventBridge
-from ..obs.events import JobAdmitted, JobCompleted, JobStarted, RepairEvent
+from ..obs.events import (
+    JobAdmitted,
+    JobCompleted,
+    JobRecovered,
+    JobShed,
+    JobStarted,
+    RepairEvent,
+)
 from ..obs.observer import ObserverSet, RepairObserver
 from .jobs import RepairRequest, RepairResponse
+from .journal import JobJournal, JournalCheckpointSink
 from .queue import Job, JobQueue
 
 #: Version of the NDJSON socket protocol (echoed by ``ping``).
@@ -58,6 +76,11 @@ PROTOCOL_VERSION = 1
 #: Hard cap on one request line (a full custom-design request carries
 #: Verilog texts inline; 16 MiB is far above any benchmark's size).
 MAX_LINE_BYTES = 16 << 20
+
+#: Recovery re-admissions one job may consume before it is failed as a
+#: poison job — a request that reliably crashes the daemon must not
+#: crash-loop it forever.
+MAX_RECOVERY_ATTEMPTS = 3
 
 
 class _Broadcast:
@@ -73,6 +96,8 @@ class _Broadcast:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._bridges: list[AsyncEventBridge] = []
+        #: Every bridge ever attached (for the dropped-events tally).
+        self._all: list[AsyncEventBridge] = []
         self._closed = False
 
     def on_event(self, event: RepairEvent) -> None:
@@ -85,6 +110,7 @@ class _Broadcast:
     def attach(self, bridge: AsyncEventBridge) -> None:
         """Start streaming to ``bridge`` (finishes it at once if closed)."""
         with self._lock:
+            self._all.append(bridge)
             if self._closed:
                 closed = True
             else:
@@ -92,6 +118,11 @@ class _Broadcast:
                 self._bridges.append(bridge)
         if closed:
             bridge.finish()
+
+    def dropped_total(self) -> int:
+        """Events lost across every bridge this job ever streamed to."""
+        with self._lock:
+            return sum(bridge.dropped for bridge in self._all)
 
     def close(self) -> None:
         """Terminate every attached bridge; idempotent."""
@@ -118,6 +149,8 @@ class _JobRuntime:
         self.done = asyncio.Event()
         #: The terminal :class:`RepairResponse` once ``done`` is set.
         self.response: RepairResponse | None = None
+        #: Journal-backed engine checkpoint sink (None when unjournaled).
+        self.checkpoint: JournalCheckpointSink | None = None
 
 
 class RepairDaemon:
@@ -132,9 +165,17 @@ class RepairDaemon:
         max_jobs: Repairs executing concurrently (thread-pool width).
         tenant_quota: Max concurrently running jobs per tenant.
         observers: Optional :mod:`repro.obs` observers receiving the
-            *job lifecycle* events (admitted/started/completed) — called
-            on the event loop thread only.  Engine telemetry goes to
-            streaming clients, not here.
+            *job lifecycle* events (admitted/started/completed, plus
+            recovered/shed) — called on the event loop thread only.
+            Engine telemetry goes to streaming clients, not here.
+        journal_dir: Directory for the durable job journal
+            (:class:`~repro.service.journal.JobJournal`).  None (the
+            default) keeps the daemon fully in-memory, as before.
+        recover: With a journal, replay it on startup and re-admit every
+            job that never reached a terminal state.
+        max_queue_depth: Admission backpressure — reject new (non-join)
+            submissions with a typed ``overloaded`` error once this many
+            jobs are queued.  0 (the default) disables shedding.
     """
 
     def __init__(
@@ -144,11 +185,17 @@ class RepairDaemon:
         max_jobs: int = 2,
         tenant_quota: int = 2,
         observers: Sequence[RepairObserver] | None = None,
+        journal_dir: "str | os.PathLike[str] | None" = None,
+        recover: bool = False,
+        max_queue_depth: int = 0,
     ) -> None:
         self.socket_path = os.fspath(socket_path)
         self.base_config = base_config or RepairConfig()
         self.max_jobs = max(1, int(max_jobs))
         self.queue = JobQueue(tenant_quota=tenant_quota)
+        self.journal = JobJournal(journal_dir) if journal_dir else None
+        self.recover = bool(recover)
+        self.max_queue_depth = max(0, int(max_queue_depth))
         self._observers = ObserverSet(observers)
         self._runtimes: dict[str, _JobRuntime] = {}
         self._tasks: set[asyncio.Task] = set()
@@ -156,17 +203,31 @@ class RepairDaemon:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop = asyncio.Event()
         self._stopping = False
+        #: EWMA of completed-job wall seconds (the retry_after_hint base).
+        self._avg_job_seconds = 0.0
 
     async def serve(self, ready: "asyncio.Event | None" = None) -> None:
         """Run the daemon until a ``shutdown`` op (or :meth:`stop`).
 
         ``ready`` (optional) is set once the socket is listening —
         handy for tests and for the CLI's "serving on …" message.
+
+        SIGTERM and SIGINT trigger :meth:`stop` — the same graceful
+        drain as the ``shutdown`` op — when the loop runs on the main
+        thread (signal handlers are silently skipped elsewhere, e.g. in
+        tests running the daemon on a background thread).
         """
         self._loop = asyncio.get_running_loop()
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_jobs, thread_name_prefix="repro-job"
         )
+        handled_signals: list[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                self._loop.add_signal_handler(sig, self.stop)
+                handled_signals.append(sig)
+        if self.journal is not None and self.recover:
+            self._recover_jobs()
         with contextlib.suppress(OSError):
             os.unlink(self.socket_path)
         server = await asyncio.start_unix_server(
@@ -175,6 +236,7 @@ class RepairDaemon:
         try:
             if ready is not None:
                 ready.set()
+            self._pump()  # start any recovered jobs
             await self._stop.wait()
         finally:
             server.close()
@@ -182,6 +244,9 @@ class RepairDaemon:
             await self._drain()
             self._pool.shutdown(wait=True)
             self._observers.close()
+            for sig in handled_signals:
+                with contextlib.suppress(Exception):
+                    self._loop.remove_signal_handler(sig)
             with contextlib.suppress(OSError):
                 os.unlink(self.socket_path)
 
@@ -191,10 +256,20 @@ class RepairDaemon:
         self._stop.set()
 
     async def _drain(self) -> None:
-        """Cancel queued jobs, flag running ones, await their tasks."""
+        """Cancel queued jobs, flag running ones, await their tasks.
+
+        A graceful drain leaves no unfinished journal records: queued
+        jobs are journaled ``cancelled`` here, running ones finish
+        (as ``cancelled``) through :meth:`_execute` while we await their
+        tasks.  Only a hard kill leaves records for ``--recover``.
+        """
         for status in self.queue.statuses():
             if status.state == "queued":
                 self.queue.cancel(status.job_id)
+                if self.journal is not None:
+                    self.journal.record_completed(
+                        status.job_id, "cancelled", "daemon shutting down"
+                    )
                 runtime = self._runtimes.get(status.job_id)
                 if runtime is not None and not runtime.done.is_set():
                     runtime.response = RepairResponse(
@@ -208,6 +283,87 @@ class RepairDaemon:
                 self.queue.cancel(status.job_id)
         if self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # Crash recovery (docs/service.md, "Operations")
+
+    def _new_runtime(self, job: Job, config: RepairConfig) -> _JobRuntime:
+        """Create (and register) the runtime for one admitted job."""
+        runtime = _JobRuntime(config)
+        if self.journal is not None:
+            runtime.checkpoint = JournalCheckpointSink(self.journal, job.job_id)
+        self._runtimes[job.job_id] = runtime
+        return runtime
+
+    def _recover_jobs(self) -> None:
+        """Re-admit every unfinished journaled job (startup, pre-listen).
+
+        Recovered jobs keep their journaled ids (clients re-attach by
+        resubmitting the identical request, which joins via the dedup
+        key), are re-journaled with a bumped attempt count, and replay
+        deterministically — the persistent eval cache turns every
+        pre-crash evaluation into a warm hit, so reaching the journaled
+        checkpoint again costs cache lookups, not simulations.
+        """
+        assert self.journal is not None
+        records = self.journal.unfinished()
+        if not records:
+            return
+        self.queue.advance_ids(self.journal.max_ordinal())
+        for record in records:
+            if record.attempts > MAX_RECOVERY_ATTEMPTS:
+                self.journal.record_completed(
+                    record.job_id,
+                    "failed",
+                    f"poison job: recovered {record.attempts - 1} times "
+                    "without completing",
+                )
+                continue
+            try:
+                request = RepairRequest.from_dict(record.request)
+                request.validate()
+                config = request.resolved_config(self.base_config)
+            except (ValueError, TypeError, KeyError) as exc:
+                self.journal.record_completed(
+                    record.job_id, "failed",
+                    f"unrecoverable journaled request: {exc}",
+                )
+                continue
+            job, joined = self.queue.submit(request, job_id=record.job_id)
+            if joined:  # duplicate record (should not happen); tolerate
+                continue
+            job.recovered = True
+            runtime = self._new_runtime(job, config)
+            assert runtime.checkpoint is not None
+            snapshot = runtime.checkpoint.load()
+            self.journal.record_admitted(
+                job.job_id, request.to_dict(), attempts=record.attempts + 1
+            )
+            self._emit(
+                runtime,
+                JobRecovered(
+                    job_id=job.job_id,
+                    tenant=request.tenant,
+                    scenario=request.scenario or "<custom>",
+                    attempts=record.attempts + 1,
+                    had_checkpoint=snapshot is not None,
+                    cursor=(
+                        int(snapshot.get("cursor", -1)) if snapshot else -1
+                    ),
+                ),
+            )
+
+    def _retry_after_hint(self) -> float:
+        """Seconds a shed client should wait before resubmitting.
+
+        A smoothed estimate of one execution slot freeing up: the EWMA
+        of completed-job wall time divided across the slots, floored at
+        one second (before any job completes there is no signal — the
+        floor is the hint).
+        """
+        if self._avg_job_seconds <= 0.0:
+            return 1.0
+        return round(max(1.0, self._avg_job_seconds / self.max_jobs), 3)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -230,6 +386,7 @@ class RepairDaemon:
                         writer, {"ok": True, "pong": True, "protocol": PROTOCOL_VERSION}
                     )
                 elif op == "jobs":
+                    self._refresh_dropped()
                     rows = [status.to_dict() for status in self.queue.statuses()]
                     await self._send(writer, {"ok": True, "jobs": rows})
                 elif op == "cancel":
@@ -267,6 +424,8 @@ class RepairDaemon:
         runtime = self._runtimes.get(job.job_id)
         if job.state == "cancelled" and runtime is not None and not runtime.done.is_set():
             # Was still queued: it will never run, so finalize it here.
+            if self.journal is not None:
+                self.journal.record_completed(job.job_id, "cancelled", job.error)
             runtime.response = RepairResponse(
                 job_id=job.job_id, status="cancelled", error=job.error
             )
@@ -299,11 +458,43 @@ class RepairDaemon:
             return
         request.validate()
         config = request.resolved_config(self.base_config)
+        if (
+            self.max_queue_depth
+            and self.queue.peek_live(request.job_key()) is None
+            and self.queue.queued_depth() >= self.max_queue_depth
+        ):
+            # Admission backpressure: shed new work (joins are exempt —
+            # attaching to in-flight work adds no queue depth).
+            depth = self.queue.queued_depth()
+            hint = self._retry_after_hint()
+            if self._observers:
+                self._observers.emit(
+                    JobShed(
+                        tenant=request.tenant,
+                        scenario=request.scenario or "<custom>",
+                        queue_depth=depth,
+                        retry_after_hint=hint,
+                    )
+                )
+            await self._send(
+                writer,
+                {
+                    "ok": False,
+                    "error": (
+                        f"daemon overloaded: {depth} jobs queued "
+                        f"(cap {self.max_queue_depth}); retry later"
+                    ),
+                    "code": "overloaded",
+                    "retry_after_hint": hint,
+                },
+            )
+            return
         job, joined = self.queue.submit(request)
         runtime = self._runtimes.get(job.job_id)
         if runtime is None:
-            runtime = _JobRuntime(config)
-            self._runtimes[job.job_id] = runtime
+            runtime = self._new_runtime(job, config)
+        if self.journal is not None and not joined:
+            self.journal.record_admitted(job.job_id, request.to_dict())
         self._emit(
             runtime,
             JobAdmitted(
@@ -363,11 +554,19 @@ class RepairDaemon:
                 running=self.queue.running_count(),
             ),
         )
+        if self.journal is not None:
+            self.journal.record_started(job.job_id)
         assert self._loop is not None and self._pool is not None
         status, response, elapsed = await self._loop.run_in_executor(
             self._pool, self._run_job, job, runtime
         )
         self.queue.mark_finished(job, status, response.error)
+        if self.journal is not None:
+            self.journal.record_completed(job.job_id, status, response.error)
+        if self._avg_job_seconds <= 0.0:
+            self._avg_job_seconds = elapsed
+        else:
+            self._avg_job_seconds = 0.7 * self._avg_job_seconds + 0.3 * elapsed
         runtime.response = response
         self._emit(
             runtime,
@@ -383,6 +582,7 @@ class RepairDaemon:
         )
         runtime.done.set()
         runtime.broadcast.close()
+        job.dropped_events = runtime.broadcast.dropped_total()
         self._pump()
 
     def _run_job(
@@ -410,6 +610,11 @@ class RepairDaemon:
                 base_config=self.base_config,
                 observers=[runtime.broadcast],
                 cancel=job.cancel_flag.is_set,
+                checkpoint=(
+                    runtime.checkpoint.save
+                    if runtime.checkpoint is not None
+                    else None
+                ),
             )
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             elapsed = time.monotonic() - start
@@ -445,6 +650,13 @@ class RepairDaemon:
             "store_misses": misses,
             "hit_rate": (hits / total) if total else 0.0,
         }
+
+    def _refresh_dropped(self) -> None:
+        """Pull live dropped-event tallies into the job table rows."""
+        for job_id, runtime in self._runtimes.items():
+            job = self.queue.get(job_id)
+            if job is not None:
+                job.dropped_events = runtime.broadcast.dropped_total()
 
     def _emit(self, runtime: _JobRuntime, event: RepairEvent) -> None:
         """Deliver one lifecycle event to daemon observers + streamers."""

@@ -183,6 +183,12 @@ class JobStatus:
     submissions: int = 1
     #: Error summary for ``failed`` jobs ("" otherwise).
     error: str = ""
+    #: Telemetry events dropped by this job's streaming bridges — the
+    #: lossy-at-tail backpressure contract made visible: a slow
+    #: streaming consumer loses events rather than slowing the engine,
+    #: and this counter says how many.  (Additive field; absent in
+    #: pre-journal payloads, which parse as 0.)
+    dropped_events: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready mapping."""

@@ -1,0 +1,354 @@
+"""Durable write-ahead job journal for the repair daemon.
+
+The daemon keeps queued and running jobs in memory; without a journal a
+crash (or ``kill -9``) silently loses them all.  :class:`JobJournal`
+records every job's admission, start, and terminal completion as one
+JSON file per job, written atomically (tmp file + ``os.replace``, the
+same discipline as :class:`~repro.cache.store.PersistentEvalCache`), so
+at any instant the directory is a consistent snapshot of daemon state.
+
+On ``repro serve --recover`` the daemon replays the journal
+(:meth:`JobJournal.unfinished`) and re-admits every job that never
+reached a terminal state.  Alongside the per-job records the journal
+stores engine **checkpoints** (:class:`JournalCheckpointSink`): at each
+generation/template boundary the engine snapshots its deterministic
+cursor — seed, rng stream digest, ``eval_sims``, best-so-far — and the
+sink persists it.  Recovery does not deserialize populations: the
+engine replays from the start with the persistent eval cache warm, so
+every pre-crash evaluation is a disk hit and the replay reaches the
+checkpointed cursor at cache speed; the stored snapshot then serves as
+a *verification* record — when the replay crosses the same cursor the
+sink compares seed, rng digest, and ``eval_sims`` and flags any drift.
+
+Layout under ``--journal-dir``::
+
+    jobs/<job_id>.json          admission/start/terminal record
+    checkpoints/<job_id>.json   latest engine cursor snapshot
+
+Corrupt or truncated files (a crash can land mid-write only on the tmp
+file, but disks lie) are dropped and counted, never fatal — mirroring
+the cache store's corruption tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+logger = logging.getLogger("repro.service")
+
+#: On-disk journal schema; bump on incompatible record changes.
+JOURNAL_SCHEMA = 1
+
+#: Job states with nothing left to do; anything else is re-admitted.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class JournalRecord:
+    """One job's journaled lifecycle (parsed from ``jobs/<id>.json``)."""
+
+    def __init__(
+        self,
+        job_id: str,
+        state: str,
+        request: dict[str, Any],
+        error: str = "",
+        attempts: int = 1,
+    ) -> None:
+        self.job_id = job_id
+        self.state = state
+        #: The admitted request's ``to_dict`` form (re-parsed on recovery).
+        self.request = request
+        self.error = error
+        #: How many daemon lifetimes have admitted this job (1 = never
+        #: recovered).  Poison jobs that crash the daemon repeatedly are
+        #: failed instead of re-admitted once this crosses the cap.
+        self.attempts = attempts
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (the on-disk record shape)."""
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "job_id": self.job_id,
+            "state": self.state,
+            "request": self.request,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JournalRecord":
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != JOURNAL_SCHEMA
+            or not isinstance(data.get("job_id"), str)
+            or not isinstance(data.get("request"), dict)
+        ):
+            raise ValueError("malformed journal record")
+        return cls(
+            job_id=data["job_id"],
+            state=str(data.get("state", "")),
+            request=data["request"],
+            error=str(data.get("error", "")),
+            attempts=int(data.get("attempts", 1)),
+        )
+
+
+def _job_ordinal(job_id: str) -> int:
+    """The ``<n>`` in ``job-<n>-<key8>`` (0 for foreign id shapes)."""
+    parts = job_id.split("-")
+    if len(parts) >= 2 and parts[0] == "job" and parts[1].isdigit():
+        return int(parts[1])
+    return 0
+
+
+class JobJournal:
+    """Atomic per-job WAL + checkpoint store under one directory.
+
+    Thread-safe: admissions and terminal transitions happen on the
+    daemon's event-loop thread while checkpoint saves arrive from job
+    worker threads.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        self._jobs_dir = self.root / "jobs"
+        self._checkpoints_dir = self.root / "checkpoints"
+        self._jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._checkpoints_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.records_written = 0
+        self.checkpoints_written = 0
+        self.corrupt_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Job lifecycle records
+    # ------------------------------------------------------------------
+
+    def record_admitted(self, job_id: str, request: dict[str, Any],
+                        attempts: int = 1) -> None:
+        """WAL an admission (or recovery re-admission) before it runs."""
+        self._write_record(
+            JournalRecord(job_id, "queued", dict(request), attempts=attempts)
+        )
+
+    def record_started(self, job_id: str) -> None:
+        """Transition a journaled job to ``running``."""
+        self._transition(job_id, "running")
+
+    def record_completed(self, job_id: str, state: str, error: str = "") -> None:
+        """Terminal transition; also discards the job's checkpoint."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"non-terminal journal state {state!r}")
+        self._transition(job_id, state, error)
+        with self._lock:
+            try:
+                self._checkpoint_path(job_id).unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def _transition(self, job_id: str, state: str, error: str = "") -> None:
+        record = self.get(job_id)
+        if record is None:
+            # A journal attached mid-flight (or a dropped corrupt record):
+            # synthesize a requestless record so the state is not lost —
+            # recovery skips it (no request to re-admit) but operators
+            # still see the terminal state.
+            record = JournalRecord(job_id, state, {}, error)
+        record.state = state
+        record.error = error
+        self._write_record(record)
+
+    def _write_record(self, record: JournalRecord) -> None:
+        path = self._jobs_dir / f"{record.job_id}.json"
+        data = json.dumps(record.to_dict(), sort_keys=True).encode()
+        with self._lock:
+            if self._atomic_write(path, data):
+                self.records_written += 1
+
+    def get(self, job_id: str) -> JournalRecord | None:
+        """Load one record; None when absent or corrupt (then dropped)."""
+        path = self._jobs_dir / f"{job_id}.json"
+        return self._load_record(path)
+
+    def records(self) -> list[JournalRecord]:
+        """Every parseable record, ordered by job ordinal then id."""
+        out: list[JournalRecord] = []
+        try:
+            paths = sorted(self._jobs_dir.iterdir())
+        except OSError:  # pragma: no cover - unreadable journal
+            logger.warning("journal scan failed under %s", self._jobs_dir)
+            return out
+        for path in paths:
+            if path.suffix != ".json":
+                continue  # tmp files, strays
+            record = self._load_record(path)
+            if record is not None:
+                out.append(record)
+        out.sort(key=lambda r: (_job_ordinal(r.job_id), r.job_id))
+        return out
+
+    def unfinished(self) -> list[JournalRecord]:
+        """Records needing recovery: admitted/started but never terminal."""
+        return [
+            record
+            for record in self.records()
+            if record.state not in TERMINAL_STATES and record.request
+        ]
+
+    def max_ordinal(self) -> int:
+        """Highest ``job-<n>-…`` ordinal ever journaled (0 when empty).
+
+        Recovery preserves journaled job ids; the queue's id counter must
+        start past them so new jobs never collide.
+        """
+        return max((_job_ordinal(r.job_id) for r in self.records()), default=0)
+
+    def _load_record(self, path: Path) -> JournalRecord | None:
+        try:
+            return JournalRecord.from_dict(json.loads(path.read_bytes()))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            with self._lock:
+                self.corrupt_dropped += 1
+            logger.warning("dropping corrupt journal record %s", path.name)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - best-effort
+                pass
+            return None
+
+    # ------------------------------------------------------------------
+    # Engine checkpoints
+    # ------------------------------------------------------------------
+
+    def _checkpoint_path(self, job_id: str) -> Path:
+        return self._checkpoints_dir / f"{job_id}.json"
+
+    def save_checkpoint(self, job_id: str, state: dict[str, Any]) -> None:
+        """Persist the latest engine cursor snapshot for one job."""
+        payload = {"schema": JOURNAL_SCHEMA, "job_id": job_id, "state": state}
+        data = json.dumps(payload, sort_keys=True).encode()
+        with self._lock:
+            if self._atomic_write(self._checkpoint_path(job_id), data):
+                self.checkpoints_written += 1
+
+    def load_checkpoint(self, job_id: str) -> dict[str, Any] | None:
+        """The job's last snapshot; None when absent or corrupt."""
+        path = self._checkpoint_path(job_id)
+        try:
+            payload = json.loads(path.read_bytes())
+            if (
+                not isinstance(payload, dict)
+                or payload.get("schema") != JOURNAL_SCHEMA
+                or payload.get("job_id") != job_id
+                or not isinstance(payload.get("state"), dict)
+            ):
+                raise ValueError("malformed checkpoint")
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            with self._lock:
+                self.corrupt_dropped += 1
+            logger.warning("dropping corrupt checkpoint %s", path.name)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - best-effort
+                pass
+            return None
+        return payload["state"]
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    def _atomic_write(self, path: Path, data: bytes) -> bool:
+        """tmp + ``os.replace`` write (lock held); False on failure."""
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+            return True
+        except OSError as exc:
+            logger.warning("journal write failed for %s (%s)", path.name, exc)
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - best-effort
+                pass
+            return False
+
+    def info(self) -> dict[str, int]:
+        """Counters (tests and operator diagnostics)."""
+        with self._lock:
+            return {
+                "records_written": self.records_written,
+                "checkpoints_written": self.checkpoints_written,
+                "corrupt_dropped": self.corrupt_dropped,
+            }
+
+
+class JournalCheckpointSink:
+    """Per-job adapter between an engine's checkpoint hook and the journal.
+
+    The engine calls :meth:`save` at every search boundary (from its
+    worker thread).  On a recovered job the daemon primes the sink with
+    the pre-crash snapshot (:meth:`load`); when the deterministic replay
+    crosses the same ``(engine, seed, cursor)`` the sink compares the
+    replayed ``eval_sims`` and rng digest against the snapshot —
+    :attr:`verified` records whether the resume was bit-exact.
+    """
+
+    def __init__(self, journal: JobJournal, job_id: str) -> None:
+        self._journal = journal
+        self.job_id = job_id
+        #: Snapshots persisted through this sink.
+        self.saves = 0
+        #: The pre-crash snapshot being verified (None once checked).
+        self.resumed_from: dict[str, Any] | None = None
+        #: None until the replay reaches the resumed cursor; then True
+        #: when the replayed counters matched the snapshot bit-exactly.
+        self.verified: bool | None = None
+
+    def load(self) -> dict[str, Any] | None:
+        """Prime the sink with the journaled snapshot (daemon recovery)."""
+        self.resumed_from = self._journal.load_checkpoint(self.job_id)
+        return self.resumed_from
+
+    def save(self, state: dict[str, Any]) -> None:
+        """Persist one snapshot; verify it against a primed resume point."""
+        self.saves += 1
+        resumed = self.resumed_from
+        if (
+            resumed is not None
+            and state.get("engine") == resumed.get("engine")
+            and state.get("seed") == resumed.get("seed")
+            and state.get("cursor") == resumed.get("cursor")
+        ):
+            self.verified = (
+                state.get("eval_sims") == resumed.get("eval_sims")
+                and state.get("rng") == resumed.get("rng")
+            )
+            self.resumed_from = None  # one-shot: later cursors are new work
+            if not self.verified:
+                logger.warning(
+                    "job %s resume drift at cursor %s: replay eval_sims=%s "
+                    "rng=%s vs journal eval_sims=%s rng=%s",
+                    self.job_id, state.get("cursor"), state.get("eval_sims"),
+                    state.get("rng"), resumed.get("eval_sims"),
+                    resumed.get("rng"),
+                )
+        self._journal.save_checkpoint(self.job_id, state)
+
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "TERMINAL_STATES",
+    "JobJournal",
+    "JournalCheckpointSink",
+    "JournalRecord",
+]

@@ -44,6 +44,12 @@ class Job:
     submissions: int = 1
     #: Error summary once ``failed``.
     error: str = ""
+    #: Telemetry events dropped across this job's streaming bridges
+    #: (the lossy-at-tail contract: slow consumers lose events, never
+    #: slow the engine).  Updated by the daemon, not the queue.
+    dropped_events: int = 0
+    #: True when this job was re-admitted from the journal on recovery.
+    recovered: bool = False
     #: Cooperative cancel flag polled by the engine between generations.
     cancel_flag: threading.Event = field(default_factory=threading.Event)
 
@@ -56,6 +62,7 @@ class Job:
             scenario=self.request.scenario or "<custom>",
             submissions=self.submissions,
             error=self.error,
+            dropped_events=self.dropped_events,
         )
 
 
@@ -88,11 +95,15 @@ class JobQueue:
         #: tenant → currently running job count (quota accounting).
         self._running: dict[str, int] = {}
 
-    def submit(self, request: RepairRequest) -> tuple[Job, bool]:
+    def submit(
+        self, request: RepairRequest, job_id: "str | None" = None
+    ) -> tuple[Job, bool]:
         """Admit one request; returns ``(job, joined)``.
 
         ``joined`` is True when an identical job (same dedup key) was
         already queued or running and this submission attached to it.
+        ``job_id`` (crash recovery) preserves a journaled id instead of
+        minting a fresh one; see :meth:`advance_ids`.
         """
         with self._lock:
             key = request.job_key()
@@ -101,7 +112,7 @@ class JobQueue:
                 existing.submissions += 1
                 return existing, True
             job = Job(
-                job_id=f"job-{next(self._ids)}-{key[:8]}",
+                job_id=job_id or f"job-{next(self._ids)}-{key[:8]}",
                 key=key,
                 request=request,
             )
@@ -180,6 +191,26 @@ class JobQueue:
         """Look a job up by id (any state); None for unknown ids."""
         with self._lock:
             return self._jobs.get(job_id)
+
+    def peek_live(self, key: str) -> Job | None:
+        """The queued/running job a submission with ``key`` would join.
+
+        Admission control uses this to exempt joins from load shedding:
+        attaching to in-flight work adds no queue depth.
+        """
+        with self._lock:
+            return self._live.get(key)
+
+    def advance_ids(self, past: int) -> None:
+        """Ensure freshly minted ids start after ordinal ``past``.
+
+        Called once on recovery, after journaled jobs were re-admitted
+        with their original ids, so new ``job-<n>-…`` ids never collide
+        with recovered ones.
+        """
+        with self._lock:
+            current = next(self._ids)
+            self._ids = itertools.count(max(current, past + 1))
 
     def statuses(self) -> list[JobStatus]:
         """Status rows for every job ever admitted, in admission order."""

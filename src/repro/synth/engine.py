@@ -30,7 +30,7 @@ from __future__ import annotations
 import contextlib
 import logging
 import time as time_mod
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from ..core.backend import BACKEND_NAMES, EvaluationBackend, make_backend
 from ..core.config import RepairConfig
@@ -58,6 +58,8 @@ class SynthEngine(EngineHarness):
     (it is recorded in the outcome); the search itself is derandomized.
     """
 
+    engine_name = "synth"
+
     def __init__(
         self,
         problem: RepairProblem,
@@ -66,10 +68,11 @@ class SynthEngine(EngineHarness):
         backend: EvaluationBackend | None = None,
         observers: Sequence[RepairObserver] | None = None,
         cancel: Callable[[], bool] | None = None,
+        checkpoint: "Callable[[dict[str, Any]], None] | None" = None,
     ):
         super().__init__(
             problem, config, seed, backend=backend, observers=observers,
-            cancel=cancel,
+            cancel=cancel, checkpoint=checkpoint,
         )
         #: Candidates enumerated per template (diagnostics).
         self.operator_stats = {template.name: 0 for template in TEMPLATES}
@@ -175,6 +178,8 @@ class SynthEngine(EngineHarness):
                 self.events.emit(
                     self._generation_event(rounds - 1, patches, best_fitness)
                 )
+            # Template boundary = the synth engine's checkpoint boundary.
+            self._save_checkpoint(rounds - 1, best_fitness, label=template.name)
             logger.info(
                 "[%s] template %s: %d candidates, best=%.4f",
                 self.problem.name, template.name, len(candidates), best_fitness,
@@ -216,6 +221,7 @@ def synth_repair(
     backend: EvaluationBackend | None = None,
     observers: Sequence[RepairObserver] | None = None,
     cancel: Callable[[], bool] | None = None,
+    checkpoint: "Callable[[dict[str, Any]], None] | None" = None,
 ) -> RepairOutcome:
     """The registered ``"synth"`` runner (engine-registry contract).
 
@@ -242,7 +248,7 @@ def synth_repair(
     with scope:
         return SynthEngine(
             problem, config, seeds[0], backend=backend, observers=events,
-            cancel=cancel,
+            cancel=cancel, checkpoint=checkpoint,
         ).run()
 
 

@@ -101,6 +101,7 @@ def run_race(
     backend: EvaluationBackend | None = None,
     observers: Sequence[RepairObserver] | None = None,
     cancel: Callable[[], bool] | None = None,
+    checkpoint: "Callable[[dict[str, Any]], None] | None" = None,
     engines: tuple[str, ...] = RACE_ENGINES,
 ) -> RaceResult:
     """Run every engine in ``engines`` on ``problem`` and keep all legs.
@@ -129,6 +130,7 @@ def run_race(
             outcome = runner(
                 problem, config, seeds,
                 backend=backend, observers=observers, cancel=cancel,
+                checkpoint=checkpoint,
             )
             entries.append(
                 RaceEntry(name, outcome, time_mod.monotonic() - started)
@@ -143,12 +145,19 @@ def race_repair(
     backend: EvaluationBackend | None = None,
     observers: Sequence[RepairObserver] | None = None,
     cancel: Callable[[], bool] | None = None,
+    checkpoint: "Callable[[dict[str, Any]], None] | None" = None,
 ) -> RepairOutcome:
     """The registered ``"race"`` runner: race both engines, return the
-    winning outcome (see :class:`RaceResult.winner` for the verdict)."""
+    winning outcome (see :class:`RaceResult.winner` for the verdict).
+
+    Both legs share one checkpoint sink; snapshots carry the engine
+    name, so a resumed race replays the cirfix leg (warm) before
+    re-entering the synth leg it was interrupted in, or vice versa.
+    """
     return run_race(
         problem, config, seeds,
         backend=backend, observers=observers, cancel=cancel,
+        checkpoint=checkpoint,
     ).winner.outcome
 
 

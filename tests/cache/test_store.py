@@ -171,3 +171,51 @@ class TestPersistence:
         finally:
             os.chdir(cwd)
         assert rel is absolute
+
+
+class TestScanDeterminism:
+    """Index rebuild order is stable even with indistinguishable mtimes.
+
+    On filesystems with coarse timestamps a whole run's entries can
+    share one mtime; the scan breaks ties by key (and compares mtimes at
+    nanosecond resolution), so the rebuilt LRU order — and therefore the
+    eviction order — is identical on every restart.
+    """
+
+    def test_equal_mtime_rebuild_is_key_ordered(self, tmp_path):
+        root = tmp_path / "c"
+        store = PersistentEvalCache(root)
+        keys = sorted(key_of(str(i)) for i in range(6))
+        for key in reversed(keys):  # write in anti-sorted order
+            store.put(key, {"v": 1})
+        stamp_ns = 1_700_000_000 * 10**9
+        for path in (root / "shards").rglob("*.json"):
+            os.utime(path, ns=(stamp_ns, stamp_ns))
+        first = PersistentEvalCache(root)
+        second = PersistentEvalCache(root)
+        assert list(first._index) == keys
+        assert list(second._index) == keys
+
+    def test_equal_mtime_eviction_picks_identical_victims(self, tmp_path):
+        import shutil
+
+        root = tmp_path / "c"
+        store = PersistentEvalCache(root)
+        for i in range(6):
+            store.put(key_of(str(i)), {"pad": "x" * 50})
+        stamp_ns = 1_700_000_000 * 10**9
+        for path in (root / "shards").rglob("*.json"):
+            os.utime(path, ns=(stamp_ns, stamp_ns))
+        clone = tmp_path / "clone"
+        shutil.copytree(root, clone)
+        for path in (clone / "shards").rglob("*.json"):
+            os.utime(path, ns=(stamp_ns, stamp_ns))
+
+        def survivors(directory):
+            reopened = PersistentEvalCache(directory, max_bytes=400)
+            reopened.put(key_of("trigger"), {"pad": "x" * 50})
+            return set(reopened._index)
+
+        left, right = survivors(root), survivors(clone)
+        assert left == right
+        assert len(left) < 7  # the budget actually forced evictions

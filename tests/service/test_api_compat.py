@@ -78,12 +78,12 @@ class TestEngineRegistry:
         calls = {}
 
         def fake_engine(problem, config=None, seeds=(0,), backend=None,
-                        observers=None, cancel=None):
+                        observers=None, cancel=None, checkpoint=None):
             """Record the call and delegate to the real engine."""
             calls["seeds"] = seeds
             return get_engine("cirfix")(
                 problem, config, seeds, backend=backend,
-                observers=observers, cancel=cancel,
+                observers=observers, cancel=cancel, checkpoint=checkpoint,
             )
 
         register_engine("fake-for-test", fake_engine)
